@@ -1,0 +1,262 @@
+// Package banks is a Go implementation of BANKS — Browsing ANd Keyword
+// Searching in relational databases — after Bhalotia, Hulgeri, Nakhe,
+// Chakrabarti and Sudarshan, "Keyword Searching and Browsing in Databases
+// using BANKS" (ICDE 2002).
+//
+// BANKS lets users query a relational database with plain keywords, no
+// schema knowledge or SQL required. Tuples become nodes of a directed
+// graph whose edges follow foreign-key links (with indegree-scaled
+// backward edges so hub tuples do not collapse proximity); an answer is a
+// connection tree — a rooted directed tree containing a path from an
+// information node to a tuple matching each keyword — ranked by a
+// combination of proximity and prestige.
+//
+// Quick start:
+//
+//	db := banks.NewDatabase()
+//	db.MustExec(`CREATE TABLE author (id TEXT PRIMARY KEY, name TEXT)`)
+//	db.MustExec(`CREATE TABLE paper (id TEXT PRIMARY KEY, title TEXT)`)
+//	db.MustExec(`CREATE TABLE writes (aid TEXT REFERENCES author,
+//	                                  pid TEXT REFERENCES paper)`)
+//	// ... INSERT data ...
+//	sys, err := banks.NewSystem(db, nil)
+//	answers, err := sys.Search("sunita soumen", nil)
+//	for _, a := range answers {
+//	    fmt.Println(a.Format())
+//	}
+//
+// The package also exposes the browsing subsystem of the paper's Section 4
+// via System.Handler, an http.Handler serving hyperlinked table views,
+// keyword search, and the four display templates.
+package banks
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/banksdb/banks/internal/core"
+	drv "github.com/banksdb/banks/internal/driver"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+	"github.com/banksdb/banks/internal/xmlshred"
+)
+
+// Database is an embedded relational database with SQL access and enforced
+// primary/foreign keys — the substrate BANKS builds its graph from. It is
+// safe for concurrent use.
+type Database struct {
+	inner  *sqldb.Database
+	engine *sqlexec.Engine
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	d := sqldb.NewDatabase()
+	return &Database{inner: d, engine: sqlexec.New(d)}
+}
+
+// Row is one result row; values are nil, int64, float64, bool or string.
+type Row []interface{}
+
+// Result is the outcome of one SQL statement.
+type Result struct {
+	Columns      []string
+	Rows         []Row
+	RowsAffected int64
+}
+
+// Exec parses and runs one SQL statement. Placeholders (?) bind from args;
+// supported argument types are nil, integers, floats, bools, strings and
+// time.Time.
+func (d *Database) Exec(sql string, args ...interface{}) (*Result, error) {
+	params := make([]sqldb.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = v
+	}
+	res, err := d.engine.Execute(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(res), nil
+}
+
+// MustExec is Exec, panicking on error; intended for examples and tests.
+func (d *Database) MustExec(sql string, args ...interface{}) *Result {
+	r, err := d.Exec(sql, args...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ExecScript runs a semicolon-separated SQL script, stopping at the first
+// error.
+func (d *Database) ExecScript(sql string) error {
+	_, err := d.engine.ExecuteScript(sql)
+	return err
+}
+
+// Tables returns the table names in creation order.
+func (d *Database) Tables() []string { return d.inner.TableNames() }
+
+// RegisterDriver exposes the database to database/sql under
+// sql.Open("banks", name).
+func (d *Database) RegisterDriver(name string) { drv.Register(name, d.inner) }
+
+// Internal returns the underlying engine database; it is exported for the
+// sibling packages inside this module (cmd/, examples/) and carries no
+// compatibility promise.
+func (d *Database) Internal() *sqldb.Database { return d.inner }
+
+// LoadXML shreds one XML document into the xml_element / xml_attribute
+// relations (created on first use), modelling containment as foreign-key
+// edges — the paper's Section 7 XML extension. After Refresh, keyword
+// queries return connection trees through the document structure. It
+// returns the number of elements loaded.
+func (d *Database) LoadXML(r io.Reader, docName string) (int, error) {
+	return xmlshred.Load(d.inner, r, docName)
+}
+
+func toValue(a interface{}) (sqldb.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return sqldb.Null(), nil
+	case int:
+		return sqldb.Int(int64(v)), nil
+	case int32:
+		return sqldb.Int(int64(v)), nil
+	case int64:
+		return sqldb.Int(v), nil
+	case float32:
+		return sqldb.Float(float64(v)), nil
+	case float64:
+		return sqldb.Float(v), nil
+	case bool:
+		return sqldb.Bool(v), nil
+	case string:
+		return sqldb.Text(v), nil
+	case time.Time:
+		return sqldb.Text(v.UTC().Format(time.RFC3339)), nil
+	}
+	return sqldb.Null(), fmt.Errorf("banks: unsupported argument type %T", a)
+}
+
+func fromValue(v sqldb.Value) interface{} {
+	switch v.T {
+	case sqldb.TypeNull:
+		return nil
+	case sqldb.TypeInt:
+		return v.I
+	case sqldb.TypeFloat:
+		return v.F
+	case sqldb.TypeBool:
+		return v.I != 0
+	default:
+		return v.S
+	}
+}
+
+func fromResult(r *sqlexec.Result) *Result {
+	out := &Result{Columns: r.Columns, RowsAffected: r.RowsAffected}
+	for _, row := range r.Rows {
+		conv := make(Row, len(row))
+		for i, v := range row {
+			conv[i] = fromValue(v)
+		}
+		out.Rows = append(out.Rows, conv)
+	}
+	return out
+}
+
+// SystemOptions configure graph construction.
+type SystemOptions struct {
+	// DisableBackEdgeScaling turns off the §2.1 indegree scaling of
+	// backward edges (for ablation; the paper's behaviour is on).
+	DisableBackEdgeScaling bool
+	// PrestigeDamping, when in (0,1), uses PageRank-style prestige
+	// transfer instead of raw reference indegree (the extension §2.2
+	// mentions). 0 keeps the paper's indegree prestige.
+	PrestigeDamping float64
+}
+
+// System couples a database snapshot with its BANKS graph and keyword
+// index and answers keyword queries. Rebuild with Refresh after bulk data
+// changes; searches against a stale System still work but will not see new
+// tuples.
+type System struct {
+	db       *Database
+	g        *graph.Graph
+	ix       *index.Index
+	searcher *core.Searcher
+	opts     SystemOptions
+}
+
+// NewSystem builds the data graph (§2) and keyword index (§3) for db.
+func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
+	s := &System{db: db}
+	if opts != nil {
+		s.opts = *opts
+	}
+	if err := s.Refresh(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Refresh rebuilds the graph and index from the current database contents.
+func (s *System) Refresh() error {
+	bo := graph.DefaultBuildOptions()
+	bo.ScaleBackEdges = !s.opts.DisableBackEdgeScaling
+	bo.PrestigeDamping = s.opts.PrestigeDamping
+	g, err := graph.Build(s.db.inner, bo)
+	if err != nil {
+		return err
+	}
+	ix, err := index.Build(s.db.inner, g)
+	if err != nil {
+		return err
+	}
+	s.g = g
+	s.ix = ix
+	s.searcher = core.NewSearcher(g, ix)
+	return nil
+}
+
+// Database returns the database the system was built over.
+func (s *System) Database() *Database { return s.db }
+
+// GraphStats summarize the in-memory data graph (§5.2).
+type GraphStats struct {
+	Tables int
+	Nodes  int
+	Arcs   int
+	Bytes  int64 // estimated resident size of the graph structures
+}
+
+// GraphStats returns the current graph's size statistics.
+func (s *System) GraphStats() GraphStats {
+	return GraphStats{
+		Tables: s.g.NumTables(),
+		Nodes:  s.g.NumNodes(),
+		Arcs:   s.g.NumArcs(),
+		Bytes:  s.g.MemoryFootprint(),
+	}
+}
+
+// IndexStats summarize the keyword index.
+type IndexStats struct {
+	Terms    int
+	Postings int
+}
+
+// IndexStats returns the keyword index's size statistics.
+func (s *System) IndexStats() IndexStats {
+	return IndexStats{Terms: s.ix.NumTerms(), Postings: s.ix.NumPostings()}
+}

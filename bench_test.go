@@ -1,0 +1,404 @@
+package banks
+
+// The benchmark harness regenerates every experimental artifact of the
+// paper's evaluation (Section 5). One benchmark per table/figure, per the
+// experiment index in DESIGN.md:
+//
+//	E1 BenchmarkFigure2QuerySoumenSunita — the Figure 2 query
+//	E2 BenchmarkAnecdoteQueries          — §5.1 anecdote queries
+//	E3 BenchmarkGraphMemory              — §5.2 space (bytes metrics)
+//	E4 BenchmarkGraphLoad                — §5.2 graph load time
+//	E5 BenchmarkQueryClasses             — §5.2 latency over 7 query classes
+//	E6 BenchmarkFigure5Sweep             — Figure 5 parameter sweep
+//	E7 BenchmarkFullParameterSweep       — extended 8-combination sweep
+//	A1 BenchmarkSteinerExactVsHeuristic  — exact Steiner vs backward search
+//	A2 BenchmarkHeapSizeAblation         — output-heap size vs latency
+//	A3 BenchmarkBackEdgeScalingAblation  — §2.1 indegree scaling on/off
+//	A4 BenchmarkProximityBaseline        — Goldman-style baseline vs BANKS
+//
+// Paper-scale fixtures (≈100K nodes / 300K edges) are built once and
+// shared; the sweeps use the small dataset so a full -bench=. run stays
+// tractable.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/eval"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/steiner"
+)
+
+type benchFixture struct {
+	db *sqldb.Database
+	g  *graph.Graph
+	ix *index.Index
+	s  *core.Searcher
+}
+
+var (
+	paperOnce sync.Once
+	paperFix  *benchFixture
+	smallOnce sync.Once
+	smallFix  *benchFixture
+)
+
+func paperFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	paperOnce.Do(func() { paperFix = buildFixture(b, datagen.PaperScaleDBLP()) })
+	if paperFix == nil {
+		b.Fatal("paper fixture failed")
+	}
+	return paperFix
+}
+
+func smallFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	smallOnce.Do(func() { smallFix = buildFixture(b, datagen.SmallDBLP()) })
+	if smallFix == nil {
+		b.Fatal("small fixture failed")
+	}
+	return smallFix
+}
+
+func buildFixture(b *testing.B, cfg datagen.DBLPConfig) *benchFixture {
+	b.Helper()
+	db, err := datagen.BuildDBLP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := index.Build(db, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchFixture{db: db, g: g, ix: ix, s: core.NewSearcher(g, ix)}
+}
+
+func dblpOpts() *core.Options {
+	o := core.DefaultOptions()
+	o.ExcludedRootTables = []string{"Writes", "Cites"}
+	return o
+}
+
+// --- E1: Figure 2 ---
+
+// BenchmarkFigure2QuerySoumenSunita times the query whose result the paper
+// shows in Figure 2, on the paper-scale (≈100K node) graph.
+func BenchmarkFigure2QuerySoumenSunita(b *testing.B) {
+	f := paperFixture(b)
+	opts := dblpOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answers, err := f.s.Search([]string{"soumen", "sunita"}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// --- E2: §5.1 anecdotes ---
+
+func BenchmarkAnecdoteQueries(b *testing.B) {
+	queries := map[string][]string{
+		"mohan":          {"mohan"},
+		"transaction":    {"transaction"},
+		"soumen-sunita":  {"soumen", "sunita"},
+		"seltzer-sunita": {"seltzer", "sunita"},
+	}
+	for name, terms := range queries {
+		b.Run(name, func(b *testing.B) {
+			f := paperFixture(b)
+			opts := dblpOpts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.s.Search(terms, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3: §5.2 space ---
+
+// BenchmarkGraphMemory reports the size metrics of the §5.2 space
+// experiment: the paper measured ~120 MB for a 100K node / 300K edge graph
+// in Java; the bytes/node metric makes the comparison hardware-neutral.
+func BenchmarkGraphMemory(b *testing.B) {
+	f := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.g.MemoryFootprint()
+	}
+	b.ReportMetric(float64(f.g.NumNodes()), "nodes")
+	b.ReportMetric(float64(f.g.NumArcs()), "arcs")
+	b.ReportMetric(float64(f.g.MemoryFootprint()), "graph-bytes")
+	b.ReportMetric(float64(f.g.MemoryFootprint())/float64(f.g.NumNodes()), "bytes/node")
+}
+
+// --- E4: §5.2 load time ---
+
+// BenchmarkGraphLoad times building the data graph from the database (the
+// paper: ~2 minutes for the Java prototype at this scale).
+func BenchmarkGraphLoad(b *testing.B) {
+	f := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := graph.Build(f.db, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkIndexBuild times keyword index construction, the other half of
+// the load pipeline.
+func BenchmarkIndexBuild(b *testing.B) {
+	f := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := index.Build(f.db, f.g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.NumTerms() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// --- E5: §5.2 query latency by class ---
+
+func BenchmarkQueryClasses(b *testing.B) {
+	classes := []struct {
+		name  string
+		terms []string
+	}{
+		{"coauthor-pair", []string{"soumen", "sunita"}},
+		{"common-coauthor", []string{"seltzer", "sunita"}},
+		{"author-and-title", []string{"gray", "concepts"}},
+		{"title-words", []string{"mining", "surprising", "patterns"}},
+		{"single-author", []string{"mohan"}},
+		{"single-title-word", []string{"transaction"}},
+		{"three-coauthors", []string{"soumen", "sunita", "byron"}},
+	}
+	for _, c := range classes {
+		b.Run(c.name, func(b *testing.B) {
+			f := paperFixture(b)
+			opts := dblpOpts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.s.Search(c.terms, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6: Figure 5 ---
+
+// BenchmarkFigure5Sweep runs the whole λ × EdgeLog sweep (7 queries × 10
+// parameter settings) on the small dataset and reports the best and worst
+// scaled error alongside the timing.
+func BenchmarkFigure5Sweep(b *testing.B) {
+	f := smallFixture(b)
+	queries, err := eval.DBLPSuite(f.db, f.g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var points []eval.SweepPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err = eval.SweepFigure5(f.s, queries, dblpOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	best, worst := points[0].Scaled, points[0].Scaled
+	for _, p := range points {
+		if p.Scaled < best {
+			best = p.Scaled
+		}
+		if p.Scaled > worst {
+			worst = p.Scaled
+		}
+	}
+	b.ReportMetric(best, "best-error")
+	b.ReportMetric(worst, "worst-error")
+}
+
+// --- E7: extended sweep ---
+
+func BenchmarkFullParameterSweep(b *testing.B) {
+	f := smallFixture(b)
+	queries, err := eval.DBLPSuite(f.db, f.g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.SweepFull(f.s, queries, dblpOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A1: exact Steiner vs heuristic ---
+
+func BenchmarkSteinerExactVsHeuristic(b *testing.B) {
+	f := smallFixture(b)
+	soumen := f.ix.Lookup("soumen").Nodes
+	sunita := f.ix.Lookup("sunita").Nodes
+	if len(soumen) == 0 || len(sunita) == 0 {
+		b.Fatal("missing terminals")
+	}
+	b.Run("exact-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w, _, err := steiner.MinConnectionTree(f.g, [][]graph.NodeID{soumen, sunita})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w <= 0 {
+				b.Fatal("degenerate weight")
+			}
+		}
+	})
+	b.Run("backward-expanding", func(b *testing.B) {
+		opts := dblpOpts()
+		opts.Score = core.ScoreOptions{Lambda: 0}
+		for i := 0; i < b.N; i++ {
+			if _, err := f.s.Search([]string{"soumen", "sunita"}, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- A2: output heap size ---
+
+func BenchmarkHeapSizeAblation(b *testing.B) {
+	for _, size := range []int{1, 10, 20, 100} {
+		b.Run(benchName("heap", size), func(b *testing.B) {
+			f := paperFixture(b)
+			opts := dblpOpts()
+			opts.HeapSize = size
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.s.Search([]string{"soumen", "sunita"}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A3: backward-edge indegree scaling ---
+
+func BenchmarkBackEdgeScalingAblation(b *testing.B) {
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scaled := range []bool{true, false} {
+		name := "scaled"
+		if !scaled {
+			name = "unscaled"
+		}
+		b.Run(name, func(b *testing.B) {
+			g, err := graph.Build(db, &graph.BuildOptions{ScaleBackEdges: scaled})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix, err := index.Build(db, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := core.NewSearcher(g, ix)
+			opts := dblpOpts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search([]string{"seltzer", "sunita"}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A4: Goldman proximity baseline ---
+
+func BenchmarkProximityBaseline(b *testing.B) {
+	f := paperFixture(b)
+	soumen := f.ix.Lookup("soumen").Nodes
+	sunita := f.ix.Lookup("sunita").Nodes
+	b.Run("goldman-proximity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := steiner.ProximitySearch(f.g, "Paper", [][]graph.NodeID{soumen, sunita}, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+	b.Run("banks", func(b *testing.B) {
+		opts := dblpOpts()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.s.Search([]string{"soumen", "sunita"}, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- substrate microbenchmarks ---
+
+func BenchmarkDatasetBuildSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := datagen.BuildDBLP(datagen.SmallDBLP()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeywordLookup(b *testing.B) {
+	f := paperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := f.ix.Lookup("transaction"); len(m.Nodes) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "-0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + "-" + string(buf[i:])
+}

@@ -1,0 +1,99 @@
+// Command banks-sqlsh is an interactive SQL shell over the embedded
+// engine, optionally preloaded with one of the built-in datasets. It
+// demonstrates that the storage substrate is a usable database on its own.
+//
+// Usage:
+//
+//	banks-sqlsh [-data dblp|thesis|tpcd|empty] [-scale small|paper]
+//	> SELECT name FROM author WHERE name LIKE '%gray%';
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+)
+
+func main() {
+	data := flag.String("data", "empty", "dataset to preload: dblp, thesis, tpcd or empty")
+	scale := flag.String("scale", "small", "dataset scale: small or paper")
+	flag.Parse()
+
+	var db *sqldb.Database
+	var err error
+	switch *data {
+	case "empty":
+		db = sqldb.NewDatabase()
+	case "dblp":
+		cfg := datagen.SmallDBLP()
+		if *scale == "paper" {
+			cfg = datagen.PaperScaleDBLP()
+		}
+		db, err = datagen.BuildDBLP(cfg)
+	case "thesis":
+		cfg := datagen.SmallThesis()
+		if *scale == "paper" {
+			cfg = datagen.PaperScaleThesis()
+		}
+		db, err = datagen.BuildThesis(cfg)
+	case "tpcd":
+		db, err = datagen.BuildTPCD(datagen.SmallTPCD())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *data)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	engine := sqlexec.New(db)
+
+	fmt.Println("banks-sqlsh — embedded BANKS SQL shell. Statements end with ';', \\q quits, \\d lists tables.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 {
+			switch trimmed {
+			case "\\q", "exit", "quit":
+				return
+			case "\\d":
+				for _, name := range db.TableNames() {
+					t := db.Table(name)
+					fmt.Printf("%-24s %6d rows\n", name, t.Len())
+				}
+				continue
+			case "":
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt = "... "
+			continue
+		}
+		prompt = "> "
+		sql := buf.String()
+		buf.Reset()
+		res, err := engine.Execute(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(sqlexec.FormatTable(res))
+	}
+}

@@ -1,0 +1,119 @@
+// Command banks-web serves the BANKS web interface — keyword search plus
+// the Section 4 browsing system — over one of the built-in datasets.
+//
+// Usage:
+//
+//	banks-web [-data dblp|thesis|tpcd] [-scale small|paper] [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/banksdb/banks/internal/browse"
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+	"github.com/banksdb/banks/internal/web"
+)
+
+func main() {
+	data := flag.String("data", "thesis", "dataset: dblp, thesis or tpcd")
+	scale := flag.String("scale", "small", "dataset scale: small or paper")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	db, excluded, err := loadDataset(*data, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := index.Build(db, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s/%s: %s, %d index terms in %v", *data, *scale, g, ix.NumTerms(), time.Since(start))
+
+	// Seed a few demo templates so /template has content.
+	if err := seedTemplates(db, *data); err != nil {
+		log.Printf("seeding templates: %v", err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.ExcludedRootTables = excluded
+	srv := web.NewServer(db, core.NewSearcher(g, ix), opts)
+	log.Printf("BANKS web UI on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func loadDataset(name, scale string) (*sqldb.Database, []string, error) {
+	paper := scale == "paper"
+	switch name {
+	case "dblp":
+		cfg := datagen.SmallDBLP()
+		if paper {
+			cfg = datagen.PaperScaleDBLP()
+		}
+		db, err := datagen.BuildDBLP(cfg)
+		return db, []string{"Writes", "Cites"}, err
+	case "thesis":
+		cfg := datagen.SmallThesis()
+		if paper {
+			cfg = datagen.PaperScaleThesis()
+		}
+		db, err := datagen.BuildThesis(cfg)
+		return db, nil, err
+	case "tpcd":
+		db, err := datagen.BuildTPCD(datagen.SmallTPCD())
+		return db, []string{"lineitem"}, err
+	}
+	return nil, nil, fmt.Errorf("banks-web: unknown dataset %q (want dblp, thesis or tpcd)", name)
+}
+
+func seedTemplates(db *sqldb.Database, data string) error {
+	engine := sqlexec.New(db)
+	var tpls []browse.Template
+	switch data {
+	case "thesis":
+		tpls = []browse.Template{
+			{Name: "students-by-program", Kind: browse.KindGroupBy, Table: "student",
+				Spec: map[string]string{"attrs": "progid,name"}},
+			{Name: "student-folders", Kind: browse.KindFolder, Table: "student",
+				Spec: map[string]string{"attrs": "progid,name"}},
+			{Name: "students-chart", Kind: browse.KindChart, Table: "student",
+				Spec: map[string]string{"label": "progid", "chart": "bar", "link": "students-by-program"}},
+			{Name: "programs-crosstab", Kind: browse.KindCrossTab, Table: "program",
+				Spec: map[string]string{"row": "deptid", "col": "name"}},
+		}
+	case "dblp":
+		tpls = []browse.Template{
+			{Name: "papers-by-year", Kind: browse.KindChart, Table: "Paper",
+				Spec: map[string]string{"label": "Year", "chart": "line"}},
+			{Name: "papers-drill", Kind: browse.KindGroupBy, Table: "Paper",
+				Spec: map[string]string{"attrs": "Year"}},
+		}
+	case "tpcd":
+		tpls = []browse.Template{
+			{Name: "orders-by-customer", Kind: browse.KindChart, Table: "orders",
+				Spec: map[string]string{"label": "custkey", "chart": "bar"}},
+		}
+	}
+	for _, t := range tpls {
+		if err := browse.SaveTemplate(engine, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Bibliography: the paper's running example. Loads a DBLP-style database
+// (Figure 1 schema) seeded with the entities behind the Section 5.1
+// anecdotes, then replays those queries:
+//
+//   - "mohan"          — prestige ranks C. Mohan above the other Mohans
+//   - "transaction"    — Gray's classics beat title-matching distractors
+//   - "soumen sunita"  — coauthors connect through their shared papers
+//   - "seltzer sunita" — a common coauthor (Stonebraker) bridges them
+package main
+
+import (
+	"fmt"
+	"log"
+
+	banks "github.com/banksdb/banks"
+)
+
+func main() {
+	db := banks.NewDatabase()
+	if err := db.ExecScript(schema); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.ExecScript(data); err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := banks.NewSystem(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := &banks.SearchOptions{
+		TopK:               5,
+		ExcludedRootTables: []string{"Writes", "Cites"},
+	}
+	for _, q := range []string{"mohan", "transaction", "soumen sunita", "seltzer sunita"} {
+		answers, err := sys.Search(q, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("results for %q:\n", q)
+		for _, a := range answers {
+			fmt.Print(a.Format())
+		}
+		fmt.Println()
+	}
+}
+
+const schema = `
+CREATE TABLE Paper  (PaperId TEXT PRIMARY KEY, PaperName TEXT);
+CREATE TABLE Author (AuthorId TEXT PRIMARY KEY, AuthorName TEXT);
+CREATE TABLE Writes (AuthorId TEXT REFERENCES Author, PaperId TEXT REFERENCES Paper);
+CREATE TABLE Cites  (Citing TEXT REFERENCES Paper WEIGHT 2, Cited TEXT REFERENCES Paper WEIGHT 2);
+`
+
+const data = `
+INSERT INTO Author VALUES
+	('SeltzerM', 'Margo Seltzer'),
+	('StonebrakerM', 'Michael Stonebraker'),
+	('DomB', 'Byron Dom'),
+	('SarawagiS', 'Sunita Sarawagi'),
+	('ChakrabartiS', 'Soumen Chakrabarti'),
+	('ReuterA', 'Andreas Reuter'),
+	('GrayJ', 'Jim Gray'),
+	('KamatM', 'Mohan Kamat'),
+	('AhujaM', 'Mohan Ahuja'),
+	('MohanC', 'C. Mohan');
+
+INSERT INTO Paper VALUES
+	('ChakrabartiSD98', 'Mining Surprising Patterns Using Temporal Description Length'),
+	('ChakrabartiS99', 'Scalable Mining of Sequential Surprise Measures'),
+	('Gray81', 'The Transaction Concept: Virtues and Limitations'),
+	('GrayR93', 'Transaction Processing: Concepts and Techniques'),
+	('StonebrakerS90', 'Read Optimized File Layouts and Logging'),
+	('StonebrakerS96', 'Federated Warehouse Maintenance Infrastructure'),
+	('Mohan92a', 'ARIES: A Recovery Method Supporting Fine-Granularity Locking'),
+	('Mohan92b', 'ARIES-IM: Concurrent Index Management'),
+	('Mohan94', 'Repeating History Beyond ARIES'),
+	('Ahuja90', 'Flooding Protocols For Broadcast Networks'),
+	('Kamat95', 'Replicated Object Placement'),
+	('Tx1', 'Transaction Routing In Replicated Systems'),
+	('Tx2', 'Nested Transaction Scheduling');
+
+INSERT INTO Writes VALUES
+	('ChakrabartiS', 'ChakrabartiSD98'), ('SarawagiS', 'ChakrabartiSD98'), ('DomB', 'ChakrabartiSD98'),
+	('ChakrabartiS', 'ChakrabartiS99'), ('SarawagiS', 'ChakrabartiS99'),
+	('GrayJ', 'Gray81'),
+	('GrayJ', 'GrayR93'), ('ReuterA', 'GrayR93'),
+	('StonebrakerM', 'StonebrakerS90'), ('SeltzerM', 'StonebrakerS90'),
+	('StonebrakerM', 'StonebrakerS96'), ('SarawagiS', 'StonebrakerS96'),
+	('MohanC', 'Mohan92a'), ('MohanC', 'Mohan92b'), ('MohanC', 'Mohan94'),
+	('AhujaM', 'Ahuja90'),
+	('KamatM', 'Kamat95'),
+	('StonebrakerM', 'Tx1'),
+	('AhujaM', 'Tx2');
+
+INSERT INTO Cites VALUES
+	('GrayR93', 'Gray81'), ('Mohan92a', 'Gray81'), ('Mohan92b', 'Gray81'),
+	('Mohan94', 'Gray81'), ('StonebrakerS90', 'Gray81'), ('Tx1', 'Gray81'),
+	('Tx2', 'Gray81'), ('ChakrabartiSD98', 'Gray81'),
+	('Mohan92a', 'GrayR93'), ('Mohan94', 'GrayR93'), ('Tx1', 'GrayR93'),
+	('Tx2', 'GrayR93'), ('StonebrakerS96', 'GrayR93'),
+	('Mohan92b', 'Mohan92a'), ('Mohan94', 'Mohan92a'), ('Tx1', 'Mohan92a'),
+	('ChakrabartiS99', 'ChakrabartiSD98');
+`

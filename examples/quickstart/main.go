@@ -1,0 +1,54 @@
+// Quickstart: build a three-table bibliography, ask a keyword query, print
+// the connection trees. This is the minimal end-to-end use of the public
+// API — no schema knowledge is needed at query time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	banks "github.com/banksdb/banks"
+)
+
+func main() {
+	db := banks.NewDatabase()
+	if err := db.ExecScript(`
+		CREATE TABLE author (id TEXT PRIMARY KEY, name TEXT);
+		CREATE TABLE paper  (id TEXT PRIMARY KEY, title TEXT);
+		CREATE TABLE writes (aid TEXT REFERENCES author, pid TEXT REFERENCES paper);
+
+		INSERT INTO author VALUES
+			('a1', 'Soumen Chakrabarti'),
+			('a2', 'Sunita Sarawagi'),
+			('a3', 'Byron Dom'),
+			('a4', 'Rakesh Agrawal');
+		INSERT INTO paper VALUES
+			('p1', 'Mining Surprising Patterns Using Temporal Description Length'),
+			('p2', 'Fast Algorithms for Mining Association Rules');
+		INSERT INTO writes VALUES
+			('a1', 'p1'), ('a2', 'p1'), ('a3', 'p1'),
+			('a4', 'p2');
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := banks.NewSystem(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := sys.GraphStats()
+	fmt.Printf("data graph: %d nodes, %d directed edges\n\n", stats.Nodes, stats.Arcs)
+
+	// A keyword query naming two authors finds the paper connecting them,
+	// even though the connection spans three relations.
+	answers, err := sys.Search("sunita soumen", &banks.SearchOptions{
+		ExcludedRootTables: []string{"writes"}, // link tuples are poor information nodes
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`results for "sunita soumen":`)
+	for _, a := range answers {
+		fmt.Print(a.Format())
+	}
+}

@@ -1,0 +1,71 @@
+package banks
+
+import (
+	"testing"
+)
+
+func TestPublicSearchQualified(t *testing.T) {
+	_, sys := newQuickstartSystem(t)
+	answers, err := sys.SearchQualified("author:sunita author:soumen", false,
+		&SearchOptions{ExcludedRootTables: []string{"writes"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if answers[0].Root.Table != "paper" {
+		t.Errorf("root = %s", answers[0].Root.Table)
+	}
+	// A qualifier that matches nothing.
+	answers, err = sys.SearchQualified("paper:sunita", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("paper:sunita matched %d answers", len(answers))
+	}
+	if _, err := sys.SearchQualified("   ", false, nil); err == nil {
+		t.Error("empty query should error")
+	}
+}
+
+func TestPublicSearchPrefix(t *testing.T) {
+	_, sys := newQuickstartSystem(t)
+	answers, err := sys.SearchQualified("sarawag", true,
+		&SearchOptions{ExcludedRootTables: []string{"writes"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("prefix answers = %d", len(answers))
+	}
+	if answers[0].Root.Values[1] != "Sunita Sarawagi" {
+		t.Errorf("root = %+v", answers[0].Root)
+	}
+}
+
+func TestPublicSearchGrouped(t *testing.T) {
+	_, sys := newQuickstartSystem(t)
+	groups, err := sys.SearchGrouped("sunita soumen",
+		&SearchOptions{ExcludedRootTables: []string{"writes"}, HeapSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	total := 0
+	for _, g := range groups {
+		if g.Shape == "" {
+			t.Error("empty shape")
+		}
+		total += len(g.Answers)
+	}
+	if total == 0 {
+		t.Error("no answers in groups")
+	}
+	if _, err := sys.SearchGrouped("", nil); err == nil {
+		t.Error("empty query should error")
+	}
+}

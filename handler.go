@@ -1,0 +1,19 @@
+package banks
+
+import (
+	"net/http"
+
+	"github.com/banksdb/banks/internal/web"
+)
+
+// Handler returns the BANKS web interface over this system: keyword search
+// with hyperlinked connection trees, the Section 4 browsing views (column
+// controls, FK hyperlinks, backward reference browsing), schema display
+// and the display templates. Mount it on any mux or serve it directly:
+//
+//	http.ListenAndServe(":8080", sys.Handler(nil))
+//
+// opts sets the default search parameters for the /search endpoint.
+func (s *System) Handler(opts *SearchOptions) http.Handler {
+	return web.NewServer(s.db.inner, s.searcher, opts.toCore())
+}

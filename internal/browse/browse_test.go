@@ -1,0 +1,250 @@
+package browse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+)
+
+// newThesisEngine loads the small thesis database — the dataset behind the
+// paper's Figure 4 browsing session.
+func newThesisEngine(t *testing.T) *sqlexec.Engine {
+	t.Helper()
+	db, err := datagen.BuildThesis(datagen.SmallThesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sqlexec.New(db)
+}
+
+func TestViewPlainTable(t *testing.T) {
+	e := newThesisEngine(t)
+	v := &View{Table: "student", PageSize: 10}
+	res, err := v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("rows = %d, want page of 10", len(res.Rows))
+	}
+	if len(res.Columns) != 3 {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestViewPagination(t *testing.T) {
+	e := newThesisEngine(t)
+	p0 := &View{Table: "student", PageSize: 5, Page: 0}
+	p1 := &View{Table: "student", PageSize: 5, Page: 1}
+	r0, err := p0.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p1.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Rows[0][0].String() == r1.Rows[0][0].String() {
+		t.Error("pages should differ")
+	}
+}
+
+func TestViewDropColumn(t *testing.T) {
+	e := newThesisEngine(t)
+	v := &View{Table: "student", Dropped: []string{"progid"}}
+	res, err := v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Columns {
+		if strings.EqualFold(c, "progid") {
+			t.Error("dropped column still present")
+		}
+	}
+	// Dropping everything is an error.
+	v = &View{Table: "student", Dropped: []string{"rollno", "name", "progid"}}
+	if _, err := v.Run(e); err == nil {
+		t.Error("dropping all columns should fail")
+	}
+}
+
+func TestViewFilter(t *testing.T) {
+	e := newThesisEngine(t)
+	v := &View{Table: "student", Filters: []Filter{{Column: "rollno", Op: "=", Value: datagen.StudentAditya}}}
+	res, err := v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Numeric coercion on an int column.
+	v = &View{Table: "department", Filters: []Filter{{Column: "deptid", Op: "<=", Value: "2"}}}
+	res, err = v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("dept rows = %d, want 2", len(res.Rows))
+	}
+	// LIKE filter.
+	v = &View{Table: "department", Filters: []Filter{{Column: "name", Op: "LIKE", Value: "%computer%"}}}
+	res, err = v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("computer dept rows = %d", len(res.Rows))
+	}
+	// Invalid operator rejected (not interpolated!).
+	v = &View{Table: "student", Filters: []Filter{{Column: "name", Op: "; DROP TABLE", Value: "x"}}}
+	if _, err := v.Run(e); err == nil {
+		t.Error("invalid op should fail")
+	}
+}
+
+// TestBrowseFigure4Session reproduces the Figure 4 session: start from the
+// student relation, join in the thesis... the paper joins thesis with
+// student via the thesis.rollno FK; we browse thesis and join student in,
+// then drop columns.
+func TestBrowseFigure4Session(t *testing.T) {
+	e := newThesisEngine(t)
+	v := &View{
+		Table:   "thesis",
+		Joins:   []Join{{FKColumn: "rollno"}, {FKColumn: "advisor"}},
+		Dropped: []string{"thesisid"},
+		Filters: []Filter{{Column: "rollno", Op: "=", Value: datagen.StudentAditya}},
+	}
+	res, err := v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Joined columns are qualified with the referenced table's name.
+	joined := strings.Join(res.Columns, ",")
+	if !strings.Contains(joined, "student.name") || !strings.Contains(joined, "faculty.name") {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if strings.Contains(joined, "thesisid") {
+		t.Error("dropped column survived the join")
+	}
+	// The row shows Aditya's advisor: S. Sudarshan.
+	row := strings.Join(rowText(res, 0), "|")
+	if !strings.Contains(row, "Sudarshan") {
+		t.Errorf("row = %s", row)
+	}
+}
+
+func rowText(res *sqlexec.Result, i int) []string {
+	var out []string
+	for _, v := range res.Rows[i] {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+func TestViewGroupBy(t *testing.T) {
+	e := newThesisEngine(t)
+	v := &View{Table: "student", GroupBy: "progid"}
+	res, err := v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[1] != "count" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no groups")
+	}
+	// Ordered by count descending.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].I > res.Rows[i-1][1].I {
+			t.Error("groups not sorted by count")
+		}
+	}
+}
+
+func TestViewOrderBy(t *testing.T) {
+	e := newThesisEngine(t)
+	v := &View{Table: "department", OrderBy: "name", Desc: true, PageSize: 100}
+	res, err := v.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].S > res.Rows[i-1][1].S {
+			t.Error("not sorted descending")
+		}
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	e := newThesisEngine(t)
+	cases := []*View{
+		{Table: "nosuch"},
+		{Table: "student", GroupBy: "bogus"},
+		{Table: "student", OrderBy: "bogus"},
+		{Table: "student", Filters: []Filter{{Column: "bogus", Op: "=", Value: "1"}}},
+		{Table: "student", Joins: []Join{{FKColumn: "name"}}}, // not an FK
+	}
+	for i, v := range cases {
+		if _, err := v.Run(e); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestLinksFor(t *testing.T) {
+	e := newThesisEngine(t)
+	db := e.DB()
+	// Aditya's thesis links out to its student and advisor; the student
+	// tuple links back from the thesis relation.
+	thesisTbl := db.Table("thesis")
+	rid := thesisTbl.LookupPK([]sqldb.Value{sqldb.Text(datagen.ThesisAditya)})
+	if rid < 0 {
+		t.Fatal("no Aditya thesis")
+	}
+	links, err := LinksFor(db, "thesis", rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links.Out) != 2 {
+		t.Fatalf("out links = %+v", links.Out)
+	}
+	targets := map[string]string{}
+	for _, l := range links.Out {
+		targets[l.RefTable] = l.RefValue
+	}
+	if targets["student"] != datagen.StudentAditya || targets["faculty"] != datagen.FacSudarshan {
+		t.Errorf("out link targets = %v", targets)
+	}
+
+	// Backward browsing from the student tuple.
+	stuTbl := db.Table("student")
+	srid := stuTbl.LookupPK([]sqldb.Value{sqldb.Text(datagen.StudentAditya)})
+	slinks, err := LinksFor(db, "student", srid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundThesis := false
+	for _, in := range slinks.In {
+		if in.Table == "thesis" && len(in.RIDs) == 1 {
+			foundThesis = true
+		}
+	}
+	if !foundThesis {
+		t.Errorf("in links = %+v, want thesis back-reference", slinks.In)
+	}
+
+	if _, err := LinksFor(db, "nosuch", 0); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := LinksFor(db, "thesis", 999999); err == nil {
+		t.Error("bad rid should fail")
+	}
+}

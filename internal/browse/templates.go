@@ -1,0 +1,302 @@
+package browse
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+)
+
+// TemplateKind enumerates the four predefined display templates of §4.
+type TemplateKind string
+
+// The four template kinds.
+const (
+	KindCrossTab TemplateKind = "crosstab" // OLAP-style cross tabulation
+	KindGroupBy  TemplateKind = "groupby"  // hierarchical drill-down view
+	KindFolder   TemplateKind = "folder"   // folder view (same data, tree rendering)
+	KindChart    TemplateKind = "chart"    // bar / line / pie chart
+)
+
+// Template is one customized template instance. Instances are stored in
+// the database itself (table banks_templates) and accessed by name, as in
+// the paper ("template instances are customized, stored in the database,
+// and given a hyperlink name").
+type Template struct {
+	Name  string
+	Kind  TemplateKind
+	Table string
+	// Spec holds kind-specific settings:
+	//   crosstab: row, col, agg (COUNT/SUM/AVG/MIN/MAX), measure
+	//   groupby/folder: attrs (comma-separated drill-down attributes)
+	//   chart: label, value ("" = COUNT(*)), chart (bar/line/pie)
+	// All kinds accept link: the name of another template to compose to
+	// when a value is clicked.
+	Spec map[string]string
+}
+
+// templateTable is the storage relation for template instances.
+const templateTable = "banks_templates"
+
+func ensureTemplateTable(engine *sqlexec.Engine) error {
+	if engine.DB().Table(templateTable) != nil {
+		return nil
+	}
+	_, err := engine.Execute(`CREATE TABLE ` + templateTable + ` (
+		name TEXT PRIMARY KEY,
+		kind TEXT NOT NULL,
+		tbl  TEXT NOT NULL,
+		spec TEXT
+	)`)
+	return err
+}
+
+// SaveTemplate stores (or replaces) a template instance in the database.
+func SaveTemplate(engine *sqlexec.Engine, t Template) error {
+	switch t.Kind {
+	case KindCrossTab, KindGroupBy, KindFolder, KindChart:
+	default:
+		return fmt.Errorf("browse: unknown template kind %q", t.Kind)
+	}
+	if t.Name == "" || t.Table == "" {
+		return fmt.Errorf("browse: template needs a name and a table")
+	}
+	if err := ensureTemplateTable(engine); err != nil {
+		return err
+	}
+	spec, err := json.Marshal(t.Spec)
+	if err != nil {
+		return err
+	}
+	if _, err := engine.Execute("DELETE FROM "+templateTable+" WHERE name = ?", sqldb.Text(t.Name)); err != nil {
+		return err
+	}
+	_, err = engine.Execute("INSERT INTO "+templateTable+" VALUES (?, ?, ?, ?)",
+		sqldb.Text(t.Name), sqldb.Text(string(t.Kind)), sqldb.Text(t.Table), sqldb.Text(string(spec)))
+	return err
+}
+
+// LoadTemplate fetches a template instance by name.
+func LoadTemplate(engine *sqlexec.Engine, name string) (Template, error) {
+	if engine.DB().Table(templateTable) == nil {
+		return Template{}, fmt.Errorf("browse: no templates defined")
+	}
+	res, err := engine.Execute("SELECT kind, tbl, spec FROM "+templateTable+" WHERE name = ?", sqldb.Text(name))
+	if err != nil {
+		return Template{}, err
+	}
+	if len(res.Rows) == 0 {
+		return Template{}, fmt.Errorf("browse: no template %q", name)
+	}
+	t := Template{
+		Name:  name,
+		Kind:  TemplateKind(res.Rows[0][0].S),
+		Table: res.Rows[0][1].S,
+		Spec:  map[string]string{},
+	}
+	if s := res.Rows[0][2].S; s != "" {
+		if err := json.Unmarshal([]byte(s), &t.Spec); err != nil {
+			return Template{}, fmt.Errorf("browse: template %q has bad spec: %w", name, err)
+		}
+	}
+	return t, nil
+}
+
+// ListTemplates returns the stored template names in order.
+func ListTemplates(engine *sqlexec.Engine) ([]string, error) {
+	if engine.DB().Table(templateTable) == nil {
+		return nil, nil
+	}
+	res, err := engine.Execute("SELECT name FROM " + templateTable + " ORDER BY name")
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		names = append(names, r[0].S)
+	}
+	return names, nil
+}
+
+// --- cross-tab ---
+
+// CrossTab is a rendered cross tabulation.
+type CrossTab struct {
+	RowAttr, ColAttr string
+	RowVals, ColVals []string
+	Cells            map[[2]string]string // (row, col) -> aggregated value
+}
+
+// RenderCrossTab executes a crosstab template.
+func RenderCrossTab(engine *sqlexec.Engine, t Template) (*CrossTab, error) {
+	row, col := t.Spec["row"], t.Spec["col"]
+	if row == "" || col == "" {
+		return nil, fmt.Errorf("browse: crosstab %q needs row and col", t.Name)
+	}
+	agg := strings.ToUpper(t.Spec["agg"])
+	if agg == "" {
+		agg = "COUNT"
+	}
+	measure := t.Spec["measure"]
+	var aggExpr string
+	if agg == "COUNT" && measure == "" {
+		aggExpr = "COUNT(*)"
+	} else {
+		if measure == "" {
+			return nil, fmt.Errorf("browse: crosstab %q: %s needs a measure", t.Name, agg)
+		}
+		aggExpr = fmt.Sprintf("%s(%s)", agg, quoteIdent(measure))
+	}
+	sql := fmt.Sprintf("SELECT %s, %s, %s FROM %s GROUP BY %s, %s",
+		quoteIdent(row), quoteIdent(col), aggExpr,
+		quoteIdent(t.Table), quoteIdent(row), quoteIdent(col))
+	res, err := engine.Execute(sql)
+	if err != nil {
+		return nil, err
+	}
+	ct := &CrossTab{RowAttr: row, ColAttr: col, Cells: map[[2]string]string{}}
+	seenRow, seenCol := map[string]bool{}, map[string]bool{}
+	for _, r := range res.Rows {
+		rv, cv := r[0].String(), r[1].String()
+		if !seenRow[rv] {
+			seenRow[rv] = true
+			ct.RowVals = append(ct.RowVals, rv)
+		}
+		if !seenCol[cv] {
+			seenCol[cv] = true
+			ct.ColVals = append(ct.ColVals, cv)
+		}
+		ct.Cells[[2]string{rv, cv}] = r[2].String()
+	}
+	return ct, nil
+}
+
+// --- hierarchical group-by / folder view ---
+
+// HierLevel is one level of a drill-down: either the distinct values of
+// the next grouping attribute (with counts), or — past the last attribute
+// — the matching tuples.
+type HierLevel struct {
+	Attr   string          // attribute grouped at this level ("" at the leaf)
+	Values []HierVal       // groups (when Attr != "")
+	Leaves *sqlexec.Result // tuples (when Attr == "")
+	Path   []string        // the drill-down values leading here
+}
+
+// HierVal is one group value with its tuple count.
+type HierVal struct {
+	Value string
+	Count int64
+}
+
+// RenderHierarchy executes a groupby/folder template at the given
+// drill-down path: path[i] fixes the i-th grouping attribute's value. With
+// len(path) == len(attrs) the matching tuples are returned.
+func RenderHierarchy(engine *sqlexec.Engine, t Template, path []string) (*HierLevel, error) {
+	attrs := splitAttrs(t.Spec["attrs"])
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("browse: template %q has no attrs", t.Name)
+	}
+	if len(path) > len(attrs) {
+		return nil, fmt.Errorf("browse: drill-down deeper than attrs")
+	}
+	tbl := engine.DB().Table(t.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, t.Table)
+	}
+	for _, a := range attrs {
+		if tbl.ColumnIndex(a) < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", sqldb.ErrNoColumn, t.Table, a)
+		}
+	}
+	var where []string
+	var params []sqldb.Value
+	for i, val := range path {
+		where = append(where, fmt.Sprintf("%s = ?", quoteIdent(attrs[i])))
+		params = append(params, filterValue(tbl, Filter{Column: attrs[i], Value: val}))
+	}
+	whereSQL := ""
+	if len(where) > 0 {
+		whereSQL = " WHERE " + strings.Join(where, " AND ")
+	}
+	lvl := &HierLevel{Path: append([]string(nil), path...)}
+	if len(path) == len(attrs) {
+		res, err := engine.Execute("SELECT * FROM "+quoteIdent(t.Table)+whereSQL, params...)
+		if err != nil {
+			return nil, err
+		}
+		lvl.Leaves = res
+		return lvl, nil
+	}
+	next := attrs[len(path)]
+	lvl.Attr = next
+	sql := fmt.Sprintf("SELECT %s, COUNT(*) FROM %s%s GROUP BY %s ORDER BY %s",
+		quoteIdent(next), quoteIdent(t.Table), whereSQL, quoteIdent(next), quoteIdent(next))
+	res, err := engine.Execute(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		lvl.Values = append(lvl.Values, HierVal{Value: r[0].String(), Count: r[1].I})
+	}
+	return lvl, nil
+}
+
+func splitAttrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// --- chart ---
+
+// Chart is a rendered chart template: labels with numeric values, plus the
+// chart style (bar, line or pie).
+type Chart struct {
+	Style  string
+	Labels []string
+	Values []float64
+}
+
+// RenderChart executes a chart template: label column against either
+// COUNT(*) or an aggregated value column.
+func RenderChart(engine *sqlexec.Engine, t Template) (*Chart, error) {
+	label := t.Spec["label"]
+	if label == "" {
+		return nil, fmt.Errorf("browse: chart %q needs a label attribute", t.Name)
+	}
+	style := t.Spec["chart"]
+	switch style {
+	case "bar", "line", "pie":
+	case "":
+		style = "bar"
+	default:
+		return nil, fmt.Errorf("browse: unknown chart style %q", style)
+	}
+	valueExpr := "COUNT(*)"
+	if v := t.Spec["value"]; v != "" {
+		agg := strings.ToUpper(t.Spec["agg"])
+		if agg == "" {
+			agg = "SUM"
+		}
+		valueExpr = fmt.Sprintf("%s(%s)", agg, quoteIdent(v))
+	}
+	sql := fmt.Sprintf("SELECT %s, %s FROM %s GROUP BY %s ORDER BY %s",
+		quoteIdent(label), valueExpr, quoteIdent(t.Table), quoteIdent(label), quoteIdent(label))
+	res, err := engine.Execute(sql)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Chart{Style: style}
+	for _, r := range res.Rows {
+		ch.Labels = append(ch.Labels, r[0].String())
+		ch.Values = append(ch.Values, r[1].AsFloat())
+	}
+	return ch, nil
+}

@@ -1,0 +1,246 @@
+// Package browse implements the browsing subsystem of Section 4 of the
+// paper: automatically generated browsable views of relations and query
+// results. Every foreign key value becomes a hyperlink, primary keys can
+// be browsed backwards to referencing tuples, and each displayed table
+// carries controls to project columns away, impose selections, join in
+// referenced tables, group by a column, sort, and paginate.
+//
+// A View is the state of one such browsing session; it compiles to a
+// SELECT statement executed by the engine, so browsing exercises exactly
+// the SQL path an end user could type.
+package browse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+)
+
+// Filter is one selection imposed on a column. Op is one of = <> < <= > >=
+// LIKE.
+type Filter struct {
+	Column string
+	Op     string
+	Value  string
+}
+
+var validOps = map[string]bool{
+	"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true,
+	"LIKE": true,
+}
+
+// Join is one foreign-key join-in: the referenced table is joined through
+// the FK column and its columns displayed alongside ("clicking on join
+// results in the referenced table being joined in").
+type Join struct {
+	FKColumn string // FK column of the base table
+}
+
+// View is one browsing state over a base table.
+type View struct {
+	Table    string
+	Dropped  []string // columns projected away
+	Filters  []Filter
+	Joins    []Join
+	GroupBy  string // when set, show distinct values with counts
+	OrderBy  string
+	Desc     bool
+	Page     int // 0-based
+	PageSize int // default 25
+}
+
+// DefaultPageSize is the pagination unit of the browsing UI.
+const DefaultPageSize = 25
+
+func (v *View) pageSize() int {
+	if v.PageSize > 0 {
+		return v.PageSize
+	}
+	return DefaultPageSize
+}
+
+func quoteIdent(s string) string { return `"` + strings.ReplaceAll(s, `"`, ``) + `"` }
+
+// SQL compiles the view to a SELECT statement against db's schema. The
+// base table is aliased t0; joined tables t1, t2, ... in join order.
+func (v *View) SQL(db *sqldb.Database) (string, []sqldb.Value, error) {
+	base := db.Table(v.Table)
+	if base == nil {
+		return "", nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, v.Table)
+	}
+	dropped := make(map[string]bool, len(v.Dropped))
+	for _, d := range v.Dropped {
+		dropped[strings.ToLower(d)] = true
+	}
+
+	var b strings.Builder
+	var params []sqldb.Value
+
+	type joined struct {
+		alias string
+		t     *sqldb.Table
+	}
+	tables := []joined{{alias: "t0", t: base}}
+	var joinClauses []string
+	for i, j := range v.Joins {
+		var fk *sqldb.ForeignKey
+		for fi := range base.Schema().ForeignKeys {
+			f := &base.Schema().ForeignKeys[fi]
+			if strings.EqualFold(f.Column, j.FKColumn) {
+				fk = f
+				break
+			}
+		}
+		if fk == nil {
+			return "", nil, fmt.Errorf("browse: %s has no foreign key on column %q", v.Table, j.FKColumn)
+		}
+		rt := db.Table(fk.RefTable)
+		if rt == nil {
+			return "", nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, fk.RefTable)
+		}
+		alias := fmt.Sprintf("t%d", i+1)
+		joinClauses = append(joinClauses, fmt.Sprintf(" LEFT JOIN %s %s ON %s.%s = t0.%s",
+			quoteIdent(rt.Name()), alias, alias, quoteIdent(fk.RefColumn), quoteIdent(fk.Column)))
+		tables = append(tables, joined{alias: alias, t: rt})
+	}
+
+	if v.GroupBy != "" {
+		col := v.GroupBy
+		if base.ColumnIndex(col) < 0 {
+			return "", nil, fmt.Errorf("%w: %s.%s", sqldb.ErrNoColumn, v.Table, col)
+		}
+		fmt.Fprintf(&b, "SELECT t0.%s AS %s, COUNT(*) AS %s FROM %s t0",
+			quoteIdent(col), quoteIdent(col), quoteIdent("count"), quoteIdent(base.Name()))
+	} else {
+		var cols []string
+		for ti, jt := range tables {
+			for _, c := range jt.t.Schema().Columns {
+				if ti == 0 && dropped[strings.ToLower(c.Name)] {
+					continue
+				}
+				name := c.Name
+				if ti > 0 {
+					name = jt.t.Name() + "." + c.Name
+				}
+				cols = append(cols, fmt.Sprintf("%s.%s AS %s", jt.alias, quoteIdent(c.Name), quoteIdent(name)))
+			}
+		}
+		if len(cols) == 0 {
+			return "", nil, fmt.Errorf("browse: all columns of %s projected away", v.Table)
+		}
+		fmt.Fprintf(&b, "SELECT %s FROM %s t0", strings.Join(cols, ", "), quoteIdent(base.Name()))
+	}
+	for _, jc := range joinClauses {
+		b.WriteString(jc)
+	}
+
+	if len(v.Filters) > 0 {
+		b.WriteString(" WHERE ")
+		for i, f := range v.Filters {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			op := strings.ToUpper(f.Op)
+			if !validOps[op] {
+				return "", nil, fmt.Errorf("browse: invalid filter operator %q", f.Op)
+			}
+			if base.ColumnIndex(f.Column) < 0 {
+				return "", nil, fmt.Errorf("%w: %s.%s", sqldb.ErrNoColumn, v.Table, f.Column)
+			}
+			fmt.Fprintf(&b, "t0.%s %s ?", quoteIdent(f.Column), op)
+			params = append(params, filterValue(base, f))
+		}
+	}
+
+	if v.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY t0.%s ORDER BY count DESC, t0.%s",
+			quoteIdent(v.GroupBy), quoteIdent(v.GroupBy))
+	} else if v.OrderBy != "" {
+		if base.ColumnIndex(v.OrderBy) < 0 {
+			return "", nil, fmt.Errorf("%w: %s.%s", sqldb.ErrNoColumn, v.Table, v.OrderBy)
+		}
+		fmt.Fprintf(&b, " ORDER BY t0.%s", quoteIdent(v.OrderBy))
+		if v.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+
+	ps := v.pageSize()
+	fmt.Fprintf(&b, " LIMIT %d OFFSET %d", ps, v.Page*ps)
+	return b.String(), params, nil
+}
+
+// filterValue coerces the filter's textual value toward the column type so
+// numeric comparisons work; unparseable values stay text.
+func filterValue(t *sqldb.Table, f Filter) sqldb.Value {
+	ci := t.ColumnIndex(f.Column)
+	col := t.Schema().Columns[ci]
+	switch col.Type {
+	case sqldb.TypeInt:
+		if i, err := strconv.ParseInt(f.Value, 10, 64); err == nil {
+			return sqldb.Int(i)
+		}
+	case sqldb.TypeFloat:
+		if fl, err := strconv.ParseFloat(f.Value, 64); err == nil {
+			return sqldb.Float(fl)
+		}
+	case sqldb.TypeBool:
+		if b, err := strconv.ParseBool(f.Value); err == nil {
+			return sqldb.Bool(b)
+		}
+	}
+	return sqldb.Text(f.Value)
+}
+
+// Run compiles and executes the view.
+func (v *View) Run(engine *sqlexec.Engine) (*sqlexec.Result, error) {
+	sql, params, err := v.SQL(engine.DB())
+	if err != nil {
+		return nil, err
+	}
+	return engine.Execute(sql, params...)
+}
+
+// TupleLinks describes the hyperlinks of one displayed tuple: outgoing
+// links for every non-NULL foreign key value and incoming reference groups
+// for backward browsing.
+type TupleLinks struct {
+	Out []OutLink
+	In  []sqldb.Reference
+}
+
+// OutLink is one FK hyperlink.
+type OutLink struct {
+	Column   string
+	RefTable string
+	RefValue string
+}
+
+// LinksFor computes the hyperlinks of the tuple at (table, rid).
+func LinksFor(db *sqldb.Database, table string, rid sqldb.RID) (TupleLinks, error) {
+	t := db.Table(table)
+	if t == nil {
+		return TupleLinks{}, fmt.Errorf("%w: %s", sqldb.ErrNoTable, table)
+	}
+	row := t.Row(rid)
+	if row == nil {
+		return TupleLinks{}, fmt.Errorf("%w: %s rid %d", sqldb.ErrNoRow, table, rid)
+	}
+	var links TupleLinks
+	for _, fk := range t.Schema().ForeignKeys {
+		v := row[t.ColumnIndex(fk.Column)]
+		if v.IsNull() {
+			continue
+		}
+		links.Out = append(links.Out, OutLink{
+			Column:   fk.Column,
+			RefTable: fk.RefTable,
+			RefValue: v.String(),
+		})
+	}
+	links.In = db.Referencing(table, rid)
+	return links, nil
+}

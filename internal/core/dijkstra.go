@@ -1,0 +1,126 @@
+package core
+
+import (
+	"container/heap"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// sspIterator is the incremental single-source shortest path iterator of
+// Section 3: it runs Dijkstra from a keyword node over the *reversed*
+// edges, so that the distance it reports for a node v is the weight of the
+// shortest *forward* path v -> ... -> origin. Next() yields nodes in
+// nondecreasing distance, lazily, one at a time — which is what lets the
+// backward expanding search interleave |S| of these through a single
+// iterator heap.
+type sspIterator struct {
+	g      *graph.Graph
+	origin graph.NodeID
+
+	dist    map[graph.NodeID]float64      // settled distances
+	parent  map[graph.NodeID]graph.NodeID // next hop from node toward origin (forward direction)
+	pweight map[graph.NodeID]float64      // weight of the arc node -> parent[node]
+	tent    map[graph.NodeID]float64      // best tentative distances seen so far
+	pq      distHeap
+}
+
+type distEntry struct {
+	node graph.NodeID
+	d    float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func newSSPIterator(g *graph.Graph, origin graph.NodeID) *sspIterator {
+	it := &sspIterator{
+		g:       g,
+		origin:  origin,
+		dist:    make(map[graph.NodeID]float64),
+		parent:  make(map[graph.NodeID]graph.NodeID),
+		pweight: make(map[graph.NodeID]float64),
+		tent:    make(map[graph.NodeID]float64),
+	}
+	it.tent[origin] = 0
+	heap.Push(&it.pq, distEntry{node: origin, d: 0})
+	return it
+}
+
+// clean drops stale heap entries (lazy deletion).
+func (it *sspIterator) clean() {
+	for len(it.pq) > 0 {
+		top := it.pq[0]
+		if _, settled := it.dist[top.node]; settled {
+			heap.Pop(&it.pq)
+			continue
+		}
+		return
+	}
+}
+
+// Peek returns the next node and distance without consuming it.
+func (it *sspIterator) Peek() (graph.NodeID, float64, bool) {
+	it.clean()
+	if len(it.pq) == 0 {
+		return graph.NoNode, 0, false
+	}
+	return it.pq[0].node, it.pq[0].d, true
+}
+
+// Next settles and returns the closest unsettled node. After settling v it
+// relaxes the reverse edges into v: every forward arc u->v extends the
+// forward path u -> v -> ... -> origin.
+func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
+	it.clean()
+	if len(it.pq) == 0 {
+		return graph.NoNode, 0, false
+	}
+	top := heap.Pop(&it.pq).(distEntry)
+	v, d := top.node, top.d
+	it.dist[v] = d
+	for _, e := range it.g.In(v) {
+		u, w := e.To, e.W
+		if _, settled := it.dist[u]; settled {
+			continue
+		}
+		nd := d + w
+		if best, seen := it.tent[u]; !seen || nd < best {
+			it.tent[u] = nd
+			it.parent[u] = v
+			it.pweight[u] = w
+			heap.Push(&it.pq, distEntry{node: u, d: nd})
+		}
+	}
+	return v, d, true
+}
+
+// Dist returns the settled distance of v (forward path weight v->origin).
+func (it *sspIterator) Dist(v graph.NodeID) (float64, bool) {
+	d, ok := it.dist[v]
+	return d, ok
+}
+
+// PathEdges appends to dst the directed forward edges of the shortest path
+// v -> ... -> origin. v must be settled.
+func (it *sspIterator) PathEdges(v graph.NodeID, dst []TreeEdge) []TreeEdge {
+	for v != it.origin {
+		p, ok := it.parent[v]
+		if !ok {
+			return dst // origin unreachable; cannot happen for settled v
+		}
+		dst = append(dst, TreeEdge{From: v, To: p, W: it.pweight[v]})
+		v = p
+	}
+	return dst
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+func TestParseQualifiedTerm(t *testing.T) {
+	cases := []struct {
+		in         string
+		qual, bare string
+		ok         bool
+	}{
+		{"author:levy", "author", "levy", true},
+		{"plain", "", "plain", false},
+		{":levy", "", ":levy", false},
+		{"author:", "", "author:", false},
+		{"a:b:c", "a", "b:c", true},
+	}
+	for _, c := range cases {
+		q, bare, ok := parseQualifiedTerm(c.in)
+		if q != c.qual || bare != c.bare || ok != c.ok {
+			t.Errorf("parseQualifiedTerm(%q) = %q, %q, %v", c.in, q, bare, ok)
+		}
+	}
+}
+
+func TestSearchQualifiedByRelation(t *testing.T) {
+	f := newBibFixture(t)
+	// "mohan" matches only authors anyway, but "paper:aries" restricts the
+	// aries matches to the Paper relation (writes tuples contain the token
+	// in their FK text too, if ids collide; here it filters cleanly).
+	answers, err := f.s.SearchQualified(f.db, []string{"paper:aries"}, false, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %d, want the 2 ARIES papers", len(answers))
+	}
+	for _, a := range answers {
+		if f.g.TableNameOf(a.Root) != "Paper" {
+			t.Errorf("answer in %s", f.g.TableNameOf(a.Root))
+		}
+	}
+}
+
+func TestSearchQualifiedByAttribute(t *testing.T) {
+	f := newBibFixture(t)
+	// authorname:mohan — the §7 "author:Levy" style query.
+	answers, err := f.s.SearchQualified(f.db, []string{"authorname:mohan"}, false, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %d, want 2 Mohans", len(answers))
+	}
+	// A qualifier matching nothing yields no answers.
+	answers, err = f.s.SearchQualified(f.db, []string{"bogus:mohan"}, false, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Errorf("bogus qualifier matched %d answers", len(answers))
+	}
+}
+
+func TestSearchQualifiedMultiTerm(t *testing.T) {
+	f := newBibFixture(t)
+	answers, err := f.s.SearchQualified(f.db, []string{"author:soumen", "author:sunita"}, false, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	soumen := f.node(t, "Author", "SoumenC")
+	sunita := f.node(t, "Author", "SunitaS")
+	if !answers[0].ContainsNode(soumen) || !answers[0].ContainsNode(sunita) {
+		t.Error("top answer missing the qualified authors")
+	}
+}
+
+func TestSearchPrefixMatching(t *testing.T) {
+	f := newBibFixture(t)
+	// "surpris" is not a token; prefix matching finds "surprising".
+	answers, err := f.s.SearchQualified(f.db, []string{"surpris"}, true, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("prefix match found nothing")
+	}
+	// Without prefix matching the same term finds nothing.
+	none, err := f.s.SearchQualified(f.db, []string{"surpris"}, false, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Error("exact match should find nothing for a prefix")
+	}
+}
+
+func TestGroupAnswers(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	o.HeapSize = 100
+	answers, err := f.s.Search([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) < 2 {
+		t.Skip("need several answers")
+	}
+	groups := GroupAnswers(f.g, answers)
+	total := 0
+	for _, g := range groups {
+		total += len(g.Answers)
+		if g.Shape == "" {
+			t.Error("empty shape")
+		}
+		// All members share the shape.
+		for _, a := range g.Answers {
+			if answerShape(f.g, a) != g.Shape {
+				t.Error("group member has different shape")
+			}
+		}
+	}
+	if total != len(answers) {
+		t.Errorf("grouped %d of %d answers", total, len(answers))
+	}
+	// The two coauthored-paper answers share one structural shape:
+	// Paper(Writes(Author),Writes(Author)).
+	want := "Paper(Writes(Author),Writes(Author))"
+	found := false
+	for _, g := range groups {
+		if g.Shape == want && len(g.Answers) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		var shapes []string
+		for _, g := range groups {
+			shapes = append(shapes, g.Shape)
+		}
+		t.Errorf("expected shape %q with >= 2 members; shapes = %s", want, strings.Join(shapes, "; "))
+	}
+}
+
+func TestAnswerShapeCanonical(t *testing.T) {
+	f := newBibFixture(t)
+	// Shape must not depend on child order: build two answers with
+	// mirrored edges.
+	p := f.node(t, "Paper", "ChakrabartiSD98")
+	w1 := graph.NodeID(-1)
+	w2 := graph.NodeID(-1)
+	// Find two writes nodes pointing at the paper.
+	for _, e := range f.g.In(p) {
+		if f.g.TableNameOf(e.To) == "Writes" {
+			if w1 == graph.NoNode {
+				w1 = e.To
+			} else if w2 == graph.NoNode {
+				w2 = e.To
+			}
+		}
+	}
+	if w1 == graph.NoNode || w2 == graph.NoNode {
+		t.Fatal("missing writes nodes")
+	}
+	a1 := &Answer{Root: p, Edges: []TreeEdge{{From: p, To: w1}, {From: p, To: w2}}}
+	a2 := &Answer{Root: p, Edges: []TreeEdge{{From: p, To: w2}, {From: p, To: w1}}}
+	if answerShape(f.g, a1) != answerShape(f.g, a2) {
+		t.Error("shape depends on edge order")
+	}
+}

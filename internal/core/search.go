@@ -1,0 +1,518 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// Options control one search.
+type Options struct {
+	// TopK is the number of answers to return (default 10).
+	TopK int
+	// HeapSize is the capacity of the fixed-size output heap that
+	// approximately re-sorts answers by relevance before they are emitted
+	// (§3; default 20). Larger values sort better but delay first results.
+	HeapSize int
+	// Score holds the §2.3 ranking parameters.
+	Score ScoreOptions
+	// ExcludedRootTables lists relations whose tuples may not serve as
+	// information nodes (the paper's example: Writes). Matching and
+	// traversal through them still happen.
+	ExcludedRootTables []string
+	// MetadataNodeLimit caps how many nodes a metadata (table/column
+	// name) match expands to (default 1000, 0 = unlimited). The paper
+	// notes metadata keywords matching huge node sets as an open
+	// performance problem (§7); the cap is reported in Stats.
+	MetadataNodeLimit int
+	// MaxPops bounds total Dijkstra iterator pops as a safety valve for
+	// disconnected keywords (default 2,000,000).
+	MaxPops int
+	// MaxCombosPerVisit caps the cross-product expansion at one node
+	// visit (default 10,000); truncation is reported in Stats.
+	MaxCombosPerVisit int
+	// RequireAllTerms, when true (the default), returns no answers if
+	// some term matches nothing. When false, unmatched terms are dropped
+	// (the relaxation the paper mentions after the answer model).
+	RequireAllTerms bool
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: 10 answers, heap of 20, λ=0.2 with edge log scaling.
+func DefaultOptions() *Options {
+	return &Options{
+		TopK:              10,
+		HeapSize:          20,
+		Score:             DefaultScoreOptions(),
+		MetadataNodeLimit: 1000,
+		MaxPops:           2_000_000,
+		MaxCombosPerVisit: 10_000,
+		RequireAllTerms:   true,
+	}
+}
+
+func (o *Options) withDefaults() *Options {
+	d := DefaultOptions()
+	if o == nil {
+		return d
+	}
+	c := *o
+	if c.TopK <= 0 {
+		c.TopK = d.TopK
+	}
+	if c.HeapSize <= 0 {
+		c.HeapSize = d.HeapSize
+	}
+	if c.MaxPops <= 0 {
+		c.MaxPops = d.MaxPops
+	}
+	if c.MaxCombosPerVisit <= 0 {
+		c.MaxCombosPerVisit = d.MaxCombosPerVisit
+	}
+	return &c
+}
+
+// Stats reports what one search did; useful for the evaluation harness and
+// for diagnosing truncation.
+type Stats struct {
+	Terms             []string // active terms after normalization/dropping
+	MatchedNodes      []int    // |S_i| per active term
+	Pops              int      // iterator pops
+	Generated         int      // candidate trees generated (pre-dedup)
+	Duplicates        int      // trees dropped as duplicates modulo direction
+	SingleChildRoots  int      // trees discarded by the one-child-root rule
+	ExcludedRoots     int      // trees discarded by root-table exclusion
+	MetadataTruncated bool     // a metadata match hit MetadataNodeLimit
+	CombosTruncated   bool     // a cross product hit MaxCombosPerVisit
+	TermsDropped      int      // unmatched terms dropped (RequireAllTerms=false)
+}
+
+// Searcher answers keyword queries over a graph + keyword index pair.
+// It is safe for concurrent use; each Search call keeps its own state.
+type Searcher struct {
+	g  *graph.Graph
+	ix *index.Index
+}
+
+// NewSearcher returns a Searcher over g and ix (built from the same
+// database snapshot).
+func NewSearcher(g *graph.Graph, ix *index.Index) *Searcher {
+	return &Searcher{g: g, ix: ix}
+}
+
+// Graph returns the underlying data graph.
+func (s *Searcher) Graph() *graph.Graph { return s.g }
+
+// Index returns the underlying keyword index.
+func (s *Searcher) Index() *index.Index { return s.ix }
+
+// Search runs the backward expanding search for the given terms.
+func (s *Searcher) Search(terms []string, opts *Options) ([]*Answer, error) {
+	answers, _, err := s.SearchStats(terms, opts)
+	return answers, err
+}
+
+// SearchStats is Search plus execution statistics.
+func (s *Searcher) SearchStats(terms []string, opts *Options) ([]*Answer, *Stats, error) {
+	return s.searchWithCallback(terms, opts, nil)
+}
+
+// searchWithCallback is the shared driver behind SearchStats and
+// SearchStream. cb, when non-nil, sees every answer at emission time and
+// may cancel by returning false.
+func (s *Searcher) searchWithCallback(terms []string, opts *Options, cb func(*Answer) bool) ([]*Answer, *Stats, error) {
+	o := opts.withDefaults()
+	stats := &Stats{}
+
+	var clean []string
+	for _, t := range terms {
+		t = strings.TrimSpace(strings.ToLower(t))
+		if t != "" {
+			clean = append(clean, t)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, stats, errors.New("core: empty query")
+	}
+
+	// Locate S_i for each term (§3 step 1).
+	var sets [][]graph.NodeID
+	var active []string
+	for _, term := range clean {
+		set := s.matchTerm(term, o, stats)
+		if len(set) == 0 {
+			if o.RequireAllTerms {
+				stats.Terms = active
+				return nil, stats, nil
+			}
+			stats.TermsDropped++
+			continue
+		}
+		sets = append(sets, set)
+		active = append(active, term)
+	}
+	stats.Terms = active
+	for _, set := range sets {
+		stats.MatchedNodes = append(stats.MatchedNodes, len(set))
+	}
+	if len(sets) == 0 {
+		return nil, stats, nil
+	}
+
+	excluded := make(map[int32]bool, len(o.ExcludedRootTables))
+	for _, name := range o.ExcludedRootTables {
+		if id := s.g.TableID(name); id >= 0 {
+			excluded[id] = true
+		}
+	}
+
+	if len(sets) == 1 {
+		answers := s.searchSingleTerm(sets[0], active, excluded, o, stats)
+		for _, a := range answers {
+			if cb != nil && !cb(a) {
+				break
+			}
+		}
+		return answers, stats, nil
+	}
+	return s.searchMultiTerm(sets, active, excluded, o, stats, cb), stats, nil
+}
+
+// matchTerm resolves one term to its node set, expanding metadata matches
+// to whole tables subject to MetadataNodeLimit.
+func (s *Searcher) matchTerm(term string, o *Options, stats *Stats) []graph.NodeID {
+	m := s.ix.Lookup(term)
+	seen := make(map[graph.NodeID]bool, len(m.Nodes))
+	set := make([]graph.NodeID, 0, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if !seen[n] {
+			seen[n] = true
+			set = append(set, n)
+		}
+	}
+	for _, tid := range m.Tables {
+		lo, hi := s.g.NodesOfTable(tid)
+		for n := lo; n < hi; n++ {
+			if o.MetadataNodeLimit > 0 && len(set) >= len(m.Nodes)+o.MetadataNodeLimit {
+				stats.MetadataTruncated = true
+				return set
+			}
+			if !seen[n] {
+				seen[n] = true
+				set = append(set, n)
+			}
+		}
+	}
+	return set
+}
+
+// searchSingleTerm handles n=1 exactly: any tree with edges has a
+// single-child root and is discarded by the §3 rule, so the answers are
+// precisely the matching nodes, ranked by relevance (EScore of a node tree
+// is 1, so prestige separates them — the "Mohan" anecdote).
+func (s *Searcher) searchSingleTerm(set []graph.NodeID, terms []string, excluded map[int32]bool, o *Options, stats *Stats) []*Answer {
+	answers := make([]*Answer, 0, len(set))
+	for _, n := range set {
+		if excluded[s.g.TableOf(n)] {
+			stats.ExcludedRoots++
+			continue
+		}
+		a := &Answer{Root: n, TermNodes: []graph.NodeID{n}}
+		scoreAnswer(a, s.g, o.Score)
+		answers = append(answers, a)
+		stats.Generated++
+	}
+	sort.SliceStable(answers, func(i, j int) bool {
+		if answers[i].Score != answers[j].Score {
+			return answers[i].Score > answers[j].Score
+		}
+		return answers[i].Root < answers[j].Root
+	})
+	if len(answers) > o.TopK {
+		answers = answers[:o.TopK]
+	}
+	for i, a := range answers {
+		a.Rank = i + 1
+	}
+	_ = terms
+	return answers
+}
+
+// iterEntry is one shortest-path iterator in the iterator heap, keyed by
+// the distance of the next node it will output.
+type iterEntry struct {
+	it   *sspIterator
+	next float64
+}
+
+type iterHeap []*iterEntry
+
+func (h iterHeap) Len() int            { return len(h) }
+func (h iterHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
+func (h iterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x interface{}) { *h = append(*h, x.(*iterEntry)) }
+func (h *iterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// resultItem is an answer in the fixed-size output heap (a max-heap on
+// relevance: overflow emits the best answer seen so far).
+type resultItem struct {
+	ans *Answer
+	idx int
+	sig string
+}
+
+type resultHeap []*resultItem
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].ans.Score > h[j].ans.Score }
+func (h resultHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *resultHeap) Push(x interface{}) {
+	it := x.(*resultItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// searchMultiTerm is the backward expanding search of Figure 3. cb, when
+// non-nil, observes answers at emission time and may cancel the search.
+func (s *Searcher) searchMultiTerm(sets [][]graph.NodeID, terms []string, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) []*Answer {
+	n := len(sets)
+
+	// A node may match several terms; it gets one iterator but appears in
+	// each term's origin list.
+	originTerms := make(map[graph.NodeID][]int)
+	for ti, set := range sets {
+		for _, node := range set {
+			originTerms[node] = append(originTerms[node], ti)
+		}
+	}
+	iters := make(map[graph.NodeID]*sspIterator, len(originTerms))
+	var ih iterHeap
+	for node := range originTerms {
+		it := newSSPIterator(s.g, node)
+		iters[node] = it
+		if _, d, ok := it.Peek(); ok {
+			ih = append(ih, &iterEntry{it: it, next: d})
+		}
+	}
+	heap.Init(&ih)
+
+	// Per-visited-node term lists (v.L_i in the pseudocode).
+	lists := make(map[graph.NodeID][][]graph.NodeID)
+	getLists := func(v graph.NodeID) [][]graph.NodeID {
+		l, ok := lists[v]
+		if !ok {
+			l = make([][]graph.NodeID, n)
+			lists[v] = l
+		}
+		return l
+	}
+
+	var (
+		emitted []*Answer
+		rh      resultHeap
+		inHeap  = make(map[string]*resultItem)
+		outSig  = make(map[string]bool)
+	)
+	stopped := false
+	emitBest := func() {
+		item := heap.Pop(&rh).(*resultItem)
+		delete(inHeap, item.sig)
+		outSig[item.sig] = true
+		emitted = append(emitted, item.ans)
+		item.ans.Rank = len(emitted)
+		if cb != nil && !cb(item.ans) {
+			stopped = true
+		}
+	}
+	offer := func(a *Answer) {
+		sig := a.Signature()
+		if outSig[sig] {
+			// A duplicate of an already-output answer is discarded even
+			// if its relevance is higher (§3).
+			stats.Duplicates++
+			return
+		}
+		if prev, ok := inHeap[sig]; ok {
+			stats.Duplicates++
+			if a.Score > prev.ans.Score {
+				prev.ans = a
+				heap.Fix(&rh, prev.idx)
+			}
+			return
+		}
+		item := &resultItem{ans: a, sig: sig}
+		if len(rh) >= o.HeapSize {
+			emitBest()
+		}
+		heap.Push(&rh, item)
+		inHeap[sig] = item
+	}
+
+	// generate builds all new connection trees rooted at v that use origin
+	// as the term-ti leaf (CrossProduct in the pseudocode).
+	generate := func(v graph.NodeID, origin graph.NodeID, ti int) {
+		l := getLists(v)
+		rootExcluded := excluded[s.g.TableOf(v)]
+		// Cross product of {origin} with the other term lists.
+		combo := make([]graph.NodeID, n)
+		combo[ti] = origin
+		produced := 0
+		var rec func(term int) bool
+		rec = func(term int) bool {
+			if term == n {
+				if produced >= o.MaxCombosPerVisit {
+					stats.CombosTruncated = true
+					return false
+				}
+				produced++
+				stats.Generated++
+				if rootExcluded {
+					stats.ExcludedRoots++
+					return true
+				}
+				if a := s.buildAnswer(v, combo, iters, o, stats); a != nil {
+					offer(a)
+				}
+				return true
+			}
+			if term == ti {
+				return rec(term + 1)
+			}
+			if len(l[term]) == 0 {
+				return false
+			}
+			for _, other := range l[term] {
+				combo[term] = other
+				if !rec(term + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0)
+		l[ti] = append(l[ti], origin)
+	}
+
+	for len(ih) > 0 && len(emitted) < o.TopK && stats.Pops < o.MaxPops && !stopped {
+		entry := ih[0]
+		v, _, ok := entry.it.Next()
+		if !ok {
+			heap.Pop(&ih)
+			continue
+		}
+		stats.Pops++
+		if _, d, more := entry.it.Peek(); more {
+			entry.next = d
+			heap.Fix(&ih, 0)
+		} else {
+			heap.Pop(&ih)
+		}
+		for _, ti := range originTerms[entry.it.origin] {
+			generate(v, entry.it.origin, ti)
+		}
+	}
+	for len(rh) > 0 && len(emitted) < o.TopK && !stopped {
+		emitBest()
+	}
+	// Heap overflow during a single node visit can emit a result or two
+	// beyond TopK; trim to the contract.
+	if len(emitted) > o.TopK {
+		emitted = emitted[:o.TopK]
+	}
+	for i, a := range emitted {
+		a.Rank = i + 1
+	}
+	return emitted
+}
+
+// buildAnswer materializes the connection tree rooted at v whose term-i
+// leaf is combo[i], as the union of the per-iterator shortest paths. The
+// paper's pseudocode treats this union as a tree, but two shortest paths
+// can diverge and reconverge, giving a node two parents; we splice instead:
+// once a path reaches a node already in the tree, the existing route from
+// the root is reused and the walk continues from that node. Every leaf
+// stays reachable from the root and the result is a genuine tree. Returns
+// nil for trees pruned by the single-child-root rule.
+func (s *Searcher) buildAnswer(v graph.NodeID, combo []graph.NodeID, iters map[graph.NodeID]*sspIterator, o *Options, stats *Stats) *Answer {
+	inTree := map[graph.NodeID]bool{v: true}
+	var edges []TreeEdge
+	var scratch []TreeEdge
+	for _, origin := range combo {
+		it := iters[origin]
+		if it == nil {
+			return nil
+		}
+		scratch = it.PathEdges(v, scratch[:0])
+		for _, e := range scratch {
+			if inTree[e.To] {
+				continue // reuse the existing root->e.To route
+			}
+			inTree[e.To] = true
+			edges = append(edges, e)
+		}
+	}
+	a := &Answer{
+		Root:      v,
+		Edges:     edges,
+		TermNodes: append([]graph.NodeID(nil), combo...),
+	}
+	if len(edges) > 0 && a.rootChildren() == 1 {
+		stats.SingleChildRoots++
+		return nil
+	}
+	for _, e := range edges {
+		a.Weight += e.W
+	}
+	sort.Slice(a.Edges, func(i, j int) bool {
+		if a.Edges[i].From != a.Edges[j].From {
+			return a.Edges[i].From < a.Edges[j].From
+		}
+		return a.Edges[i].To < a.Edges[j].To
+	})
+	scoreAnswer(a, s.g, o.Score)
+	return a
+}
+
+// Rescore recomputes answer scores under different scoring options without
+// re-running the search; the evaluation harness uses it to compare
+// parameter settings over a fixed candidate pool.
+func (s *Searcher) Rescore(answers []*Answer, score ScoreOptions) []*Answer {
+	out := make([]*Answer, len(answers))
+	for i, a := range answers {
+		c := *a
+		scoreAnswer(&c, s.g, score)
+		out[i] = &c
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out
+}
+
+// ErrNoMatch is a helper sentinel some callers use to signal an empty
+// result to their own users. Search itself returns (nil, nil) when nothing
+// matches.
+var ErrNoMatch = fmt.Errorf("core: no results")

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"errors"
+)
+
+// Streaming search: Section 3 motivates generating answers incrementally
+// "to avoid generating answers of low relevance that the user may never
+// look at". SearchStream delivers each answer the moment the output heap
+// emits it, letting callers render results progressively and cancel early.
+
+// ErrStopped is returned by SearchStream when the callback cancels the
+// search; it signals deliberate termination, not failure.
+var ErrStopped = errors.New("core: search stopped by caller")
+
+// SearchStream runs the backward expanding search and calls fn for every
+// emitted answer, in emission (approximate relevance) order with Rank
+// already assigned. Returning false from fn cancels the search;
+// SearchStream then returns ErrStopped. At most opts.TopK answers are
+// delivered.
+func (s *Searcher) SearchStream(terms []string, opts *Options, fn func(*Answer) bool) error {
+	stopped := false
+	cb := func(a *Answer) bool {
+		if !fn(a) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	if _, _, err := s.searchWithCallback(terms, opts, cb); err != nil {
+		return err
+	}
+	if stopped {
+		return ErrStopped
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSearchStreamMatchesBatchOrder(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	batch, err := f.s.Search([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*Answer
+	err = f.s.SearchStream([]string{"soumen", "sunita"}, o, func(a *Answer) bool {
+		streamed = append(streamed, a)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].Signature() != batch[i].Signature() {
+			t.Errorf("position %d differs", i)
+		}
+		if streamed[i].Rank != i+1 {
+			t.Errorf("streamed rank = %d at position %d", streamed[i].Rank, i)
+		}
+	}
+}
+
+func TestSearchStreamEarlyCancel(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	count := 0
+	err := f.s.SearchStream([]string{"soumen", "sunita"}, o, func(a *Answer) bool {
+		count++
+		return false // cancel after the first answer
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Errorf("err = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Errorf("callback ran %d times, want 1", count)
+	}
+}
+
+func TestSearchStreamSingleTerm(t *testing.T) {
+	f := newBibFixture(t)
+	var got []*Answer
+	err := f.s.SearchStream([]string{"mohan"}, defaultBibOptions(), func(a *Answer) bool {
+		got = append(got, a)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("streamed %d single-term answers", len(got))
+	}
+}
+
+func TestSearchStreamErrors(t *testing.T) {
+	f := newBibFixture(t)
+	if err := f.s.SearchStream(nil, nil, func(*Answer) bool { return true }); err == nil {
+		t.Error("empty query should error")
+	}
+	// No matches: no callback, no error.
+	calls := 0
+	if err := f.s.SearchStream([]string{"xyzzy"}, nil, func(*Answer) bool { calls++; return true }); err != nil {
+		t.Errorf("no-match stream errored: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("callback ran %d times for no matches", calls)
+	}
+}

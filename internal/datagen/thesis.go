@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// ThesisConfig sizes the synthetic IIT-Bombay-style thesis database
+// ("thousands of nodes and tens of thousands of edges" in §5).
+type ThesisConfig struct {
+	Departments int
+	FacultyPer  int // faculty per department
+	StudentsPer int // students per department
+	Seed        int64
+}
+
+// SmallThesis is the test-sized configuration.
+func SmallThesis() ThesisConfig {
+	return ThesisConfig{Departments: 6, FacultyPer: 8, StudentsPer: 40, Seed: 2}
+}
+
+// PaperScaleThesis approximates the original dataset's scale.
+func PaperScaleThesis() ThesisConfig {
+	return ThesisConfig{Departments: 14, FacultyPer: 30, StudentsPer: 220, Seed: 2}
+}
+
+// Thesis anecdote entities (§5.1: "computer engineering" ranks the CSE
+// department above theses with those title words; "sudarshan aditya" finds
+// Aditya's thesis advised by Sudarshan).
+const (
+	DeptCSE        = 1 // department id
+	FacSudarshan   = "FS01"
+	StudentAditya  = "S0001"
+	ThesisAditya   = "T0001"
+	ProgramMTechCS = 1 // program id
+)
+
+// ThesisSchema returns the five-relation thesis schema.
+func ThesisSchema() []*sqldb.TableSchema {
+	return []*sqldb.TableSchema{
+		{
+			Name: "department",
+			Columns: []sqldb.Column{
+				{Name: "deptid", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"deptid"},
+		},
+		{
+			Name: "program",
+			Columns: []sqldb.Column{
+				{Name: "progid", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+				{Name: "deptid", Type: sqldb.TypeInt},
+			},
+			PrimaryKey:  []string{"progid"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "deptid", RefTable: "department"}},
+		},
+		{
+			Name: "faculty",
+			Columns: []sqldb.Column{
+				{Name: "facid", Type: sqldb.TypeText, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+				{Name: "deptid", Type: sqldb.TypeInt},
+			},
+			PrimaryKey:  []string{"facid"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "deptid", RefTable: "department"}},
+		},
+		{
+			Name: "student",
+			Columns: []sqldb.Column{
+				{Name: "rollno", Type: sqldb.TypeText, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+				{Name: "progid", Type: sqldb.TypeInt},
+			},
+			PrimaryKey:  []string{"rollno"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "progid", RefTable: "program"}},
+		},
+		{
+			Name: "thesis",
+			Columns: []sqldb.Column{
+				{Name: "thesisid", Type: sqldb.TypeText, NotNull: true},
+				{Name: "title", Type: sqldb.TypeText},
+				{Name: "rollno", Type: sqldb.TypeText},
+				{Name: "advisor", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"thesisid"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "rollno", RefTable: "student"},
+				{Column: "advisor", RefTable: "faculty"},
+			},
+		},
+	}
+}
+
+var deptNames = []string{
+	"Computer Science and Engineering",
+	"Electrical Systems",
+	"Mechanical Systems",
+	"Civil Infrastructure",
+	"Chemical Processes",
+	"Mathematics",
+	"Physics",
+	"Metallurgy",
+	"Aerospace Propulsion",
+	"Energy Studies",
+	"Industrial Design",
+	"Biosciences",
+	"Earth Sciences",
+	"Humanities",
+}
+
+// BuildThesis generates the thesis database deterministically.
+func BuildThesis(cfg ThesisConfig) (*sqldb.Database, error) {
+	if cfg.Departments > len(deptNames) {
+		cfg.Departments = len(deptNames)
+	}
+	if cfg.Departments < 1 {
+		cfg.Departments = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := sqldb.NewDatabase()
+	for _, s := range ThesisSchema() {
+		if _, err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	progID := 0
+	var progByDept [][]int
+	for d := 0; d < cfg.Departments; d++ {
+		deptid := d + 1
+		if _, err := db.Insert("department", []sqldb.Value{sqldb.Int(int64(deptid)), sqldb.Text(deptNames[d])}); err != nil {
+			return nil, err
+		}
+		var progs []int
+		for _, pname := range []string{"MTech", "PhD"} {
+			progID++
+			if _, err := db.Insert("program", []sqldb.Value{
+				sqldb.Int(int64(progID)), sqldb.Text(pname), sqldb.Int(int64(deptid)),
+			}); err != nil {
+				return nil, err
+			}
+			progs = append(progs, progID)
+		}
+		progByDept = append(progByDept, progs)
+	}
+
+	// Faculty. Sudarshan is in CSE.
+	var facultyByDept [][]string
+	fid := 0
+	for d := 0; d < cfg.Departments; d++ {
+		var fac []string
+		for f := 0; f < cfg.FacultyPer; f++ {
+			fid++
+			id := fmt.Sprintf("F%04d", fid)
+			name := randomName(rng)
+			if d == DeptCSE-1 && f == 0 {
+				id, name = FacSudarshan, "S. Sudarshan"
+			}
+			if _, err := db.Insert("faculty", []sqldb.Value{
+				sqldb.Text(id), sqldb.Text(name), sqldb.Int(int64(d + 1)),
+			}); err != nil {
+				return nil, err
+			}
+			fac = append(fac, id)
+		}
+		facultyByDept = append(facultyByDept, fac)
+	}
+
+	// Students + theses. Aditya is a CSE student advised by Sudarshan; a
+	// few distractor theses carry "computer"/"engineering" title words.
+	sid := 0
+	for d := 0; d < cfg.Departments; d++ {
+		for s := 0; s < cfg.StudentsPer; s++ {
+			sid++
+			roll := fmt.Sprintf("R%05d", sid)
+			name := randomName(rng)
+			if d == DeptCSE-1 && s == 0 {
+				roll, name = StudentAditya, "Aditya Birla"
+			}
+			prog := progByDept[d][rng.Intn(len(progByDept[d]))]
+			if _, err := db.Insert("student", []sqldb.Value{
+				sqldb.Text(roll), sqldb.Text(name), sqldb.Int(int64(prog)),
+			}); err != nil {
+				return nil, err
+			}
+			// ~70% of students have a thesis.
+			if rng.Float64() > 0.7 && roll != StudentAditya {
+				continue
+			}
+			tid := fmt.Sprintf("T%05d", sid)
+			title := randomTitle(rng, 5)
+			advisor := facultyByDept[d][rng.Intn(len(facultyByDept[d]))]
+			if roll == StudentAditya {
+				tid = ThesisAditya
+				title = "Keyword Searching in Graph Structured Data"
+				advisor = FacSudarshan
+			} else if d != DeptCSE-1 && sid%97 == 3 {
+				// Distractor titles for the "computer engineering" query.
+				title = "Computer Aided Engineering of " + randomTitle(rng, 3)
+			}
+			if _, err := db.Insert("thesis", []sqldb.Value{
+				sqldb.Text(tid), sqldb.Text(title), sqldb.Text(roll), sqldb.Text(advisor),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

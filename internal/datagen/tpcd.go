@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// TPCDConfig sizes the TPC-D-style catalog used for the §2.1 prestige
+// example ("if a query matches two parts the one with more orders would get
+// a higher prestige").
+type TPCDConfig struct {
+	Parts     int
+	Suppliers int
+	Customers int
+	Orders    int
+	LinesPer  int // average lineitems per order
+	Seed      int64
+}
+
+// SmallTPCD is the test-sized configuration.
+func SmallTPCD() TPCDConfig {
+	return TPCDConfig{Parts: 60, Suppliers: 20, Customers: 40, Orders: 150, LinesPer: 3, Seed: 3}
+}
+
+// Seeded parts demonstrating prestige: both match "steel widget"; the
+// premium one appears in many lineitems.
+const (
+	PartPopular   = 1
+	PartUnpopular = 2
+)
+
+// TPCDSchema returns part/supplier/customer/orders/lineitem.
+func TPCDSchema() []*sqldb.TableSchema {
+	return []*sqldb.TableSchema{
+		{
+			Name: "part",
+			Columns: []sqldb.Column{
+				{Name: "partkey", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"partkey"},
+		},
+		{
+			Name: "supplier",
+			Columns: []sqldb.Column{
+				{Name: "suppkey", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"suppkey"},
+		},
+		{
+			Name: "customer",
+			Columns: []sqldb.Column{
+				{Name: "custkey", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"custkey"},
+		},
+		{
+			Name: "orders",
+			Columns: []sqldb.Column{
+				{Name: "orderkey", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "custkey", Type: sqldb.TypeInt},
+			},
+			PrimaryKey:  []string{"orderkey"},
+			ForeignKeys: []sqldb.ForeignKey{{Column: "custkey", RefTable: "customer"}},
+		},
+		{
+			Name: "lineitem",
+			Columns: []sqldb.Column{
+				{Name: "orderkey", Type: sqldb.TypeInt},
+				{Name: "partkey", Type: sqldb.TypeInt},
+				{Name: "suppkey", Type: sqldb.TypeInt},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "orderkey", RefTable: "orders"},
+				{Column: "partkey", RefTable: "part"},
+				{Column: "suppkey", RefTable: "supplier"},
+			},
+		},
+	}
+}
+
+var partAdjectives = []string{
+	"anodized", "burnished", "chocolate", "copper", "forest", "frosted",
+	"lavender", "metallic", "midnight", "olive", "plum", "powder",
+	"sandy", "spring", "thistle",
+}
+
+var partNouns = []string{
+	"bearing", "bracket", "casing", "coupling", "flange", "gasket",
+	"gear", "hinge", "piston", "pulley", "rivet", "rotor", "spindle",
+	"valve", "washer",
+}
+
+// BuildTPCD generates the order catalog deterministically.
+func BuildTPCD(cfg TPCDConfig) (*sqldb.Database, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := sqldb.NewDatabase()
+	for _, s := range TPCDSchema() {
+		if _, err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	for p := 1; p <= cfg.Parts; p++ {
+		name := partAdjectives[rng.Intn(len(partAdjectives))] + " " +
+			partNouns[rng.Intn(len(partNouns))] + fmt.Sprintf(" %d", p)
+		switch p {
+		case PartPopular:
+			name = "premium steel widget"
+		case PartUnpopular:
+			name = "economy steel widget"
+		}
+		if _, err := db.Insert("part", []sqldb.Value{sqldb.Int(int64(p)), sqldb.Text(name)}); err != nil {
+			return nil, err
+		}
+	}
+	for s := 1; s <= cfg.Suppliers; s++ {
+		if _, err := db.Insert("supplier", []sqldb.Value{
+			sqldb.Int(int64(s)), sqldb.Text("Supplier " + randomName(rng)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for c := 1; c <= cfg.Customers; c++ {
+		if _, err := db.Insert("customer", []sqldb.Value{
+			sqldb.Int(int64(c)), sqldb.Text(randomName(rng)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for o := 1; o <= cfg.Orders; o++ {
+		cust := 1 + rng.Intn(cfg.Customers)
+		if _, err := db.Insert("orders", []sqldb.Value{
+			sqldb.Int(int64(o)), sqldb.Int(int64(cust)),
+		}); err != nil {
+			return nil, err
+		}
+		lines := 1 + rng.Intn(2*cfg.LinesPer-1)
+		for l := 0; l < lines; l++ {
+			part := 1 + zipfIndex(rng, cfg.Parts)
+			// The popular widget shows up in a fifth of all orders.
+			if rng.Float64() < 0.2 {
+				part = PartPopular
+			}
+			supp := 1 + rng.Intn(cfg.Suppliers)
+			if _, err := db.Insert("lineitem", []sqldb.Value{
+				sqldb.Int(int64(o)), sqldb.Int(int64(part)), sqldb.Int(int64(supp)),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,195 @@
+// Package driver adapts the embedded engine to database/sql, playing the
+// role JDBC played in the original BANKS system. Databases are registered
+// under a name and opened with sql.Open("banks", name):
+//
+//	drv.Register("dblp", db)
+//	sqlDB, err := sql.Open("banks", "dblp")
+//
+// The driver registers itself with database/sql under the name "banks" on
+// import.
+package driver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlexec"
+	"github.com/banksdb/banks/internal/sqlparse"
+)
+
+// Name is the database/sql driver name.
+const Name = "banks"
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]*sqldb.Database)
+)
+
+// Register makes db reachable as sql.Open("banks", name). Registering the
+// same name twice replaces the previous database.
+func Register(name string, db *sqldb.Database) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = db
+}
+
+// Unregister removes a named database.
+func Unregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+}
+
+// Lookup returns the database registered under name, or nil.
+func Lookup(name string) *sqldb.Database {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name]
+}
+
+func init() {
+	sql.Register(Name, &Driver{})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open returns a connection to the database registered under the DSN.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	db := Lookup(dsn)
+	if db == nil {
+		return nil, fmt.Errorf("banks driver: no database registered as %q", dsn)
+	}
+	return &conn{engine: sqlexec.New(db)}, nil
+}
+
+type conn struct {
+	engine *sqlexec.Engine
+}
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{engine: c.engine, stmt: stmt, nparams: sqlparse.CountParams(stmt)}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+// Begin is required by driver.Conn; the engine does not support
+// transactions, so it fails loudly rather than lying with a no-op.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("banks driver: transactions are not supported")
+}
+
+type prepared struct {
+	engine  *sqlexec.Engine
+	stmt    sqlparse.Statement
+	nparams int
+}
+
+func (p *prepared) Close() error  { return nil }
+func (p *prepared) NumInput() int { return p.nparams }
+
+func (p *prepared) run(args []driver.Value) (*sqlexec.Result, error) {
+	params := make([]sqldb.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = v
+	}
+	return p.engine.ExecuteStmt(p.stmt, params)
+}
+
+func (p *prepared) Exec(args []driver.Value) (driver.Result, error) {
+	r, err := p.run(args)
+	if err != nil {
+		return nil, err
+	}
+	return result{rows: r.RowsAffected, last: int64(r.LastRID)}, nil
+}
+
+func (p *prepared) Query(args []driver.Value) (driver.Rows, error) {
+	r, err := p.run(args)
+	if err != nil {
+		return nil, err
+	}
+	if !r.IsQuery() {
+		return &rows{res: &sqlexec.Result{Columns: []string{}}}, nil
+	}
+	return &rows{res: r}, nil
+}
+
+type result struct {
+	rows int64
+	last int64
+}
+
+func (r result) LastInsertId() (int64, error) { return r.last, nil }
+func (r result) RowsAffected() (int64, error) { return r.rows, nil }
+
+type rows struct {
+	res *sqlexec.Result
+	pos int
+}
+
+func (r *rows) Columns() []string { return r.res.Columns }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		dest[i] = fromValue(v)
+	}
+	return nil
+}
+
+// toValue converts a driver.Value to an engine value.
+func toValue(a driver.Value) (sqldb.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return sqldb.Null(), nil
+	case int64:
+		return sqldb.Int(v), nil
+	case float64:
+		return sqldb.Float(v), nil
+	case bool:
+		return sqldb.Bool(v), nil
+	case string:
+		return sqldb.Text(v), nil
+	case []byte:
+		return sqldb.Text(string(v)), nil
+	case time.Time:
+		return sqldb.Text(v.UTC().Format(time.RFC3339)), nil
+	}
+	return sqldb.Null(), fmt.Errorf("banks driver: unsupported parameter type %T", a)
+}
+
+// fromValue converts an engine value to a driver.Value.
+func fromValue(v sqldb.Value) driver.Value {
+	switch v.T {
+	case sqldb.TypeNull:
+		return nil
+	case sqldb.TypeInt:
+		return v.I
+	case sqldb.TypeFloat:
+		return v.F
+	case sqldb.TypeBool:
+		return v.I != 0
+	default:
+		return v.S
+	}
+}

@@ -1,0 +1,152 @@
+package driver
+
+import (
+	"database/sql"
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+func openTestDB(t *testing.T) *sql.DB {
+	t.Helper()
+	name := "testdb-" + t.Name()
+	Register(name, sqldb.NewDatabase())
+	t.Cleanup(func() { Unregister(name) })
+	db, err := sql.Open(Name, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestDriverRoundTrip(t *testing.T) {
+	db := openTestDB(t)
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score FLOAT, ok BOOLEAN)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO t VALUES (?, ?, ?, ?)", 1, "alice", 2.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Errorf("RowsAffected = %d", n)
+	}
+	db.Exec("INSERT INTO t VALUES (?, ?, ?, ?)", 2, "bob", nil, false)
+
+	rows, err := db.Query("SELECT id, name, score, ok FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, _ := rows.Columns()
+	if strings.Join(cols, ",") != "id,name,score,ok" {
+		t.Errorf("columns = %v", cols)
+	}
+	var got []string
+	for rows.Next() {
+		var id int64
+		var name string
+		var score sql.NullFloat64
+		var ok bool
+		if err := rows.Scan(&id, &name, &score, &ok); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, name)
+		if id == 2 && score.Valid {
+			t.Error("bob's score should be NULL")
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "alice" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestDriverQueryRow(t *testing.T) {
+	db := openTestDB(t)
+	db.Exec("CREATE TABLE t (a INT)")
+	db.Exec("INSERT INTO t VALUES (41)")
+	var n int
+	if err := db.QueryRow("SELECT a + 1 FROM t").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 42 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestDriverPrepared(t *testing.T) {
+	db := openTestDB(t)
+	db.Exec("CREATE TABLE t (a INT)")
+	stmt, err := db.Prepare("INSERT INTO t VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := stmt.Exec(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	db.QueryRow("SELECT COUNT(*) FROM t").Scan(&n)
+	if n != 5 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestDriverWrongParamCount(t *testing.T) {
+	db := openTestDB(t)
+	db.Exec("CREATE TABLE t (a INT, b INT)")
+	if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", 1); err == nil {
+		t.Error("too few args should error")
+	}
+}
+
+func TestDriverUnknownDSN(t *testing.T) {
+	db, err := sql.Open(Name, "never-registered")
+	if err != nil {
+		t.Fatal(err) // Open is lazy; error surfaces on first use
+	}
+	defer db.Close()
+	if err := db.Ping(); err == nil {
+		t.Error("ping of unregistered DSN should fail")
+	}
+}
+
+func TestDriverTransactionsUnsupported(t *testing.T) {
+	db := openTestDB(t)
+	if _, err := db.Begin(); err == nil {
+		t.Error("Begin should fail")
+	}
+}
+
+func TestDriverSyntaxError(t *testing.T) {
+	db := openTestDB(t)
+	if _, err := db.Query("SELEKT 1"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+}
+
+func TestDriverSharesUnderlyingDatabase(t *testing.T) {
+	// Direct engine access and the driver see the same data.
+	under := sqldb.NewDatabase()
+	Register("shared-db", under)
+	defer Unregister("shared-db")
+	db, _ := sql.Open(Name, "shared-db")
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := under.Insert("t", []sqldb.Value{sqldb.Int(9)}); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db.QueryRow("SELECT a FROM t").Scan(&n); err != nil || n != 9 {
+		t.Errorf("n = %d, err = %v", n, err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package graph implements the BANKS data graph of Section 2 of the paper:
+// every tuple is a node, every foreign-key link from tuple u to tuple v
+// yields a forward edge u->v with weight s(R(u),R(v)) and a backward edge
+// v->u whose weight additionally scales with the indegree of v contributed
+// by tuples of u's relation — the paper's fix for "hub" nodes collapsing
+// proximity. Node prestige is the reference indegree, the paper's
+// PageRank-inspired node weight.
+//
+// Nodes store only their table id and RID, matching the paper's observation
+// that "the in-memory node representation need not store any attribute of
+// the corresponding tuple other than the RID", which is what lets graphs of
+// millions of tuples fit in memory.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// NodeID identifies a node of the data graph. IDs are dense from 0.
+type NodeID int32
+
+// NoNode is the invalid node id.
+const NoNode NodeID = -1
+
+// Edge is one directed arc to To with weight W (smaller = closer).
+type Edge struct {
+	To NodeID
+	W  float64
+}
+
+// Graph is the immutable data graph built from a database snapshot.
+type Graph struct {
+	tableNames []string         // table id -> name
+	tableIDs   map[string]int32 // lower(name) -> table id
+	tableStart []NodeID         // nodes of table t are [tableStart[t], tableStart[t+1])
+
+	tableOf []int32     // node -> table id
+	ridOf   []sqldb.RID // node -> rid
+	nodeOf  [][]NodeID  // table id -> rid -> node (NoNode for tombstones)
+
+	fwd [][]Edge // out-edges (both FK-forward and indegree-scaled backward arcs)
+	rev [][]Edge // rev[v] = (u, w(u->v)) for every arc u->v
+
+	prestige []float64 // node weight: FK reference indegree
+
+	minEdge float64 // minimum arc weight (w_min in §2.3), 1 if no arcs
+	maxNode float64 // maximum node weight (w_max in §2.3), 0 if no references
+	numArcs int
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.tableOf) }
+
+// NumArcs returns the directed arc count (forward + backward).
+func (g *Graph) NumArcs() int { return g.numArcs }
+
+// NumTables returns the number of relations in the graph.
+func (g *Graph) NumTables() int { return len(g.tableNames) }
+
+// TableName returns the name of table id t.
+func (g *Graph) TableName(t int32) string { return g.tableNames[t] }
+
+// TableID returns the id for a table name (case-insensitive), or -1.
+func (g *Graph) TableID(name string) int32 {
+	if id, ok := g.tableIDs[lower(name)]; ok {
+		return id
+	}
+	return -1
+}
+
+// TableOf returns the table id of node n.
+func (g *Graph) TableOf(n NodeID) int32 { return g.tableOf[n] }
+
+// TableNameOf returns the table name of node n.
+func (g *Graph) TableNameOf(n NodeID) string { return g.tableNames[g.tableOf[n]] }
+
+// RIDOf returns the row id of node n within its table.
+func (g *Graph) RIDOf(n NodeID) sqldb.RID { return g.ridOf[n] }
+
+// NodeOf returns the node for (table, rid), or NoNode.
+func (g *Graph) NodeOf(table string, rid sqldb.RID) NodeID {
+	t := g.TableID(table)
+	if t < 0 {
+		return NoNode
+	}
+	m := g.nodeOf[t]
+	if rid < 0 || int(rid) >= len(m) {
+		return NoNode
+	}
+	return m[rid]
+}
+
+// NodesOfTable returns the (contiguous) node range [lo, hi) of table id t.
+func (g *Graph) NodesOfTable(t int32) (lo, hi NodeID) {
+	return g.tableStart[t], g.tableStart[t+1]
+}
+
+// Out returns the out-edges of n. Callers must not mutate the slice.
+func (g *Graph) Out(n NodeID) []Edge { return g.fwd[n] }
+
+// In returns the in-edges of n as (source, weight-of-arc-into-n) pairs.
+// Callers must not mutate the slice.
+func (g *Graph) In(n NodeID) []Edge { return g.rev[n] }
+
+// ArcWeight returns the weight of arc u->v, or -1 when absent.
+func (g *Graph) ArcWeight(u, v NodeID) float64 {
+	for _, e := range g.fwd[u] {
+		if e.To == v {
+			return e.W
+		}
+	}
+	return -1
+}
+
+// Prestige returns the node weight (reference indegree) of n.
+func (g *Graph) Prestige(n NodeID) float64 { return g.prestige[n] }
+
+// MinEdgeWeight returns w_min, the normalizer for edge scores (§2.3).
+func (g *Graph) MinEdgeWeight() float64 { return g.minEdge }
+
+// MaxNodeWeight returns w_max, the normalizer for node scores (§2.3).
+func (g *Graph) MaxNodeWeight() float64 { return g.maxNode }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{%d tables, %d nodes, %d arcs}", g.NumTables(), g.NumNodes(), g.NumArcs())
+}
+
+// MemoryFootprint estimates the resident bytes of the graph structures; it
+// backs the Section 5.2 space experiment (the paper measured ~120 MB for a
+// 100K-node/300K-edge graph in Java).
+func (g *Graph) MemoryFootprint() int64 {
+	var b int64
+	b += int64(len(g.tableOf)) * 4
+	b += int64(len(g.ridOf)) * 8
+	b += int64(len(g.prestige)) * 8
+	for _, m := range g.nodeOf {
+		b += int64(len(m)) * 4
+	}
+	for _, es := range g.fwd {
+		b += int64(len(es))*12 + 24
+	}
+	for _, es := range g.rev {
+		b += int64(len(es))*12 + 24
+	}
+	return b
+}
+
+func lower(s string) string {
+	// strings.ToLower without the import churn elsewhere in the package.
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// arc is a builder-internal directed edge.
+type arc struct {
+	from, to NodeID
+	w        float64
+}
+
+// finish sorts/merges arcs (parallel arcs keep the minimum weight, Eq. 1 of
+// the paper) and fills adjacency, reverse adjacency, and normalizers.
+func (g *Graph) finish(arcs []arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].from != arcs[j].from {
+			return arcs[i].from < arcs[j].from
+		}
+		if arcs[i].to != arcs[j].to {
+			return arcs[i].to < arcs[j].to
+		}
+		return arcs[i].w < arcs[j].w
+	})
+	merged := arcs[:0]
+	for _, a := range arcs {
+		if n := len(merged); n > 0 && merged[n-1].from == a.from && merged[n-1].to == a.to {
+			continue // keep the smaller weight (sorted ascending)
+		}
+		merged = append(merged, a)
+	}
+	g.fwd = make([][]Edge, g.NumNodes())
+	g.rev = make([][]Edge, g.NumNodes())
+	outDeg := make([]int32, g.NumNodes())
+	inDeg := make([]int32, g.NumNodes())
+	for _, a := range merged {
+		outDeg[a.from]++
+		inDeg[a.to]++
+	}
+	for n := range g.fwd {
+		if outDeg[n] > 0 {
+			g.fwd[n] = make([]Edge, 0, outDeg[n])
+		}
+		if inDeg[n] > 0 {
+			g.rev[n] = make([]Edge, 0, inDeg[n])
+		}
+	}
+	g.minEdge = 0
+	for _, a := range merged {
+		g.fwd[a.from] = append(g.fwd[a.from], Edge{To: a.to, W: a.w})
+		g.rev[a.to] = append(g.rev[a.to], Edge{To: a.from, W: a.w})
+		if g.minEdge == 0 || a.w < g.minEdge {
+			g.minEdge = a.w
+		}
+	}
+	if g.minEdge == 0 {
+		g.minEdge = 1
+	}
+	g.numArcs = len(merged)
+	g.maxNode = 0
+	for _, p := range g.prestige {
+		if p > g.maxNode {
+			g.maxNode = p
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// newUniversityDB builds the paper's §2.1 hub example: a department with
+// many students. Students reference their department; the backward edge
+// from the department to each student must scale with the student count.
+func newUniversityDB(t *testing.T, students int) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	if _, err := db.CreateTable(&sqldb.TableSchema{
+		Name:       "dept",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.TypeInt, NotNull: true}, {Name: "name", Type: sqldb.TypeText}},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(&sqldb.TableSchema{
+		Name: "student",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeInt, NotNull: true},
+			{Name: "name", Type: sqldb.TypeText},
+			{Name: "dept", Type: sqldb.TypeInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "dept", RefTable: "dept"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("dept", []sqldb.Value{sqldb.Int(1), sqldb.Text("CSE")})
+	for i := 0; i < students; i++ {
+		db.Insert("student", []sqldb.Value{sqldb.Int(int64(100 + i)), sqldb.Text("S"), sqldb.Int(1)})
+	}
+	return db
+}
+
+func mustBuild(t *testing.T, db *sqldb.Database, opts *BuildOptions) *Graph {
+	t.Helper()
+	g, err := Build(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasicShape(t *testing.T) {
+	db := newUniversityDB(t, 3)
+	g := mustBuild(t, db, nil)
+	if g.NumNodes() != 4 {
+		t.Errorf("nodes = %d, want 4", g.NumNodes())
+	}
+	// 3 FK links, each yielding a forward and a backward arc.
+	if g.NumArcs() != 6 {
+		t.Errorf("arcs = %d, want 6", g.NumArcs())
+	}
+	if g.NumTables() != 2 {
+		t.Errorf("tables = %d", g.NumTables())
+	}
+}
+
+func TestForwardAndBackwardWeights(t *testing.T) {
+	db := newUniversityDB(t, 5)
+	g := mustBuild(t, db, nil)
+	dept := g.NodeOf("dept", 0)
+	stu := g.NodeOf("student", 0)
+	if dept == NoNode || stu == NoNode {
+		t.Fatal("node lookup failed")
+	}
+	// Forward edge student -> dept has the similarity weight 1.
+	if w := g.ArcWeight(stu, dept); w != 1 {
+		t.Errorf("forward weight = %v, want 1", w)
+	}
+	// Backward edge dept -> student scales with IN_student(dept) = 5 (§2.1).
+	if w := g.ArcWeight(dept, stu); w != 5 {
+		t.Errorf("backward weight = %v, want 5", w)
+	}
+}
+
+func TestBackwardScalingGrowsWithHubSize(t *testing.T) {
+	small := mustBuild(t, newUniversityDB(t, 2), nil)
+	big := mustBuild(t, newUniversityDB(t, 50), nil)
+	sd, ss := small.NodeOf("dept", 0), small.NodeOf("student", 0)
+	bd, bs := big.NodeOf("dept", 0), big.NodeOf("student", 0)
+	if small.ArcWeight(sd, ss) >= big.ArcWeight(bd, bs) {
+		t.Errorf("hub backward weight should grow: small=%v big=%v",
+			small.ArcWeight(sd, ss), big.ArcWeight(bd, bs))
+	}
+}
+
+func TestScaleBackEdgesDisabled(t *testing.T) {
+	db := newUniversityDB(t, 7)
+	g := mustBuild(t, db, &BuildOptions{ScaleBackEdges: false})
+	dept := g.NodeOf("dept", 0)
+	stu := g.NodeOf("student", 0)
+	if w := g.ArcWeight(dept, stu); w != 1 {
+		t.Errorf("unscaled backward weight = %v, want 1", w)
+	}
+}
+
+func TestPrestigeIsReferenceIndegree(t *testing.T) {
+	db := newUniversityDB(t, 4)
+	g := mustBuild(t, db, nil)
+	dept := g.NodeOf("dept", 0)
+	if p := g.Prestige(dept); p != 4 {
+		t.Errorf("dept prestige = %v, want 4", p)
+	}
+	stu := g.NodeOf("student", 0)
+	if p := g.Prestige(stu); p != 0 {
+		t.Errorf("student prestige = %v, want 0", p)
+	}
+	if g.MaxNodeWeight() != 4 {
+		t.Errorf("max node weight = %v", g.MaxNodeWeight())
+	}
+}
+
+func TestFKWeightPropagates(t *testing.T) {
+	db := sqldb.NewDatabase()
+	db.CreateTable(&sqldb.TableSchema{
+		Name:       "p",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.TypeInt, NotNull: true}},
+		PrimaryKey: []string{"id"},
+	})
+	db.CreateTable(&sqldb.TableSchema{
+		Name: "c",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeInt, NotNull: true},
+			{Name: "ref", Type: sqldb.TypeInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "ref", RefTable: "p", Weight: 2.5}},
+	})
+	db.Insert("p", []sqldb.Value{sqldb.Int(1)})
+	db.Insert("c", []sqldb.Value{sqldb.Int(10), sqldb.Int(1)})
+	g := mustBuild(t, db, nil)
+	c, p := g.NodeOf("c", 0), g.NodeOf("p", 0)
+	if w := g.ArcWeight(c, p); w != 2.5 {
+		t.Errorf("forward = %v, want 2.5", w)
+	}
+	if w := g.ArcWeight(p, c); w != 2.5 {
+		t.Errorf("backward = %v, want 2.5 (1 link * 2.5)", w)
+	}
+	if g.MinEdgeWeight() != 2.5 {
+		t.Errorf("min edge = %v", g.MinEdgeWeight())
+	}
+}
+
+func TestNullFKsProduceNoEdges(t *testing.T) {
+	db := newUniversityDB(t, 0)
+	db.Insert("student", []sqldb.Value{sqldb.Int(999), sqldb.Text("Orphan"), sqldb.Null()})
+	g := mustBuild(t, db, nil)
+	stu := g.NodeOf("student", 0)
+	if len(g.Out(stu)) != 0 || len(g.In(stu)) != 0 {
+		t.Errorf("orphan should have no edges: out=%v in=%v", g.Out(stu), g.In(stu))
+	}
+}
+
+func TestDeletedRowsExcluded(t *testing.T) {
+	db := newUniversityDB(t, 3)
+	// Delete the second student; its node must not appear.
+	stu := db.Table("student")
+	var second sqldb.RID = 1
+	if err := db.Delete("student", second); err != nil {
+		t.Fatal(err)
+	}
+	g := mustBuild(t, db, nil)
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", g.NumNodes())
+	}
+	if g.NodeOf("student", second) != NoNode {
+		t.Error("deleted row mapped to a node")
+	}
+	dept := g.NodeOf("dept", 0)
+	if p := g.Prestige(dept); p != 2 {
+		t.Errorf("prestige after delete = %v, want 2", p)
+	}
+	_ = stu
+}
+
+func TestReverseAdjacencyMirrorsForward(t *testing.T) {
+	db := newUniversityDB(t, 6)
+	g := mustBuild(t, db, nil)
+	// Every arc u->v must appear in rev[v] with the same weight.
+	count := 0
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, e := range g.Out(u) {
+			found := false
+			for _, r := range g.In(e.To) {
+				if r.To == u && r.W == e.W {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("arc %d->%d (w=%v) missing from reverse adjacency", u, e.To, e.W)
+			}
+			count++
+		}
+	}
+	if count != g.NumArcs() {
+		t.Errorf("arc count mismatch: %d vs %d", count, g.NumArcs())
+	}
+}
+
+func TestNodesOfTableRanges(t *testing.T) {
+	db := newUniversityDB(t, 3)
+	g := mustBuild(t, db, nil)
+	dt := g.TableID("dept")
+	st := g.TableID("STUDENT") // case-insensitive
+	lo, hi := g.NodesOfTable(dt)
+	if hi-lo != 1 {
+		t.Errorf("dept range = [%d,%d)", lo, hi)
+	}
+	lo, hi = g.NodesOfTable(st)
+	if hi-lo != 3 {
+		t.Errorf("student range = [%d,%d)", lo, hi)
+	}
+	for n := lo; n < hi; n++ {
+		if g.TableNameOf(n) != "student" {
+			t.Errorf("node %d table = %s", n, g.TableNameOf(n))
+		}
+	}
+}
+
+func TestParallelEdgesMergedToMin(t *testing.T) {
+	// Cites-style table with two FKs to the same target; a row referencing
+	// the same paper twice creates parallel arcs that must merge to min.
+	db := sqldb.NewDatabase()
+	db.CreateTable(&sqldb.TableSchema{
+		Name:       "paper",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.TypeInt, NotNull: true}},
+		PrimaryKey: []string{"id"},
+	})
+	db.CreateTable(&sqldb.TableSchema{
+		Name: "rel",
+		Columns: []sqldb.Column{
+			{Name: "a", Type: sqldb.TypeInt},
+			{Name: "b", Type: sqldb.TypeInt},
+		},
+		ForeignKeys: []sqldb.ForeignKey{
+			{Column: "a", RefTable: "paper", Weight: 1},
+			{Column: "b", RefTable: "paper", Weight: 3},
+		},
+	})
+	db.Insert("paper", []sqldb.Value{sqldb.Int(1)})
+	db.Insert("rel", []sqldb.Value{sqldb.Int(1), sqldb.Int(1)})
+	g := mustBuild(t, db, nil)
+	r, p := g.NodeOf("rel", 0), g.NodeOf("paper", 0)
+	if w := g.ArcWeight(r, p); w != 1 {
+		t.Errorf("merged forward = %v, want min(1,3)=1", w)
+	}
+	if len(g.Out(r)) != 1 {
+		t.Errorf("out degree = %d, want 1 after merge", len(g.Out(r)))
+	}
+	// Prestige still counts both links.
+	if g.Prestige(p) != 2 {
+		t.Errorf("prestige = %v, want 2", g.Prestige(p))
+	}
+}
+
+func TestPageRankPrestigeOption(t *testing.T) {
+	// A citation chain: c2 -> c1 -> root. With prestige transfer, root
+	// benefits from c1's own prestige.
+	db := sqldb.NewDatabase()
+	db.CreateTable(&sqldb.TableSchema{
+		Name: "paper",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeInt, NotNull: true},
+			{Name: "cites", Type: sqldb.TypeInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "cites", RefTable: "paper"}},
+	})
+	db.Insert("paper", []sqldb.Value{sqldb.Int(1), sqldb.Null()})
+	db.Insert("paper", []sqldb.Value{sqldb.Int(2), sqldb.Int(1)})
+	db.Insert("paper", []sqldb.Value{sqldb.Int(3), sqldb.Int(2)})
+	g := mustBuild(t, db, &BuildOptions{ScaleBackEdges: true, PrestigeDamping: 0.85})
+	root := g.NodeOf("paper", 0)
+	mid := g.NodeOf("paper", 1)
+	leaf := g.NodeOf("paper", 2)
+	if !(g.Prestige(root) > g.Prestige(mid) && g.Prestige(mid) > g.Prestige(leaf)) {
+		t.Errorf("pagerank order violated: root=%v mid=%v leaf=%v",
+			g.Prestige(root), g.Prestige(mid), g.Prestige(leaf))
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	g := mustBuild(t, sqldb.NewDatabase(), nil)
+	if g.NumNodes() != 0 || g.NumArcs() != 0 {
+		t.Errorf("empty graph: %s", g)
+	}
+	if g.MinEdgeWeight() != 1 {
+		t.Errorf("min edge default = %v", g.MinEdgeWeight())
+	}
+}
+
+func TestMemoryFootprintPositive(t *testing.T) {
+	g := mustBuild(t, newUniversityDB(t, 10), nil)
+	if g.MemoryFootprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}
+
+func TestSelfLoopSkipped(t *testing.T) {
+	db := sqldb.NewDatabase()
+	db.CreateTable(&sqldb.TableSchema{
+		Name: "emp",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeInt, NotNull: true},
+			{Name: "boss", Type: sqldb.TypeInt},
+		},
+		PrimaryKey:  []string{"id"},
+		ForeignKeys: []sqldb.ForeignKey{{Column: "boss", RefTable: "emp"}},
+	})
+	// FK checks are immediate, so a row cannot reference itself at insert
+	// time; insert with NULL then update to point at itself.
+	if _, err := db.Insert("emp", []sqldb.Value{sqldb.Int(1), sqldb.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("emp", 0, map[string]sqldb.Value{"boss": sqldb.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	g := mustBuild(t, db, nil)
+	n := g.NodeOf("emp", 0)
+	if len(g.Out(n)) != 0 {
+		t.Errorf("self-loop should be skipped, out = %v", g.Out(n))
+	}
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// The graph snapshot format lets a built graph be persisted and reloaded
+// without touching the database — useful when the paper's "2 minute load"
+// is still too slow for a deployment, and for shipping a search service
+// without the row data.
+
+const graphMagic = "BANKSGR1"
+
+// WriteTo serializes the graph.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := io.WriteString(cw, graphMagic); err != nil {
+		return cw.n, err
+	}
+	putUvarint(cw, uint64(len(g.tableNames)))
+	for _, name := range g.tableNames {
+		putString(cw, name)
+	}
+	putUvarint(cw, uint64(g.NumNodes()))
+	for i := range g.tableStart {
+		putUvarint(cw, uint64(g.tableStart[i]))
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		putUvarint(cw, uint64(g.ridOf[n]))
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		putFloat(cw, g.prestige[n])
+	}
+	// Arcs: forward adjacency only; the reverse side is rebuilt on read.
+	putUvarint(cw, uint64(g.numArcs))
+	for n := 0; n < g.NumNodes(); n++ {
+		putUvarint(cw, uint64(len(g.fwd[n])))
+		prev := NodeID(0)
+		for _, e := range g.fwd[n] {
+			putUvarint(cw, uint64(e.To-prev)) // sorted by To: delta-code
+			prev = e.To
+			putFloat(cw, e.W)
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadGraph deserializes a graph written by WriteTo.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(graphMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != graphMagic {
+		return nil, errors.New("graph: bad magic")
+	}
+	g := &Graph{tableIDs: make(map[string]int32)}
+	ntables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ntables; i++ {
+		name, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		g.tableIDs[lower(name)] = int32(len(g.tableNames))
+		g.tableNames = append(g.tableNames, name)
+	}
+	nnodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	g.tableStart = make([]NodeID, ntables+1)
+	for i := range g.tableStart {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		g.tableStart[i] = NodeID(v)
+	}
+	g.tableOf = make([]int32, nnodes)
+	for t := int32(0); t < int32(ntables); t++ {
+		for n := g.tableStart[t]; n < g.tableStart[t+1]; n++ {
+			g.tableOf[n] = t
+		}
+	}
+	g.ridOf = make([]sqldb.RID, nnodes)
+	maxRID := make([]int64, ntables)
+	for n := range g.ridOf {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		g.ridOf[n] = sqldb.RID(v)
+		t := g.tableOf[n]
+		if int64(v) >= maxRID[t] {
+			maxRID[t] = int64(v) + 1
+		}
+	}
+	g.nodeOf = make([][]NodeID, ntables)
+	for t := range g.nodeOf {
+		m := make([]NodeID, maxRID[t])
+		for i := range m {
+			m[i] = NoNode
+		}
+		g.nodeOf[t] = m
+	}
+	for n := range g.ridOf {
+		g.nodeOf[g.tableOf[n]][g.ridOf[n]] = NodeID(n)
+	}
+	g.prestige = make([]float64, nnodes)
+	for n := range g.prestige {
+		f, err := getFloat(br)
+		if err != nil {
+			return nil, err
+		}
+		g.prestige[n] = f
+	}
+	narcs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	arcs := make([]arc, 0, narcs)
+	for n := 0; n < int(nnodes); n++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev := NodeID(0)
+		for j := uint64(0); j < deg; j++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev += NodeID(d)
+			w, err := getFloat(br)
+			if err != nil {
+				return nil, err
+			}
+			arcs = append(arcs, arc{from: NodeID(n), to: prev, w: w})
+		}
+	}
+	if uint64(len(arcs)) != narcs {
+		return nil, fmt.Errorf("graph: arc count mismatch: header %d, data %d", narcs, len(arcs))
+	}
+	g.finish(arcs)
+	return g, nil
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func putUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putString(w io.Writer, s string) {
+	putUvarint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+func putFloat(w io.Writer, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.Write(buf[:])
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errors.New("graph: string too long")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func getFloat(br *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+func TestGraphSerializationRoundTrip(t *testing.T) {
+	db := newUniversityDB(t, 9)
+	g := mustBuild(t, db, nil)
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumArcs() != g.NumArcs() || back.NumTables() != g.NumTables() {
+		t.Fatalf("shape mismatch: %s vs %s", back, g)
+	}
+	if back.MinEdgeWeight() != g.MinEdgeWeight() || back.MaxNodeWeight() != g.MaxNodeWeight() {
+		t.Errorf("normalizers differ")
+	}
+	for n := NodeID(0); int(n) < g.NumNodes(); n++ {
+		if back.TableNameOf(n) != g.TableNameOf(n) || back.RIDOf(n) != g.RIDOf(n) {
+			t.Fatalf("node %d identity differs", n)
+		}
+		if back.Prestige(n) != g.Prestige(n) {
+			t.Fatalf("node %d prestige differs", n)
+		}
+		a, b := g.Out(n), back.Out(n)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree differs", n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d edge %d differs: %+v vs %+v", n, i, a[i], b[i])
+			}
+		}
+	}
+	// Node lookup by (table, rid) survives.
+	if back.NodeOf("dept", 0) != g.NodeOf("dept", 0) {
+		t.Error("NodeOf mismatch")
+	}
+	if back.NodeOf("student", 3) != g.NodeOf("student", 3) {
+		t.Error("NodeOf mismatch for student")
+	}
+}
+
+func TestGraphSerializationWithTombstones(t *testing.T) {
+	db := newUniversityDB(t, 5)
+	if err := db.Delete("student", 2); err != nil {
+		t.Fatal(err)
+	}
+	g := mustBuild(t, db, nil)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NodeOf("student", 2) != NoNode {
+		t.Error("tombstoned rid mapped to a node after round trip")
+	}
+	if back.NodeOf("student", 3) == NoNode {
+		t.Error("live rid lost after round trip")
+	}
+}
+
+func TestReadGraphBadInput(t *testing.T) {
+	if _, err := ReadGraph(bytes.NewReader([]byte("NOTAGRAPH"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadGraph(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadGraph(bytes.NewReader([]byte(graphMagic))); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
+
+func TestGraphSerializationEmpty(t *testing.T) {
+	g := mustBuild(t, sqldb.NewDatabase(), nil)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 0 || back.NumArcs() != 0 {
+		t.Errorf("empty round trip: %s", back)
+	}
+}

@@ -1,0 +1,337 @@
+// Package index implements the keyword index of Section 3 of the paper:
+// given a search term, it returns the set of nodes S_i relevant to it. A
+// node is relevant when the term appears in a textual attribute of the
+// tuple, or in metadata — the name of the tuple's relation or one of its
+// columns ("all tuples belonging to a relation named AUTHOR would be
+// regarded as relevant to the keyword 'author'").
+//
+// The paper keeps this index disk-resident; WriteTo/ReadFrom provide a
+// compact binary serialization for the same purpose.
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// Tokenize splits s into lower-cased tokens at non-alphanumeric boundaries.
+// Numbers are kept as tokens (so "vldb 1998" matches a year column rendered
+// as text).
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, strings.ToLower(s[start:i]))
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, strings.ToLower(s[start:]))
+	}
+	return out
+}
+
+// Match is the result of looking up one search term: explicit node matches
+// from data tokens, plus table ids whose metadata (relation or column name)
+// matched — every node of such a table is relevant to the term.
+type Match struct {
+	Nodes  []graph.NodeID
+	Tables []int32
+}
+
+// Empty reports whether the term matched nothing at all.
+func (m Match) Empty() bool { return len(m.Nodes) == 0 && len(m.Tables) == 0 }
+
+// Index is the inverted keyword index over a data graph.
+type Index struct {
+	terms map[string][]graph.NodeID
+	meta  map[string][]int32
+	nodes int
+	posts int
+}
+
+// Build indexes every text attribute of every live row of db, mapping
+// matches to nodes of g. g must have been built from the same database
+// snapshot.
+func Build(db *sqldb.Database, g *graph.Graph) (*Index, error) {
+	ix := &Index{
+		terms: make(map[string][]graph.NodeID),
+		meta:  make(map[string][]int32),
+		nodes: g.NumNodes(),
+	}
+	db.RLock()
+	defer db.RUnlock()
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("index: table %s disappeared during build", name)
+		}
+		tid := g.TableID(name)
+		if tid < 0 {
+			return nil, fmt.Errorf("index: table %s not in graph", name)
+		}
+		// Metadata: relation name and column name tokens.
+		for _, tok := range Tokenize(name) {
+			ix.meta[tok] = appendUniqueTable(ix.meta[tok], tid)
+		}
+		textCols := make([]int, 0, len(t.Schema().Columns))
+		for i, c := range t.Schema().Columns {
+			for _, tok := range Tokenize(c.Name) {
+				ix.meta[tok] = appendUniqueTable(ix.meta[tok], tid)
+			}
+			if c.Type == sqldb.TypeText {
+				textCols = append(textCols, i)
+			}
+		}
+		t.Scan(func(rid sqldb.RID, row []sqldb.Value) bool {
+			n := g.NodeOf(name, rid)
+			if n == graph.NoNode {
+				return true
+			}
+			for _, ci := range textCols {
+				v := row[ci]
+				if v.IsNull() {
+					continue
+				}
+				for _, tok := range Tokenize(v.S) {
+					ix.terms[tok] = append(ix.terms[tok], n)
+				}
+			}
+			return true
+		})
+	}
+	// Sort and dedupe postings.
+	for tok, ns := range ix.terms {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		out := ns[:0]
+		for i, n := range ns {
+			if i == 0 || n != ns[i-1] {
+				out = append(out, n)
+			}
+		}
+		ix.terms[tok] = out
+		ix.posts += len(out)
+	}
+	return ix, nil
+}
+
+func appendUniqueTable(s []int32, t int32) []int32 {
+	for _, x := range s {
+		if x == t {
+			return s
+		}
+	}
+	return append(s, t)
+}
+
+// Lookup returns the match set for one search term (case-insensitive exact
+// token match, as in the paper's prototype).
+func (ix *Index) Lookup(term string) Match {
+	tok := strings.ToLower(strings.TrimSpace(term))
+	return Match{Nodes: ix.terms[tok], Tables: ix.meta[tok]}
+}
+
+// LookupPrefix returns nodes for all indexed tokens with the given prefix;
+// it backs the approximate-match extension mentioned in the paper's future
+// work. The result is sorted and deduplicated.
+func (ix *Index) LookupPrefix(prefix string) []graph.NodeID {
+	prefix = strings.ToLower(strings.TrimSpace(prefix))
+	if prefix == "" {
+		return nil
+	}
+	var out []graph.NodeID
+	for tok, ns := range ix.terms {
+		if strings.HasPrefix(tok, prefix) {
+			out = append(out, ns...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, n := range out {
+		if i == 0 || n != out[i-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	return dedup
+}
+
+// NumTerms returns the number of distinct indexed tokens.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// NumPostings returns the total posting count.
+func (ix *Index) NumPostings() int { return ix.posts }
+
+// NumNodes returns the node count of the graph the index was built for.
+func (ix *Index) NumNodes() int { return ix.nodes }
+
+const magic = "BANKSIX1"
+
+// WriteTo serializes the index (the paper's "disk resident" mode).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	writeUvarint(cw, uint64(ix.nodes))
+	writeUvarint(cw, uint64(len(ix.terms)))
+	toks := make([]string, 0, len(ix.terms))
+	for tok := range ix.terms {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		writeString(cw, tok)
+		ns := ix.terms[tok]
+		writeUvarint(cw, uint64(len(ns)))
+		prev := graph.NodeID(0)
+		for _, n := range ns {
+			writeUvarint(cw, uint64(n-prev)) // delta coding: postings are sorted
+			prev = n
+		}
+	}
+	writeUvarint(cw, uint64(len(ix.meta)))
+	mtoks := make([]string, 0, len(ix.meta))
+	for tok := range ix.meta {
+		mtoks = append(mtoks, tok)
+	}
+	sort.Strings(mtoks)
+	for _, tok := range mtoks {
+		writeString(cw, tok)
+		ts := ix.meta[tok]
+		writeUvarint(cw, uint64(len(ts)))
+		for _, t := range ts {
+			writeUvarint(cw, uint64(t))
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadFrom deserializes an index written by WriteTo.
+func ReadFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, errors.New("index: bad magic")
+	}
+	ix := &Index{terms: make(map[string][]graph.NodeID), meta: make(map[string][]int32)}
+	nodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ix.nodes = int(nodes)
+	nterms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nterms; i++ {
+		tok, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ns := make([]graph.NodeID, cnt)
+		prev := graph.NodeID(0)
+		for j := range ns {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev += graph.NodeID(d)
+			ns[j] = prev
+		}
+		ix.terms[tok] = ns
+		ix.posts += len(ns)
+	}
+	nmeta, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nmeta; i++ {
+		tok, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		ts := make([]int32, cnt)
+		for j := range ts {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ts[j] = int32(v)
+		}
+		ix.meta[tok] = ts
+	}
+	return ix, nil
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errors.New("index: token too long")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,79 @@
+package sqldb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpSQLDependencyOrder(t *testing.T) {
+	db := newBibDB(t) // Writes/Cites reference Paper/Author
+	db.Insert("Author", []Value{Text("a1"), Text("X")})
+	db.Insert("Paper", []Value{Text("p1"), Text("It's \"quoted\"")})
+	db.Insert("Writes", []Value{Text("a1"), Text("p1")})
+	var buf bytes.Buffer
+	if err := db.DumpSQL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Referenced tables must be created before referencing ones.
+	for _, pair := range [][2]string{
+		{"CREATE TABLE Paper", "CREATE TABLE Writes"},
+		{"CREATE TABLE Author", "CREATE TABLE Writes"},
+		{"CREATE TABLE Paper", "CREATE TABLE Cites"},
+	} {
+		if strings.Index(s, pair[0]) > strings.Index(s, pair[1]) {
+			t.Errorf("%q should precede %q", pair[0], pair[1])
+		}
+	}
+	// String escaping survives.
+	if !strings.Contains(s, "'It''s \"quoted\"'") {
+		t.Errorf("escaped literal missing from dump:\n%s", s)
+	}
+}
+
+// TestDumpSQLRoundTrip replays the dump through the parser/engine and
+// compares contents.
+func TestDumpSQLRoundTrip(t *testing.T) {
+	db := newBibDB(t)
+	db.Insert("Author", []Value{Text("a1"), Text("Jim Gray")})
+	db.Insert("Author", []Value{Text("a2"), Null()})
+	db.Insert("Paper", []Value{Text("p1"), Text("Transactions")})
+	db.Insert("Writes", []Value{Text("a1"), Text("p1")})
+	db.Insert("Cites", []Value{Text("p1"), Text("p1")})
+
+	var buf bytes.Buffer
+	if err := db.DumpSQL(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying needs the executor; to keep this package dependency-free
+	// the full round trip lives in sqlexec's tests. Here: structural
+	// checks only.
+	dump := buf.String()
+	if got := strings.Count(dump, "CREATE TABLE"); got != 4 {
+		t.Errorf("CREATE TABLE count = %d", got)
+	}
+	if !strings.Contains(dump, "NULL") {
+		t.Error("NULL value missing")
+	}
+}
+
+func TestDumpSQLManyRowsBatches(t *testing.T) {
+	db := NewDatabase()
+	db.CreateTable(&TableSchema{
+		Name:    "t",
+		Columns: []Column{{Name: "a", Type: TypeInt}},
+	})
+	for i := 0; i < 150; i++ {
+		db.Insert("t", []Value{Int(int64(i))})
+	}
+	var buf bytes.Buffer
+	if err := db.DumpSQL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 150 rows at batch size 64 = 3 INSERT statements.
+	if got := strings.Count(buf.String(), "INSERT INTO t"); got != 3 {
+		t.Errorf("INSERT statements = %d, want 3", got)
+	}
+}

@@ -1,0 +1,17 @@
+package sqldb
+
+import "errors"
+
+// Sentinel errors returned by the engine. Wrap-aware callers should test
+// with errors.Is.
+var (
+	ErrNoTable       = errors.New("sqldb: no such table")
+	ErrDuplicateName = errors.New("sqldb: table already exists")
+	ErrNoColumn      = errors.New("sqldb: no such column")
+	ErrNoRow         = errors.New("sqldb: no such row")
+	ErrDuplicateKey  = errors.New("sqldb: duplicate primary key")
+	ErrNotNull       = errors.New("sqldb: NOT NULL constraint violated")
+	ErrFKViolation   = errors.New("sqldb: foreign key constraint violated")
+	ErrFKRestrict    = errors.New("sqldb: row is referenced by other rows")
+	ErrNoPrimaryKey  = errors.New("sqldb: referenced table has no usable primary key")
+)

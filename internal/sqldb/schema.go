@@ -1,0 +1,133 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// ForeignKey declares that Column of the owning table references RefColumn
+// (which must be the primary key) of RefTable.
+//
+// Weight is the similarity s(R1, R2) from Section 2.2 of the paper: the
+// forward edge weight from a referencing tuple to the referenced tuple.
+// Smaller values mean stronger proximity; zero means "use the default" (1).
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+	Weight    float64
+}
+
+// TableSchema is the static description of a table.
+type TableSchema struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string // column names; may be empty (rowid-only table)
+	ForeignKeys []ForeignKey
+}
+
+// Clone returns a deep copy of the schema.
+func (s *TableSchema) Clone() *TableSchema {
+	c := &TableSchema{Name: s.Name}
+	c.Columns = append([]Column(nil), s.Columns...)
+	c.PrimaryKey = append([]string(nil), s.PrimaryKey...)
+	c.ForeignKeys = append([]ForeignKey(nil), s.ForeignKeys...)
+	return c
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i := range s.Columns {
+		if strings.EqualFold(s.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column, or nil.
+func (s *TableSchema) Column(name string) *Column {
+	if i := s.ColumnIndex(name); i >= 0 {
+		return &s.Columns[i]
+	}
+	return nil
+}
+
+// validate checks internal consistency (duplicate columns, PK/FK columns
+// existing, FK weights non-negative). Cross-table FK validation happens at
+// CreateTable time against the catalog.
+func (s *TableSchema) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sqldb: table must have a name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("sqldb: table %s has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("sqldb: table %s has an unnamed column", s.Name)
+		}
+		if seen[lc] {
+			return fmt.Errorf("sqldb: table %s: duplicate column %s", s.Name, c.Name)
+		}
+		if c.Type == TypeNull {
+			return fmt.Errorf("sqldb: table %s column %s: NULL is not a column type", s.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	pkSeen := make(map[string]bool, len(s.PrimaryKey))
+	for _, pk := range s.PrimaryKey {
+		if s.ColumnIndex(pk) < 0 {
+			return fmt.Errorf("sqldb: table %s: primary key column %s does not exist", s.Name, pk)
+		}
+		if pkSeen[strings.ToLower(pk)] {
+			return fmt.Errorf("sqldb: table %s: duplicate primary key column %s", s.Name, pk)
+		}
+		pkSeen[strings.ToLower(pk)] = true
+	}
+	for _, fk := range s.ForeignKeys {
+		if s.ColumnIndex(fk.Column) < 0 {
+			return fmt.Errorf("sqldb: table %s: foreign key column %s does not exist", s.Name, fk.Column)
+		}
+		if fk.RefTable == "" {
+			return fmt.Errorf("sqldb: table %s: foreign key on %s has no referenced table", s.Name, fk.Column)
+		}
+		if fk.Weight < 0 {
+			return fmt.Errorf("sqldb: table %s: foreign key on %s has negative weight", s.Name, fk.Column)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as a CREATE TABLE statement.
+func (s *TableSchema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Name)
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if len(s.PrimaryKey) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(s.PrimaryKey, ", "))
+	}
+	for _, fk := range s.ForeignKeys {
+		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)", fk.Column, fk.RefTable, fk.RefColumn)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package sqldb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Text("hello"), "hello"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValueSQLLiteralEscapes(t *testing.T) {
+	v := Text("O'Brien")
+	if got, want := v.SQLLiteral(), "'O''Brien'"; got != want {
+		t.Errorf("SQLLiteral = %q, want %q", got, want)
+	}
+	if got, want := Int(3).SQLLiteral(), "3"; got != want {
+		t.Errorf("SQLLiteral = %q, want %q", got, want)
+	}
+}
+
+func TestValueIsNull(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0).IsNull() = true")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value should be NULL")
+	}
+}
+
+func TestValueAsBool(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{Int(0), false},
+		{Int(1), true},
+		{Float(0), false},
+		{Float(0.5), true},
+		{Text(""), false},
+		{Text("x"), true},
+		{Bool(true), true},
+		{Bool(false), false},
+	}
+	for _, c := range cases {
+		if got := c.v.AsBool(); got != c.want {
+			t.Errorf("AsBool(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueConvert(t *testing.T) {
+	cases := []struct {
+		in     Value
+		to     Type
+		want   Value
+		hasErr bool
+	}{
+		{Int(3), TypeFloat, Float(3), false},
+		{Float(3), TypeInt, Int(3), false},
+		{Float(3.5), TypeInt, Null(), true},
+		{Text("12"), TypeInt, Int(12), false},
+		{Text("1.5"), TypeFloat, Float(1.5), false},
+		{Text("abc"), TypeInt, Null(), true},
+		{Int(7), TypeText, Text("7"), false},
+		{Null(), TypeInt, Null(), false},
+		{Bool(true), TypeInt, Int(1), false},
+		{Int(0), TypeBool, Bool(false), false},
+	}
+	for _, c := range cases {
+		got, err := c.in.Convert(c.to)
+		if (err != nil) != c.hasErr {
+			t.Errorf("Convert(%v, %v) err = %v, hasErr want %v", c.in, c.to, err, c.hasErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Convert(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	lt := func(a, b Value) {
+		t.Helper()
+		c, err := a.Compare(b)
+		if err != nil || c != -1 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want -1", a, b, c, err)
+		}
+		c, err = b.Compare(a)
+		if err != nil || c != 1 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want 1", b, a, c, err)
+		}
+	}
+	lt(Int(1), Int(2))
+	lt(Float(1.5), Int(2))
+	lt(Int(1), Float(1.5))
+	lt(Text("a"), Text("b"))
+	lt(Null(), Int(0))
+	lt(Null(), Text(""))
+	lt(Bool(false), Bool(true))
+
+	if _, err := Text("a").Compare(Int(1)); err == nil {
+		t.Error("comparing TEXT to INT should error")
+	}
+	if c, err := Int(5).Compare(Float(5)); err != nil || c != 0 {
+		t.Errorf("Int(5) vs Float(5): %d, %v; want 0", c, err)
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL should not equal NULL")
+	}
+	if Null().Equal(Int(0)) || Int(0).Equal(Null()) {
+		t.Error("NULL should not equal 0")
+	}
+	if !Int(3).Equal(Float(3)) {
+		t.Error("3 should equal 3.0")
+	}
+}
+
+func TestEncodeKeyDistinctness(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Float(0.5), Text(""), Text("0"),
+		Text("i0"), Bool(true), Bool(false), Text("a\x00b"), Text("ab"),
+	}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		k := v.KeyString()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision: %v and %v both encode to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+	// Numeric equality must collapse across types for index lookups.
+	if Int(5).KeyString() != Float(5).KeyString() {
+		t.Error("Int(5) and Float(5) should share a key")
+	}
+}
+
+func TestEncodeKeyInjectiveProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return Text(a).KeyString() != Text(b).KeyString()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int64) bool {
+		if a == b {
+			return true
+		}
+		return Int(a).KeyString() != Int(b).KeyString()
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, err1 := x.Compare(y)
+		c2, err2 := y.Compare(x)
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRowKeyComposite(t *testing.T) {
+	a := EncodeRowKey([]Value{Text("x"), Int(1)})
+	b := EncodeRowKey([]Value{Text("x"), Int(2)})
+	c := EncodeRowKey([]Value{Text("x1"), Int(0)})
+	if a == b || a == c || b == c {
+		t.Errorf("composite keys should be distinct: %q %q %q", a, b, c)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for name, want := range map[string]Type{
+		"INT": TypeInt, "integer": TypeInt, "VARCHAR": TypeText,
+		"text": TypeText, "FLOAT": TypeFloat, "double": TypeFloat,
+		"BOOLEAN": TypeBool,
+	} {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("ParseType(BLOB) should fail")
+	}
+}
+
+func TestFloatKeyNonInteger(t *testing.T) {
+	if Float(math.Pi).KeyString() == Float(math.E).KeyString() {
+		t.Error("distinct floats must encode distinctly")
+	}
+}

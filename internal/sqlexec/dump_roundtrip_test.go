@@ -1,0 +1,45 @@
+package sqlexec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// TestDumpSQLReplay dumps a populated database and replays the script into
+// a fresh engine, then compares row counts and spot values.
+func TestDumpSQLReplay(t *testing.T) {
+	src := newEngine(t) // authors/papers/writes with data
+	var buf bytes.Buffer
+	if err := src.DB().DumpSQL(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(sqldb.NewDatabase())
+	if _, err := dst.ExecuteScript(buf.String()); err != nil {
+		t.Fatalf("replaying dump: %v\n--- dump ---\n%s", err, buf.String())
+	}
+	for _, tbl := range []string{"author", "paper", "writes"} {
+		a := src.DB().Table(tbl).Len()
+		b := dst.DB().Table(tbl).Len()
+		if a != b {
+			t.Errorf("table %s: %d rows vs %d after replay", tbl, a, b)
+		}
+	}
+	r, err := dst.Execute("SELECT name FROM author WHERE aid = 'gray'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "Jim Gray" {
+		t.Errorf("replayed value = %v", rowStrings(r))
+	}
+	// NULLs survive.
+	r, err = dst.Execute("SELECT COUNT(*) FROM author WHERE born IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 2 {
+		t.Errorf("NULL count = %v", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,556 @@
+// Package sqlexec plans and executes parsed SQL statements against a
+// sqldb.Database. Together with internal/sqlparse it forms the SQL access
+// path the paper got from JDBC + IBM UDB: the browsing subsystem compiles
+// its view operations to SELECT statements executed here, and datasets can
+// be loaded from .sql scripts.
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlparse"
+)
+
+// colInfo describes one column of an intermediate row: the (lower-cased)
+// qualifier it is reachable under, its (lower-cased) name, and its display
+// name.
+type colInfo struct {
+	qual string
+	name string
+	disp string
+}
+
+// rowSchema is the shape of rows flowing through the executor.
+type rowSchema struct {
+	cols []colInfo
+}
+
+func (s *rowSchema) resolve(qual, name string) (int, error) {
+	qual = strings.ToLower(qual)
+	name = strings.ToLower(name)
+	found := -1
+	for i, c := range s.cols {
+		if c.name != name {
+			continue
+		}
+		if qual != "" && c.qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("sqlexec: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return -1, fmt.Errorf("sqlexec: no column %s.%s", qual, name)
+		}
+		return -1, fmt.Errorf("sqlexec: no column %q", name)
+	}
+	return found, nil
+}
+
+// evalCtx carries everything expression evaluation needs: the row schema and
+// values, bound parameters, and (after aggregation) computed aggregate
+// values keyed by the canonical expression string.
+type evalCtx struct {
+	schema *rowSchema
+	row    []sqldb.Value
+	params []sqldb.Value
+	aggs   map[string]sqldb.Value
+}
+
+func eval(e sqlparse.Expr, ctx *evalCtx) (sqldb.Value, error) {
+	// Aggregate results computed by the grouping stage shadow everything.
+	if ctx.aggs != nil {
+		if v, ok := ctx.aggs[e.String()]; ok {
+			return v, nil
+		}
+	}
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Value, nil
+	case *sqlparse.Param:
+		if x.Index >= len(ctx.params) {
+			return sqldb.Null(), fmt.Errorf("sqlexec: missing value for parameter %d", x.Index+1)
+		}
+		return ctx.params[x.Index], nil
+	case *sqlparse.ColumnRef:
+		if ctx.schema == nil {
+			return sqldb.Null(), fmt.Errorf("sqlexec: column %s in constant context", e.String())
+		}
+		i, err := ctx.schema.resolve(x.Table, x.Column)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return ctx.row[i], nil
+	case *sqlparse.UnaryExpr:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		switch x.Op {
+		case "-":
+			switch v.T {
+			case sqldb.TypeNull:
+				return sqldb.Null(), nil
+			case sqldb.TypeInt:
+				return sqldb.Int(-v.I), nil
+			case sqldb.TypeFloat:
+				return sqldb.Float(-v.F), nil
+			}
+			return sqldb.Null(), fmt.Errorf("sqlexec: cannot negate %s", v.T)
+		case "NOT":
+			if v.IsNull() {
+				return sqldb.Null(), nil
+			}
+			return sqldb.Bool(!v.AsBool()), nil
+		}
+		return sqldb.Null(), fmt.Errorf("sqlexec: unknown unary op %q", x.Op)
+	case *sqlparse.BinaryExpr:
+		return evalBinary(x, ctx)
+	case *sqlparse.FuncCall:
+		return evalScalarFunc(x, ctx)
+	case *sqlparse.InExpr:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if v.IsNull() {
+			return sqldb.Null(), nil
+		}
+		sawNull := false
+		for _, item := range x.List {
+			iv, err := eval(item, ctx)
+			if err != nil {
+				return sqldb.Null(), err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if v.Equal(iv) {
+				return sqldb.Bool(!x.Not), nil
+			}
+		}
+		if sawNull {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Bool(x.Not), nil
+	case *sqlparse.IsNullExpr:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		return sqldb.Bool(v.IsNull() != x.Not), nil
+	case *sqlparse.BetweenExpr:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		lo, err := eval(x.Lo, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		hi, err := eval(x.Hi, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return sqldb.Null(), nil
+		}
+		c1, err := v.Compare(lo)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		c2, err := v.Compare(hi)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		in := c1 >= 0 && c2 <= 0
+		return sqldb.Bool(in != x.Not), nil
+	}
+	return sqldb.Null(), fmt.Errorf("sqlexec: cannot evaluate %T", e)
+}
+
+func evalBinary(x *sqlparse.BinaryExpr, ctx *evalCtx) (sqldb.Value, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := eval(x.Left, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		// Short-circuit where three-valued logic allows it.
+		if x.Op == "AND" && !l.IsNull() && !l.AsBool() {
+			return sqldb.Bool(false), nil
+		}
+		if x.Op == "OR" && !l.IsNull() && l.AsBool() {
+			return sqldb.Bool(true), nil
+		}
+		r, err := eval(x.Right, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		if x.Op == "AND" {
+			if !r.IsNull() && !r.AsBool() {
+				return sqldb.Bool(false), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return sqldb.Null(), nil
+			}
+			return sqldb.Bool(true), nil
+		}
+		if !r.IsNull() && r.AsBool() {
+			return sqldb.Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Bool(false), nil
+	}
+
+	l, err := eval(x.Left, ctx)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	r, err := eval(x.Right, ctx)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		c, err := l.Compare(r)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		var b bool
+		switch x.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return sqldb.Bool(b), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Bool(matchLike(l.String(), r.String())), nil
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Text(l.String() + r.String()), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(x.Op, l, r)
+	}
+	return sqldb.Null(), fmt.Errorf("sqlexec: unknown operator %q", x.Op)
+}
+
+func evalArith(op string, l, r sqldb.Value) (sqldb.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return sqldb.Null(), nil
+	}
+	numeric := func(v sqldb.Value) bool {
+		return v.T == sqldb.TypeInt || v.T == sqldb.TypeFloat || v.T == sqldb.TypeBool
+	}
+	if !numeric(l) || !numeric(r) {
+		return sqldb.Null(), fmt.Errorf("sqlexec: %s requires numeric operands, got %s and %s", op, l.T, r.T)
+	}
+	if l.T == sqldb.TypeInt && r.T == sqldb.TypeInt {
+		a, b := l.I, r.I
+		switch op {
+		case "+":
+			return sqldb.Int(a + b), nil
+		case "-":
+			return sqldb.Int(a - b), nil
+		case "*":
+			return sqldb.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return sqldb.Null(), fmt.Errorf("sqlexec: division by zero")
+			}
+			return sqldb.Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return sqldb.Null(), fmt.Errorf("sqlexec: division by zero")
+			}
+			return sqldb.Int(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return sqldb.Float(a + b), nil
+	case "-":
+		return sqldb.Float(a - b), nil
+	case "*":
+		return sqldb.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return sqldb.Null(), fmt.Errorf("sqlexec: division by zero")
+		}
+		return sqldb.Float(a / b), nil
+	case "%":
+		return sqldb.Null(), fmt.Errorf("sqlexec: %% requires integer operands")
+	}
+	return sqldb.Null(), fmt.Errorf("sqlexec: unknown operator %q", op)
+}
+
+// matchLike implements SQL LIKE with % (any run) and _ (any one char),
+// case-insensitively (the common default for keyword-driven applications;
+// documented in the package README).
+func matchLike(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	// Iterative two-pointer matcher with backtracking on the last %.
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP = pi
+			starS = si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+func evalScalarFunc(x *sqlparse.FuncCall, ctx *evalCtx) (sqldb.Value, error) {
+	if sqlparse.AggregateFuncs[x.Name] {
+		return sqldb.Null(), fmt.Errorf("sqlexec: aggregate %s used outside GROUP BY context", x.Name)
+	}
+	args := make([]sqldb.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := eval(a, ctx)
+		if err != nil {
+			return sqldb.Null(), err
+		}
+		args[i] = v
+	}
+	needArgs := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sqlexec: %s expects %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "UPPER":
+		if err := needArgs(1); err != nil {
+			return sqldb.Null(), err
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Text(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := needArgs(1); err != nil {
+			return sqldb.Null(), err
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Text(strings.ToLower(args[0].String())), nil
+	case "LENGTH":
+		if err := needArgs(1); err != nil {
+			return sqldb.Null(), err
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		return sqldb.Int(int64(len(args[0].String()))), nil
+	case "ABS":
+		if err := needArgs(1); err != nil {
+			return sqldb.Null(), err
+		}
+		v := args[0]
+		switch v.T {
+		case sqldb.TypeNull:
+			return sqldb.Null(), nil
+		case sqldb.TypeInt:
+			if v.I < 0 {
+				return sqldb.Int(-v.I), nil
+			}
+			return v, nil
+		case sqldb.TypeFloat:
+			if v.F < 0 {
+				return sqldb.Float(-v.F), nil
+			}
+			return v, nil
+		}
+		return sqldb.Null(), fmt.Errorf("sqlexec: ABS of %s", v.T)
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return sqldb.Null(), nil
+	case "SUBSTR":
+		if len(args) != 2 && len(args) != 3 {
+			return sqldb.Null(), fmt.Errorf("sqlexec: SUBSTR expects 2 or 3 arguments")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqldb.Null(), nil
+		}
+		s := args[0].String()
+		start := int(args[1].AsFloat()) - 1 // SQL SUBSTR is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return sqldb.Text(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 && !args[2].IsNull() {
+			if n := int(args[2].AsFloat()); start+n < end {
+				end = start + n
+			}
+		}
+		if end < start {
+			end = start
+		}
+		return sqldb.Text(s[start:end]), nil
+	}
+	return sqldb.Null(), fmt.Errorf("sqlexec: unknown function %s", x.Name)
+}
+
+// aggAcc accumulates one aggregate over the rows of a group.
+type aggAcc struct {
+	fn       string
+	star     bool
+	distinct bool
+	arg      sqlparse.Expr
+
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	min     sqldb.Value
+	max     sqldb.Value
+	hasMM   bool
+	seen    map[string]bool
+}
+
+func newAggAcc(f *sqlparse.FuncCall) *aggAcc {
+	a := &aggAcc{fn: f.Name, star: f.Star, distinct: f.Distinct}
+	if !f.Star && len(f.Args) == 1 {
+		a.arg = f.Args[0]
+	}
+	if a.distinct {
+		a.seen = make(map[string]bool)
+	}
+	return a
+}
+
+func (a *aggAcc) add(ctx *evalCtx) error {
+	if a.star {
+		a.count++
+		return nil
+	}
+	if a.arg == nil {
+		return fmt.Errorf("sqlexec: %s requires one argument", a.fn)
+	}
+	v, err := eval(a.arg, ctx)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if a.distinct {
+		k := v.KeyString()
+		if a.seen[k] {
+			return nil
+		}
+		a.seen[k] = true
+	}
+	a.count++
+	switch a.fn {
+	case "SUM", "AVG":
+		switch v.T {
+		case sqldb.TypeInt, sqldb.TypeBool:
+			a.sumI += v.I
+			a.sumF += float64(v.I)
+		case sqldb.TypeFloat:
+			a.isFloat = true
+			a.sumF += v.F
+		default:
+			return fmt.Errorf("sqlexec: %s of non-numeric %s", a.fn, v.T)
+		}
+	case "MIN", "MAX":
+		if !a.hasMM {
+			a.min, a.max = v, v
+			a.hasMM = true
+			return nil
+		}
+		if c, err := v.Compare(a.min); err != nil {
+			return err
+		} else if c < 0 {
+			a.min = v
+		}
+		if c, err := v.Compare(a.max); err != nil {
+			return err
+		} else if c > 0 {
+			a.max = v
+		}
+	}
+	return nil
+}
+
+func (a *aggAcc) result() sqldb.Value {
+	switch a.fn {
+	case "COUNT":
+		return sqldb.Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return sqldb.Null()
+		}
+		if a.isFloat {
+			return sqldb.Float(a.sumF)
+		}
+		return sqldb.Int(a.sumI)
+	case "AVG":
+		if a.count == 0 {
+			return sqldb.Null()
+		}
+		return sqldb.Float(a.sumF / float64(a.count))
+	case "MIN":
+		if !a.hasMM {
+			return sqldb.Null()
+		}
+		return a.min
+	case "MAX":
+		if !a.hasMM {
+			return sqldb.Null()
+		}
+		return a.max
+	}
+	return sqldb.Null()
+}

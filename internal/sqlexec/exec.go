@@ -1,0 +1,263 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlparse"
+)
+
+// Result is the outcome of executing one statement. Query statements fill
+// Columns/Rows; data-modifying statements fill RowsAffected (and LastRID for
+// single-row inserts).
+type Result struct {
+	Columns      []string
+	Rows         [][]sqldb.Value
+	RowsAffected int64
+	LastRID      sqldb.RID
+}
+
+// IsQuery reports whether the result carries a row set.
+func (r *Result) IsQuery() bool { return r.Columns != nil }
+
+// Engine executes SQL against a database.
+type Engine struct {
+	db *sqldb.Database
+}
+
+// New returns an engine over db.
+func New(db *sqldb.Database) *Engine { return &Engine{db: db} }
+
+// DB returns the underlying database.
+func (e *Engine) DB() *sqldb.Database { return e.db }
+
+// Execute parses and runs a single SQL statement with optional ?
+// placeholders bound from params.
+func (e *Engine) Execute(sql string, params ...sqldb.Value) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(stmt, params)
+}
+
+// ExecuteScript parses and runs a semicolon-separated script, returning the
+// result of each statement. It stops at the first error.
+func (e *Engine) ExecuteScript(sql string, params ...sqldb.Value) ([]*Result, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for i, s := range stmts {
+		r, err := e.ExecuteStmt(s, params)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecuteStmt runs one parsed statement.
+func (e *Engine) ExecuteStmt(stmt sqlparse.Statement, params []sqldb.Value) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		e.db.RLock()
+		defer e.db.RUnlock()
+		return runSelect(e.db, s, params)
+	case *sqlparse.CreateTable:
+		if _, err := e.db.CreateTable(s.Schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparse.DropTable:
+		if err := e.db.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparse.Insert:
+		return e.runInsert(s, params)
+	case *sqlparse.Update:
+		return e.runUpdate(s, params)
+	case *sqlparse.Delete:
+		return e.runDelete(s, params)
+	}
+	return nil, fmt.Errorf("sqlexec: unsupported statement %T", stmt)
+}
+
+func (e *Engine) runInsert(s *sqlparse.Insert, params []sqldb.Value) (*Result, error) {
+	t := e.db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, s.Table)
+	}
+	cols := t.Schema().Columns
+	colPos := make([]int, 0, len(cols))
+	if len(s.Columns) == 0 {
+		for i := range cols {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := t.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", sqldb.ErrNoColumn, s.Table, name)
+			}
+			colPos = append(colPos, i)
+		}
+	}
+	res := &Result{LastRID: -1}
+	for _, rowExprs := range s.Rows {
+		if len(rowExprs) != len(colPos) {
+			return res, fmt.Errorf("sqlexec: INSERT into %s: %d values for %d columns", s.Table, len(rowExprs), len(colPos))
+		}
+		vals := make([]sqldb.Value, len(cols))
+		for i, ex := range rowExprs {
+			v, err := eval(ex, &evalCtx{params: params})
+			if err != nil {
+				return res, err
+			}
+			vals[colPos[i]] = v
+		}
+		rid, err := e.db.Insert(s.Table, vals)
+		if err != nil {
+			return res, err
+		}
+		res.RowsAffected++
+		res.LastRID = rid
+	}
+	return res, nil
+}
+
+// matchingRIDs collects the rids of rows in table t satisfying where (all
+// rows when where is nil).
+func (e *Engine) matchingRIDs(t *sqldb.Table, alias string, where sqlparse.Expr, params []sqldb.Value) ([]sqldb.RID, error) {
+	schema := tableSchema(t, alias)
+	var rids []sqldb.RID
+	var evalErr error
+	t.Scan(func(rid sqldb.RID, row []sqldb.Value) bool {
+		if where != nil {
+			v, err := eval(where, &evalCtx{schema: schema, row: row, params: params})
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if v.IsNull() || !v.AsBool() {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	return rids, evalErr
+}
+
+func (e *Engine) runUpdate(s *sqlparse.Update, params []sqldb.Value) (*Result, error) {
+	t := e.db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, s.Table)
+	}
+	for _, sc := range s.Set {
+		if t.ColumnIndex(sc.Column) < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", sqldb.ErrNoColumn, s.Table, sc.Column)
+		}
+	}
+	e.db.RLock()
+	rids, err := e.matchingRIDs(t, "", s.Where, params)
+	e.db.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	schema := tableSchema(t, "")
+	res := &Result{LastRID: -1}
+	for _, rid := range rids {
+		row := t.Row(rid)
+		if row == nil {
+			continue
+		}
+		set := make(map[string]sqldb.Value, len(s.Set))
+		for _, sc := range s.Set {
+			v, err := eval(sc.Expr, &evalCtx{schema: schema, row: row, params: params})
+			if err != nil {
+				return res, err
+			}
+			set[sc.Column] = v
+		}
+		if err := e.db.Update(s.Table, rid, set); err != nil {
+			return res, err
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (e *Engine) runDelete(s *sqlparse.Delete, params []sqldb.Value) (*Result, error) {
+	t := e.db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, s.Table)
+	}
+	e.db.RLock()
+	rids, err := e.matchingRIDs(t, "", s.Where, params)
+	e.db.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{LastRID: -1}
+	for _, rid := range rids {
+		if err := e.db.Delete(s.Table, rid); err != nil {
+			return res, err
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// FormatTable renders a result as an aligned text table; the SQL shell and
+// examples use it.
+func FormatTable(r *Result) string {
+	if !r.IsQuery() {
+		return fmt.Sprintf("%d row(s) affected", r.RowsAffected)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}

@@ -1,0 +1,479 @@
+package sqlexec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// newEngine loads a small bibliographic database through the SQL path so the
+// tests exercise parser + executor + storage together.
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(sqldb.NewDatabase())
+	script := `
+	CREATE TABLE author (aid TEXT PRIMARY KEY, name TEXT NOT NULL, born INT);
+	CREATE TABLE paper (pid TEXT PRIMARY KEY, title TEXT, year INT);
+	CREATE TABLE writes (aid TEXT REFERENCES author, pid TEXT REFERENCES paper);
+	INSERT INTO author VALUES ('gray', 'Jim Gray', 1944), ('reuter', 'Andreas Reuter', 1949),
+		('soumen', 'Soumen Chakrabarti', NULL), ('sunita', 'Sunita Sarawagi', NULL);
+	INSERT INTO paper VALUES ('tp', 'Transaction Processing', 1993),
+		('tc', 'The Transaction Concept', 1981),
+		('mining', 'Mining Surprising Patterns', 1998);
+	INSERT INTO writes VALUES ('gray', 'tp'), ('reuter', 'tp'), ('gray', 'tc'),
+		('soumen', 'mining'), ('sunita', 'mining');
+	`
+	if _, err := e.ExecuteScript(script); err != nil {
+		t.Fatalf("loading script: %v", err)
+	}
+	return e
+}
+
+func mustQuery(t *testing.T, e *Engine, sql string, params ...sqldb.Value) *Result {
+	t.Helper()
+	r, err := e.Execute(sql, params...)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", sql, err)
+	}
+	return r
+}
+
+func rowStrings(r *Result) []string {
+	var out []string
+	for _, row := range r.Rows {
+		var cells []string
+		for _, v := range row {
+			cells = append(cells, v.String())
+		}
+		out = append(out, strings.Join(cells, "|"))
+	}
+	return out
+}
+
+func TestSelectAll(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT * FROM author")
+	if len(r.Columns) != 3 || r.Columns[0] != "aid" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	if len(r.Rows) != 4 {
+		t.Errorf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT name FROM author WHERE born > 1945")
+	got := rowStrings(r)
+	if len(got) != 1 || got[0] != "Andreas Reuter" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestSelectWhereNullComparison(t *testing.T) {
+	e := newEngine(t)
+	// born IS NULL for soumen/sunita; NULL comparisons must not match.
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM author WHERE born > 0")
+	if r.Rows[0][0].I != 2 {
+		t.Errorf("count = %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, e, "SELECT COUNT(*) FROM author WHERE born IS NULL")
+	if r.Rows[0][0].I != 2 {
+		t.Errorf("count = %v", r.Rows[0][0])
+	}
+}
+
+func TestSelectProjectionAndAlias(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT name AS who, born + 1 AS next FROM author WHERE aid = 'gray'")
+	if r.Columns[0] != "who" || r.Columns[1] != "next" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	if r.Rows[0][1].I != 1945 {
+		t.Errorf("expr value = %v", r.Rows[0][1])
+	}
+}
+
+func TestSelectOrderByLimitOffset(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT aid FROM author ORDER BY aid DESC LIMIT 2 OFFSET 1")
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "soumen" || got[1] != "reuter" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestSelectOrderByOrdinalAndAlias(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT aid, born AS b FROM author WHERE born IS NOT NULL ORDER BY 2 DESC")
+	got := rowStrings(r)
+	if got[0] != "reuter|1949" {
+		t.Errorf("ordinal order = %v", got)
+	}
+	r = mustQuery(t, e, "SELECT aid, born AS b FROM author WHERE born IS NOT NULL ORDER BY b")
+	got = rowStrings(r)
+	if got[0] != "gray|1944" {
+		t.Errorf("alias order = %v", got)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, `SELECT a.name, p.title FROM author a
+		JOIN writes w ON w.aid = a.aid
+		JOIN paper p ON p.pid = w.pid
+		WHERE p.pid = 'tp' ORDER BY a.name`)
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "Andreas Reuter|Transaction Processing" || got[1] != "Jim Gray|Transaction Processing" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestJoinLeft(t *testing.T) {
+	e := newEngine(t)
+	// A paper with no authors.
+	mustQuery(t, e, "INSERT INTO paper VALUES ('lonely', 'No Authors Here', 2000)")
+	r := mustQuery(t, e, `SELECT p.pid, w.aid FROM paper p
+		LEFT JOIN writes w ON w.pid = p.pid
+		WHERE p.pid = 'lonely'`)
+	got := rowStrings(r)
+	if len(got) != 1 || got[0] != "lonely|NULL" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestJoinCross(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM author, paper")
+	if r.Rows[0][0].I != 12 {
+		t.Errorf("cross product count = %v", r.Rows[0][0])
+	}
+}
+
+func TestJoinIndexAcceleration(t *testing.T) {
+	e := newEngine(t)
+	// Same result whether or not the equi-probe path is taken; the
+	// non-indexable ON forces a scan join.
+	r1 := mustQuery(t, e, "SELECT COUNT(*) FROM writes w JOIN paper p ON p.pid = w.pid")
+	r2 := mustQuery(t, e, "SELECT COUNT(*) FROM writes w JOIN paper p ON p.pid || '' = w.pid")
+	if r1.Rows[0][0].I != r2.Rows[0][0].I {
+		t.Errorf("indexed join = %v, scan join = %v", r1.Rows[0][0], r2.Rows[0][0])
+	}
+	if r1.Rows[0][0].I != 5 {
+		t.Errorf("join count = %v", r1.Rows[0][0])
+	}
+}
+
+func TestGroupByHavingAggregates(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, `SELECT w.pid, COUNT(*) AS n FROM writes w
+		GROUP BY w.pid HAVING COUNT(*) >= 2 ORDER BY w.pid`)
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "mining|2" || got[1] != "tp|2" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT COUNT(*), COUNT(born), SUM(born), AVG(born), MIN(born), MAX(born) FROM author")
+	row := r.Rows[0]
+	if row[0].I != 4 || row[1].I != 2 {
+		t.Errorf("counts = %v %v", row[0], row[1])
+	}
+	if row[2].I != 1944+1949 {
+		t.Errorf("sum = %v", row[2])
+	}
+	if row[3].F != float64(1944+1949)/2 {
+		t.Errorf("avg = %v", row[3])
+	}
+	if row[4].I != 1944 || row[5].I != 1949 {
+		t.Errorf("min/max = %v %v", row[4], row[5])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT COUNT(DISTINCT pid) FROM writes")
+	if r.Rows[0][0].I != 3 {
+		t.Errorf("count distinct = %v", r.Rows[0][0])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT COUNT(*), SUM(born) FROM author WHERE aid = 'nobody'")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 0 || !r.Rows[0][1].IsNull() {
+		t.Errorf("rows = %v", rowStrings(r))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT DISTINCT aid FROM writes ORDER BY aid")
+	if len(r.Rows) != 4 {
+		t.Errorf("distinct rows = %v", rowStrings(r))
+	}
+}
+
+func TestLike(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT title FROM paper WHERE title LIKE '%transaction%' ORDER BY title")
+	got := rowStrings(r)
+	if len(got) != 2 {
+		t.Errorf("rows = %v", got)
+	}
+	r = mustQuery(t, e, "SELECT title FROM paper WHERE title LIKE 'Mining%'")
+	if len(r.Rows) != 1 {
+		t.Errorf("prefix match = %v", rowStrings(r))
+	}
+	r = mustQuery(t, e, "SELECT title FROM paper WHERE title LIKE '__ning%'")
+	if len(r.Rows) != 1 {
+		t.Errorf("underscore match = %v", rowStrings(r))
+	}
+}
+
+func TestInBetween(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT pid FROM paper WHERE year BETWEEN 1980 AND 1995 ORDER BY pid")
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "tc" || got[1] != "tp" {
+		t.Errorf("between rows = %v", got)
+	}
+	r = mustQuery(t, e, "SELECT pid FROM paper WHERE pid IN ('tp', 'mining') ORDER BY pid")
+	if len(r.Rows) != 2 {
+		t.Errorf("in rows = %v", rowStrings(r))
+	}
+	r = mustQuery(t, e, "SELECT pid FROM paper WHERE pid NOT IN ('tp', 'mining', 'tc')")
+	if len(r.Rows) != 0 {
+		t.Errorf("not in rows = %v", rowStrings(r))
+	}
+}
+
+func TestParams(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT name FROM author WHERE aid = ?", sqldb.Text("gray"))
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "Jim Gray" {
+		t.Errorf("rows = %v", rowStrings(r))
+	}
+	if _, err := e.Execute("SELECT name FROM author WHERE aid = ?"); err == nil {
+		t.Error("missing parameter should error")
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "INSERT INTO author (aid, name) VALUES ('new', 'New Author')")
+	if r.RowsAffected != 1 || r.LastRID < 0 {
+		t.Errorf("insert result = %+v", r)
+	}
+	r = mustQuery(t, e, "UPDATE author SET born = 2000 WHERE aid = 'new'")
+	if r.RowsAffected != 1 {
+		t.Errorf("update affected = %d", r.RowsAffected)
+	}
+	q := mustQuery(t, e, "SELECT born FROM author WHERE aid = 'new'")
+	if q.Rows[0][0].I != 2000 {
+		t.Errorf("born = %v", q.Rows[0][0])
+	}
+	r = mustQuery(t, e, "DELETE FROM author WHERE aid = 'new'")
+	if r.RowsAffected != 1 {
+		t.Errorf("delete affected = %d", r.RowsAffected)
+	}
+	q = mustQuery(t, e, "SELECT COUNT(*) FROM author")
+	if q.Rows[0][0].I != 4 {
+		t.Errorf("count after delete = %v", q.Rows[0][0])
+	}
+}
+
+func TestUpdateSelfReference(t *testing.T) {
+	e := newEngine(t)
+	mustQuery(t, e, "UPDATE author SET born = born + 1 WHERE aid = 'gray'")
+	q := mustQuery(t, e, "SELECT born FROM author WHERE aid = 'gray'")
+	if q.Rows[0][0].I != 1945 {
+		t.Errorf("born = %v", q.Rows[0][0])
+	}
+}
+
+func TestDeleteRestrictPropagates(t *testing.T) {
+	e := newEngine(t)
+	_, err := e.Execute("DELETE FROM author WHERE aid = 'gray'")
+	if !errors.Is(err, sqldb.ErrFKRestrict) {
+		t.Errorf("want ErrFKRestrict, got %v", err)
+	}
+}
+
+func TestFKViolationViaSQL(t *testing.T) {
+	e := newEngine(t)
+	_, err := e.Execute("INSERT INTO writes VALUES ('ghost', 'tp')")
+	if !errors.Is(err, sqldb.ErrFKViolation) {
+		t.Errorf("want ErrFKViolation, got %v", err)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT UPPER('ab'), LOWER('AB'), LENGTH('abc'), ABS(-4), COALESCE(NULL, 7), SUBSTR('hello', 2, 3)")
+	row := r.Rows[0]
+	want := []string{"AB", "ab", "3", "4", "7", "ell"}
+	for i, w := range want {
+		if row[i].String() != w {
+			t.Errorf("func %d = %v, want %s", i, row[i], w)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT 7 / 2, 7.0 / 2, 7 % 3, 2 * 3 + 1, 'a' || 'b'")
+	row := r.Rows[0]
+	if row[0].I != 3 {
+		t.Errorf("int div = %v", row[0])
+	}
+	if row[1].F != 3.5 {
+		t.Errorf("float div = %v", row[1])
+	}
+	if row[2].I != 1 {
+		t.Errorf("mod = %v", row[2])
+	}
+	if row[3].I != 7 {
+		t.Errorf("mul-add = %v", row[3])
+	}
+	if row[4].S != "ab" {
+		t.Errorf("concat = %v", row[4])
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Execute("SELECT 1 / 0"); err == nil {
+		t.Error("1/0 should error")
+	}
+	if _, err := e.Execute("SELECT 1 % 0"); err == nil {
+		t.Error("1%0 should error")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Execute("SELECT aid FROM author a JOIN writes w ON w.aid = a.aid"); err == nil {
+		t.Error("ambiguous column should error")
+	}
+}
+
+func TestUnknownColumnAndTable(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Execute("SELECT bogus FROM author"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := e.Execute("SELECT * FROM bogus"); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestStarTableForm(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT a.* FROM author a JOIN writes w ON w.aid = a.aid WHERE w.pid = 'tc'")
+	if len(r.Columns) != 3 || len(r.Rows) != 1 {
+		t.Errorf("result = %v / %v", r.Columns, rowStrings(r))
+	}
+}
+
+func TestSelectNoFrom(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT 1 + 2 AS x")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 3 {
+		t.Errorf("rows = %v", rowStrings(r))
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	e := newEngine(t)
+	// NULL OR TRUE = TRUE; NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+	r := mustQuery(t, e, "SELECT COUNT(*) FROM author WHERE born > 0 OR 1 = 1")
+	if r.Rows[0][0].I != 4 {
+		t.Errorf("NULL OR TRUE: count = %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, e, "SELECT COUNT(*) FROM author WHERE born > 0 AND 1 = 0")
+	if r.Rows[0][0].I != 0 {
+		t.Errorf("NULL AND FALSE: count = %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, e, "SELECT COUNT(*) FROM author WHERE NOT (born > 0)")
+	if r.Rows[0][0].I != 0 {
+		t.Errorf("NOT NULL(3VL): count = %v", r.Rows[0][0])
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT year / 10 * 10 AS decade, COUNT(*) FROM paper GROUP BY year / 10 * 10 ORDER BY decade")
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "1980|1" || got[1] != "1990|2" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT aid, COUNT(*) FROM writes GROUP BY aid ORDER BY COUNT(*) DESC, aid LIMIT 1")
+	got := rowStrings(r)
+	if len(got) != 1 || got[0] != "gray|2" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	e := newEngine(t)
+	r := mustQuery(t, e, "SELECT aid FROM author WHERE aid = 'gray'")
+	s := FormatTable(r)
+	if !strings.Contains(s, "aid") || !strings.Contains(s, "gray") || !strings.Contains(s, "(1 rows)") {
+		t.Errorf("FormatTable = %q", s)
+	}
+	s = FormatTable(&Result{RowsAffected: 2})
+	if !strings.Contains(s, "2 row(s) affected") {
+		t.Errorf("FormatTable exec = %q", s)
+	}
+}
+
+func TestExecuteScriptStopsOnError(t *testing.T) {
+	e := New(sqldb.NewDatabase())
+	_, err := e.ExecuteScript("CREATE TABLE t (a INT); INSERT INTO missing VALUES (1); CREATE TABLE u (b INT);")
+	if err == nil {
+		t.Fatal("script should fail")
+	}
+	if e.DB().Table("t") == nil {
+		t.Error("statements before the error should have run")
+	}
+	if e.DB().Table("u") != nil {
+		t.Error("statements after the error should not have run")
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "HELLO", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true}, // each _ matches exactly one char
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "%%", true},
+		{"abc", "a%b%c", true},
+		{"abc", "a%d", false},
+		{"aXbXc", "a%b%c", true},
+	}
+	for _, c := range cases {
+		if got := matchLike(c.s, c.p); got != c.want {
+			t.Errorf("matchLike(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// TestLeftJoinIndexedProbe exercises the indexed nested-loop path together
+// with LEFT JOIN semantics (emitted-flag handling): left rows without
+// matches must surface exactly once with NULLs.
+func TestLeftJoinIndexedProbe(t *testing.T) {
+	e := New(sqldb.NewDatabase())
+	if _, err := e.ExecuteScript(`
+		CREATE TABLE parent (id INT PRIMARY KEY, name TEXT);
+		CREATE TABLE child (id INT PRIMARY KEY, pid INT REFERENCES parent);
+		INSERT INTO parent VALUES (1, 'has kids'), (2, 'childless');
+		INSERT INTO child VALUES (10, 1), (11, 1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Execute(`SELECT p.id, c.id FROM parent p LEFT JOIN child c ON c.pid = p.id ORDER BY p.id, c.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(r)
+	want := []string{"1|10", "1|11", "2|NULL"}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJoinWithCompoundOn exercises an ON clause with an extra conjunct: the
+// index probe uses the equi-part, the residual filters.
+func TestJoinWithCompoundOn(t *testing.T) {
+	e := New(sqldb.NewDatabase())
+	if _, err := e.ExecuteScript(`
+		CREATE TABLE a (id INT PRIMARY KEY, v INT);
+		CREATE TABLE b (id INT PRIMARY KEY, aid INT, flag INT);
+		INSERT INTO a VALUES (1, 100), (2, 200);
+		INSERT INTO b VALUES (10, 1, 1), (11, 1, 0), (12, 2, 1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Execute(`SELECT b.id FROM a JOIN b ON b.aid = a.id AND b.flag = 1 ORDER BY b.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "10" || got[1] != "12" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+// TestJoinNullKeysNeverMatch: NULL join keys match nothing under the
+// indexed and the scanning paths alike.
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	e := New(sqldb.NewDatabase())
+	if _, err := e.ExecuteScript(`
+		CREATE TABLE l (id INT PRIMARY KEY, k INT);
+		CREATE TABLE r (id INT PRIMARY KEY, k INT);
+		INSERT INTO l VALUES (1, NULL), (2, 7);
+		INSERT INTO r VALUES (10, NULL), (11, 7);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Execute(`SELECT l.id, r.id FROM l JOIN r ON r.k = l.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(q)
+	if len(got) != 1 || got[0] != "2|11" {
+		t.Errorf("rows = %v", got)
+	}
+	// LEFT JOIN keeps the NULL-keyed left row.
+	q, err = e.Execute(`SELECT l.id, r.id FROM l LEFT JOIN r ON r.k = l.k ORDER BY l.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = rowStrings(q)
+	if len(got) != 2 || got[0] != "1|NULL" {
+		t.Errorf("left join rows = %v", got)
+	}
+}
+
+// TestSelfJoin uses the same table under two aliases.
+func TestSelfJoin(t *testing.T) {
+	e := New(sqldb.NewDatabase())
+	if _, err := e.ExecuteScript(`
+		CREATE TABLE n (id INT PRIMARY KEY, parent INT);
+		INSERT INTO n VALUES (1, NULL), (2, 1), (3, 1), (4, 2);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Execute(`SELECT kid.id, mom.id FROM n kid JOIN n mom ON mom.id = kid.parent ORDER BY kid.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(r)
+	want := []string{"2|1", "3|1", "4|2"}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %q", i, got[i])
+		}
+	}
+}
+
+// TestThreeWayJoinChain checks column resolution across three joined
+// tables.
+func TestThreeWayJoinChain(t *testing.T) {
+	e := New(sqldb.NewDatabase())
+	if _, err := e.ExecuteScript(`
+		CREATE TABLE x (id INT PRIMARY KEY);
+		CREATE TABLE y (id INT PRIMARY KEY, xid INT);
+		CREATE TABLE z (id INT PRIMARY KEY, yid INT);
+		INSERT INTO x VALUES (1);
+		INSERT INTO y VALUES (10, 1);
+		INSERT INTO z VALUES (100, 10);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Execute(`SELECT x.id, y.id, z.id FROM x
+		JOIN y ON y.xid = x.id
+		JOIN z ON z.yid = y.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(r)
+	if len(got) != 1 || got[0] != "1|10|100" {
+		t.Errorf("rows = %v", got)
+	}
+}

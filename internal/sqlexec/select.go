@@ -1,0 +1,655 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/sqlparse"
+)
+
+// rowIter is the Volcano-style pull iterator rows flow through. next returns
+// (nil, nil) at end of stream.
+type rowIter interface {
+	next() ([]sqldb.Value, error)
+}
+
+// --- scan ---
+
+type scanIter struct {
+	t   *sqldb.Table
+	rid sqldb.RID
+}
+
+func (s *scanIter) next() ([]sqldb.Value, error) {
+	for int64(s.rid) < int64(s.t.Cap()) {
+		row := s.t.Row(s.rid)
+		s.rid++
+		if row != nil {
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+func tableSchema(t *sqldb.Table, alias string) *rowSchema {
+	qual := strings.ToLower(alias)
+	if qual == "" {
+		qual = strings.ToLower(t.Name())
+	}
+	s := &rowSchema{}
+	for _, c := range t.Schema().Columns {
+		s.cols = append(s.cols, colInfo{qual: qual, name: strings.ToLower(c.Name), disp: c.Name})
+	}
+	return s
+}
+
+// --- filter ---
+
+type filterIter struct {
+	in     rowIter
+	cond   sqlparse.Expr
+	schema *rowSchema
+	params []sqldb.Value
+}
+
+func (f *filterIter) next() ([]sqldb.Value, error) {
+	for {
+		row, err := f.in.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := eval(f.cond, &evalCtx{schema: f.schema, row: row, params: f.params})
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && v.AsBool() {
+			return row, nil
+		}
+	}
+}
+
+// --- joins ---
+
+// joinIter joins the left stream against a base table. When the ON
+// condition contains equality predicates between a left expression and a
+// right column, the right side is probed through the table's secondary
+// index ("index nested loops"); otherwise each left row scans the right
+// table.
+type joinIter struct {
+	left    rowIter
+	lSchema *rowSchema
+	right   *sqldb.Table
+	rWidth  int
+	on      sqlparse.Expr
+	outer   bool // LEFT JOIN
+	schema  *rowSchema
+	params  []sqldb.Value
+
+	// index acceleration: probe right.LookupEq(eqRightCol, eval(eqLeftExpr))
+	eqRightCol int
+	eqLeftExpr sqlparse.Expr
+
+	curLeft  []sqldb.Value
+	matches  []sqldb.RID
+	matchPos int
+	emitted  bool // whether curLeft produced any row (for LEFT JOIN)
+	scanRID  sqldb.RID
+	indexed  bool
+}
+
+func (j *joinIter) next() ([]sqldb.Value, error) {
+	for {
+		if j.curLeft == nil {
+			l, err := j.left.next()
+			if err != nil {
+				return nil, err
+			}
+			if l == nil {
+				return nil, nil
+			}
+			j.curLeft = l
+			j.emitted = false
+			j.scanRID = 0
+			j.matchPos = 0
+			if j.indexed {
+				v, err := eval(j.eqLeftExpr, &evalCtx{schema: j.lSchema, row: l, params: j.params})
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					j.matches = nil
+				} else {
+					j.matches = j.right.LookupEq(j.eqRightCol, v)
+				}
+			}
+		}
+		var rRow []sqldb.Value
+		if j.indexed {
+			if j.matchPos < len(j.matches) {
+				rRow = j.right.Row(j.matches[j.matchPos])
+				j.matchPos++
+			}
+		} else {
+			for int64(j.scanRID) < int64(j.right.Cap()) {
+				r := j.right.Row(j.scanRID)
+				j.scanRID++
+				if r != nil {
+					rRow = r
+					break
+				}
+			}
+		}
+		if rRow == nil {
+			// Right side exhausted for this left row.
+			left := j.curLeft
+			wasEmitted := j.emitted
+			j.curLeft = nil
+			if j.outer && !wasEmitted {
+				out := make([]sqldb.Value, 0, len(left)+j.rWidth)
+				out = append(out, left...)
+				for i := 0; i < j.rWidth; i++ {
+					out = append(out, sqldb.Null())
+				}
+				return out, nil
+			}
+			continue
+		}
+		out := make([]sqldb.Value, 0, len(j.curLeft)+len(rRow))
+		out = append(out, j.curLeft...)
+		out = append(out, rRow...)
+		if j.on != nil {
+			v, err := eval(j.on, &evalCtx{schema: j.schema, row: out, params: j.params})
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		j.emitted = true
+		return out, nil
+	}
+}
+
+// findEquiProbe looks for a conjunct of the ON condition of the form
+// <left expr> = <right column> (either side) where the right column belongs
+// to the table being joined in and the other side references only columns
+// of the left schema. Returns the right column position and the left
+// expression, or -1.
+func findEquiProbe(on sqlparse.Expr, lSchema *rowSchema, right *sqldb.Table, rightQual string) (int, sqlparse.Expr) {
+	be, ok := on.(*sqlparse.BinaryExpr)
+	if !ok {
+		return -1, nil
+	}
+	if be.Op == "AND" {
+		if c, e := findEquiProbe(be.Left, lSchema, right, rightQual); c >= 0 {
+			return c, e
+		}
+		return findEquiProbe(be.Right, lSchema, right, rightQual)
+	}
+	if be.Op != "=" {
+		return -1, nil
+	}
+	try := func(a, b sqlparse.Expr) (int, sqlparse.Expr) {
+		cr, ok := a.(*sqlparse.ColumnRef)
+		if !ok {
+			return -1, nil
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, rightQual) {
+			return -1, nil
+		}
+		ci := right.ColumnIndex(cr.Column)
+		if ci < 0 {
+			return -1, nil
+		}
+		if cr.Table == "" {
+			// Unqualified: must not also resolve on the left side.
+			if _, err := lSchema.resolve("", cr.Column); err == nil {
+				return -1, nil
+			}
+		}
+		if !exprUsesOnly(b, lSchema) {
+			return -1, nil
+		}
+		return ci, b
+	}
+	if ci, e := try(be.Right, be.Left); ci >= 0 {
+		return ci, e
+	}
+	return try(be.Left, be.Right)
+}
+
+// exprUsesOnly reports whether every column reference in e resolves in s.
+func exprUsesOnly(e sqlparse.Expr, s *rowSchema) bool {
+	ok := true
+	var walk func(sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch x := e.(type) {
+		case *sqlparse.ColumnRef:
+			if _, err := s.resolve(x.Table, x.Column); err != nil {
+				ok = false
+			}
+		case *sqlparse.BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *sqlparse.UnaryExpr:
+			walk(x.X)
+		case *sqlparse.FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sqlparse.InExpr:
+			walk(x.X)
+			for _, a := range x.List {
+				walk(a)
+			}
+		case *sqlparse.IsNullExpr:
+			walk(x.X)
+		case *sqlparse.BetweenExpr:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// buildFrom builds the row source for a FROM clause.
+func buildFrom(db *sqldb.Database, refs []sqlparse.TableRef, params []sqldb.Value) (rowIter, *rowSchema, error) {
+	if len(refs) == 0 {
+		return &singleRowIter{}, &rowSchema{}, nil
+	}
+	t0 := db.Table(refs[0].Table)
+	if t0 == nil {
+		return nil, nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, refs[0].Table)
+	}
+	it := rowIter(&scanIter{t: t0})
+	schema := tableSchema(t0, refs[0].Alias)
+	for _, r := range refs[1:] {
+		rt := db.Table(r.Table)
+		if rt == nil {
+			return nil, nil, fmt.Errorf("%w: %s", sqldb.ErrNoTable, r.Table)
+		}
+		rQual := r.Alias
+		if rQual == "" {
+			rQual = r.Table
+		}
+		combined := &rowSchema{cols: append(append([]colInfo{}, schema.cols...), tableSchema(rt, r.Alias).cols...)}
+		j := &joinIter{
+			left:    it,
+			lSchema: schema,
+			right:   rt,
+			rWidth:  len(rt.Schema().Columns),
+			on:      r.On,
+			outer:   r.Join == sqlparse.JoinLeft,
+			schema:  combined,
+			params:  params,
+		}
+		if r.On != nil {
+			if ci, le := findEquiProbe(r.On, schema, rt, rQual); ci >= 0 {
+				j.indexed = true
+				j.eqRightCol = ci
+				j.eqLeftExpr = le
+			}
+		}
+		it = j
+		schema = combined
+	}
+	return it, schema, nil
+}
+
+// singleRowIter yields one empty row; it backs FROM-less selects like
+// SELECT 1+2.
+type singleRowIter struct{ done bool }
+
+func (s *singleRowIter) next() ([]sqldb.Value, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	return []sqldb.Value{}, nil
+}
+
+// --- select driver ---
+
+// outRow pairs a projected row with its sort keys.
+type outRow struct {
+	vals []sqldb.Value
+	keys []sqldb.Value
+}
+
+func runSelect(db *sqldb.Database, sel *sqlparse.Select, params []sqldb.Value) (*Result, error) {
+	src, schema, err := buildFrom(db, sel.From, params)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Where != nil {
+		src = &filterIter{in: src, cond: sel.Where, schema: schema, params: params}
+	}
+
+	// Expand projection items.
+	type projItem struct {
+		expr sqlparse.Expr
+		name string
+	}
+	var items []projItem
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			if len(schema.cols) == 0 {
+				return nil, fmt.Errorf("sqlexec: SELECT * with no FROM")
+			}
+			for _, c := range schema.cols {
+				items = append(items, projItem{expr: &sqlparse.ColumnRef{Table: c.qual, Column: c.name}, name: c.disp})
+			}
+		case it.StarTable != "":
+			found := false
+			q := strings.ToLower(it.StarTable)
+			for _, c := range schema.cols {
+				if c.qual == q {
+					items = append(items, projItem{expr: &sqlparse.ColumnRef{Table: c.qual, Column: c.name}, name: c.disp})
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sqlexec: unknown table %q in %s.*", it.StarTable, it.StarTable)
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				if cr, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					name = it.Expr.String()
+				}
+			}
+			items = append(items, projItem{expr: it.Expr, name: name})
+		}
+	}
+
+	// Gather aggregate calls from items, HAVING and ORDER BY.
+	var aggCalls []*sqlparse.FuncCall
+	seenAgg := map[string]bool{}
+	collectAggs := func(e sqlparse.Expr) {
+		walkAggregates(e, func(f *sqlparse.FuncCall) {
+			k := f.String()
+			if !seenAgg[k] {
+				seenAgg[k] = true
+				aggCalls = append(aggCalls, f)
+			}
+		})
+	}
+	for _, it := range items {
+		collectAggs(it.expr)
+	}
+	if sel.Having != nil {
+		collectAggs(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		collectAggs(o.Expr)
+	}
+	grouped := len(aggCalls) > 0 || len(sel.GroupBy) > 0
+
+	// orderKey computes the sort keys for one projected row given its
+	// evaluation context.
+	orderKey := func(ctx *evalCtx, out []sqldb.Value) ([]sqldb.Value, error) {
+		if len(sel.OrderBy) == 0 {
+			return nil, nil
+		}
+		keys := make([]sqldb.Value, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			// ORDER BY <ordinal>
+			if lit, ok := o.Expr.(*sqlparse.Literal); ok && lit.Value.T == sqldb.TypeInt {
+				n := int(lit.Value.I)
+				if n < 1 || n > len(out) {
+					return nil, fmt.Errorf("sqlexec: ORDER BY position %d out of range", n)
+				}
+				keys[i] = out[n-1]
+				continue
+			}
+			// ORDER BY <output alias>
+			if cr, ok := o.Expr.(*sqlparse.ColumnRef); ok && cr.Table == "" {
+				matched := -1
+				for j, it := range items {
+					if strings.EqualFold(it.name, cr.Column) {
+						matched = j
+						break
+					}
+				}
+				if matched >= 0 {
+					keys[i] = out[matched]
+					continue
+				}
+			}
+			v, err := eval(o.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	var rows []outRow
+	if grouped {
+		type group struct {
+			accs []*aggAcc
+			rep  []sqldb.Value
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for {
+			row, err := src.next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			ctx := &evalCtx{schema: schema, row: row, params: params}
+			var key string
+			if len(sel.GroupBy) > 0 {
+				kv := make([]sqldb.Value, len(sel.GroupBy))
+				for i, g := range sel.GroupBy {
+					v, err := eval(g, ctx)
+					if err != nil {
+						return nil, err
+					}
+					kv[i] = v
+				}
+				key = sqldb.EncodeRowKey(kv)
+			}
+			g, ok := groups[key]
+			if !ok {
+				g = &group{rep: row}
+				for _, f := range aggCalls {
+					g.accs = append(g.accs, newAggAcc(f))
+				}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for _, a := range g.accs {
+				if err := a.add(ctx); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// A global aggregate over an empty input still yields one row.
+		if len(groups) == 0 && len(sel.GroupBy) == 0 {
+			g := &group{rep: make([]sqldb.Value, len(schema.cols))}
+			for _, f := range aggCalls {
+				g.accs = append(g.accs, newAggAcc(f))
+			}
+			groups[""] = g
+			order = append(order, "")
+		}
+		for _, key := range order {
+			g := groups[key]
+			aggs := make(map[string]sqldb.Value, len(aggCalls))
+			for i, f := range aggCalls {
+				aggs[f.String()] = g.accs[i].result()
+			}
+			ctx := &evalCtx{schema: schema, row: g.rep, params: params, aggs: aggs}
+			if sel.Having != nil {
+				hv, err := eval(sel.Having, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if hv.IsNull() || !hv.AsBool() {
+					continue
+				}
+			}
+			out := make([]sqldb.Value, len(items))
+			for i, it := range items {
+				v, err := eval(it.expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			keys, err := orderKey(ctx, out)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, outRow{vals: out, keys: keys})
+		}
+	} else {
+		for {
+			row, err := src.next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			ctx := &evalCtx{schema: schema, row: row, params: params}
+			out := make([]sqldb.Value, len(items))
+			for i, it := range items {
+				v, err := eval(it.expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			keys, err := orderKey(ctx, out)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, outRow{vals: out, keys: keys})
+		}
+	}
+
+	if sel.Distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			k := sqldb.EncodeRowKey(r.vals)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	if len(sel.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, o := range sel.OrderBy {
+				c, err := rows[i].keys[k].Compare(rows[j].keys[k])
+				if err != nil {
+					if sortErr == nil {
+						sortErr = err
+					}
+					return false
+				}
+				if c != 0 {
+					if o.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	// OFFSET / LIMIT.
+	constInt := func(e sqlparse.Expr, what string) (int, error) {
+		v, err := eval(e, &evalCtx{params: params})
+		if err != nil {
+			return 0, err
+		}
+		if v.T != sqldb.TypeInt || v.I < 0 {
+			return 0, fmt.Errorf("sqlexec: %s must be a non-negative integer", what)
+		}
+		return int(v.I), nil
+	}
+	if sel.Offset != nil {
+		n, err := constInt(sel.Offset, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		if n >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[n:]
+		}
+	}
+	if sel.Limit != nil {
+		n, err := constInt(sel.Limit, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, it.name)
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.vals)
+	}
+	return res, nil
+}
+
+// walkAggregates calls fn for every aggregate FuncCall in e, without
+// descending into aggregate arguments (nested aggregates are invalid
+// anyway).
+func walkAggregates(e sqlparse.Expr, fn func(*sqlparse.FuncCall)) {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if sqlparse.AggregateFuncs[x.Name] {
+			fn(x)
+			return
+		}
+		for _, a := range x.Args {
+			walkAggregates(a, fn)
+		}
+	case *sqlparse.BinaryExpr:
+		walkAggregates(x.Left, fn)
+		walkAggregates(x.Right, fn)
+	case *sqlparse.UnaryExpr:
+		walkAggregates(x.X, fn)
+	case *sqlparse.InExpr:
+		walkAggregates(x.X, fn)
+		for _, a := range x.List {
+			walkAggregates(a, fn)
+		}
+	case *sqlparse.IsNullExpr:
+		walkAggregates(x.X, fn)
+	case *sqlparse.BetweenExpr:
+		walkAggregates(x.X, fn)
+		walkAggregates(x.Lo, fn)
+		walkAggregates(x.Hi, fn)
+	}
+}

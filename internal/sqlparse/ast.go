@@ -1,0 +1,241 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// --- statements ---
+
+// CreateTable is CREATE TABLE name (coldefs..., constraints...).
+type CreateTable struct {
+	Schema *sqldb.TableSchema
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (exprs), (exprs)...
+type Insert struct {
+	Table   string
+	Columns []string // empty means schema order
+	Rows    [][]Expr
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // joined left to right
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil if absent
+	Offset   Expr // nil if absent
+}
+
+// SelectItem is one projection: expression with optional alias, or *, or
+// table.*.
+type SelectItem struct {
+	Star      bool
+	StarTable string // qualified star, e.g. t.*
+	Expr      Expr
+	Alias     string
+}
+
+// JoinKind distinguishes join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinNone JoinKind = iota // first table in FROM
+	JoinInner
+	JoinLeft
+	JoinCross // comma-separated FROM
+)
+
+// TableRef is one table in the FROM clause, with how it joins to the tables
+// before it.
+type TableRef struct {
+	Table string
+	Alias string
+	Join  JoinKind
+	On    Expr // nil for JoinNone/JoinCross
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Update is UPDATE table SET col = expr, ... [WHERE ...].
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+
+// --- expressions ---
+
+// Literal is a constant value.
+type Literal struct {
+	Value sqldb.Value
+}
+
+// Param is a ? placeholder; Index is its 0-based position in the statement.
+type Param struct {
+	Index int
+}
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+// BinaryExpr applies Op to Left and Right. Ops: = <> < <= > >= + - * / %
+// AND OR LIKE || .
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr applies Op ("-" or "NOT") to X.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // upper-cased
+	Star     bool
+	Distinct bool
+	Args     []Expr
+}
+
+// InExpr is X [NOT] IN (list...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is X IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// BetweenExpr is X [NOT] BETWEEN Lo AND Hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Literal) expr()     {}
+func (*Param) expr()       {}
+func (*ColumnRef) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*FuncCall) expr()    {}
+func (*InExpr) expr()      {}
+func (*IsNullExpr) expr()  {}
+func (*BetweenExpr) expr() {}
+
+func (e *Literal) String() string { return e.Value.SQLLiteral() }
+func (e *Param) String() string   { return "?" }
+
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+
+func (e *BinaryExpr) String() string {
+	return "(" + e.Left.String() + " " + e.Op + " " + e.Right.String() + ")"
+}
+
+func (e *UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return "(NOT " + e.X.String() + ")"
+	}
+	return "(" + e.Op + e.X.String() + ")"
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, a := range e.List {
+		items[i] = a.String()
+	}
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("(%s%s IN (%s))", e.X.String(), not, strings.Join(items, ", "))
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return "(" + e.X.String() + " IS NOT NULL)"
+	}
+	return "(" + e.X.String() + " IS NULL)"
+}
+
+func (e *BetweenExpr) String() string {
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("(%s%s BETWEEN %s AND %s)", e.X.String(), not, e.Lo.String(), e.Hi.String())
+}

@@ -1,0 +1,228 @@
+// Package steiner provides reference algorithms the heuristic backward
+// expanding search is measured against:
+//
+//   - Exact minimum-weight connection trees (directed Steiner trees over
+//     the BANKS graph) via a Dreyfus–Wagner style dynamic program over
+//     terminal subsets. Exponential in the number of terminals, fine for
+//     the small k the ablation uses.
+//   - The Goldman et al. proximity-search baseline ("find object near
+//     object", VLDB 1998), which ranks single tuples of a target relation
+//     by summed distance to the keyword sets — the closest prior system
+//     the paper compares against qualitatively in Section 6.
+package steiner
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// Inf is the distance of unreachable nodes.
+var Inf = math.Inf(1)
+
+// MinConnectionTree computes the minimum total edge weight of a rooted
+// directed tree that contains a path from some root to at least one
+// terminal in each group (the §2 answer model, optimized exactly). It
+// returns the weight and a witness root; returns Inf if no connection
+// exists. Complexity is O(3^k · n + 2^k · m log n) for k groups.
+//
+// Group semantics ("reach any one member") fall out of the base case: the
+// singleton-group cost is 0 at every member of that group.
+func MinConnectionTree(g *graph.Graph, groups [][]graph.NodeID) (float64, graph.NodeID, error) {
+	k := len(groups)
+	if k == 0 {
+		return Inf, graph.NoNode, fmt.Errorf("steiner: no terminal groups")
+	}
+	if k > 12 {
+		return Inf, graph.NoNode, fmt.Errorf("steiner: %d groups exceeds the exact solver's limit", k)
+	}
+	for i, grp := range groups {
+		if len(grp) == 0 {
+			return Inf, graph.NoNode, fmt.Errorf("steiner: group %d is empty", i)
+		}
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return Inf, graph.NoNode, fmt.Errorf("steiner: empty graph")
+	}
+	full := (1 << k) - 1
+	// dp[mask][v] = min weight of a tree rooted at v covering the groups
+	// in mask.
+	dp := make([][]float64, full+1)
+	for m := range dp {
+		dp[m] = make([]float64, n)
+		for v := range dp[m] {
+			dp[m][v] = Inf
+		}
+	}
+	for gi, grp := range groups {
+		m := 1 << gi
+		for _, t := range grp {
+			dp[m][t] = 0
+		}
+		// Close the singleton masks under shortest paths immediately.
+		relax(g, dp[m])
+	}
+	for mask := 1; mask <= full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singleton, done above
+		}
+		// Merge: split mask into submask + rest at the same root.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			rest := mask ^ sub
+			if sub < rest {
+				continue // each split considered once
+			}
+			ds, dr := dp[sub], dp[rest]
+			dm := dp[mask]
+			for v := 0; v < n; v++ {
+				if ds[v] < Inf && dr[v] < Inf {
+					if w := ds[v] + dr[v]; w < dm[v] {
+						dm[v] = w
+					}
+				}
+			}
+		}
+		// Grow: extend trees along forward arcs (root v with arc v->u and
+		// tree rooted at u).
+		relax(g, dp[mask])
+	}
+	best, bestRoot := Inf, graph.NoNode
+	for v := 0; v < n; v++ {
+		if dp[full][v] < best {
+			best = dp[full][v]
+			bestRoot = graph.NodeID(v)
+		}
+	}
+	return best, bestRoot, nil
+}
+
+// relax runs a multi-source Dijkstra that closes cost[] under
+// cost[v] <= w(v->u) + cost[u] for every forward arc v->u: a cheaper tree
+// rooted at v obtained by hanging the u-rooted tree below v.
+func relax(g *graph.Graph, cost []float64) {
+	var pq relaxHeap
+	for v, c := range cost {
+		if c < Inf {
+			pq = append(pq, relaxEntry{node: graph.NodeID(v), d: c})
+		}
+	}
+	heap.Init(&pq)
+	settled := make([]bool, len(cost))
+	for pq.Len() > 0 {
+		e := heap.Pop(&pq).(relaxEntry)
+		if settled[e.node] || e.d > cost[e.node] {
+			continue
+		}
+		settled[e.node] = true
+		// Arc v->e.node means a tree rooted at v can adopt this one.
+		for _, in := range g.In(e.node) {
+			v, w := in.To, in.W
+			if nd := e.d + w; nd < cost[v] {
+				cost[v] = nd
+				heap.Push(&pq, relaxEntry{node: v, d: nd})
+			}
+		}
+	}
+}
+
+type relaxEntry struct {
+	node graph.NodeID
+	d    float64
+}
+
+type relaxHeap []relaxEntry
+
+func (h relaxHeap) Len() int            { return len(h) }
+func (h relaxHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h relaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *relaxHeap) Push(x interface{}) { *h = append(*h, x.(relaxEntry)) }
+func (h *relaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// ForwardDistances returns d[v] = weight of the shortest forward path from
+// v to any node in targets (multi-source Dijkstra over reversed edges).
+func ForwardDistances(g *graph.Graph, targets []graph.NodeID) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	for _, t := range targets {
+		dist[t] = 0
+	}
+	relax(g, dist)
+	return dist
+}
+
+// ProximityResult is one ranked tuple from the Goldman-style baseline.
+type ProximityResult struct {
+	Node  graph.NodeID
+	Score float64 // summed distance to the keyword sets (lower is better)
+}
+
+// ProximitySearch implements the "find object near object" baseline: it
+// ranks the tuples of targetTable by the sum over keyword groups of the
+// shortest forward-path distance from the tuple to any group member, and
+// returns the topK closest. Tuples unreachable from some group are
+// excluded. Unlike BANKS it returns flat tuples, not connection trees, and
+// uses no prestige.
+func ProximitySearch(g *graph.Graph, targetTable string, groups [][]graph.NodeID, topK int) ([]ProximityResult, error) {
+	tid := g.TableID(targetTable)
+	if tid < 0 {
+		return nil, fmt.Errorf("steiner: no table %q", targetTable)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("steiner: no keyword groups")
+	}
+	lo, hi := g.NodesOfTable(tid)
+	total := make([]float64, hi-lo)
+	for _, grp := range groups {
+		if len(grp) == 0 {
+			return nil, fmt.Errorf("steiner: empty keyword group")
+		}
+		dist := ForwardDistances(g, grp)
+		for i := range total {
+			total[i] += dist[lo+graph.NodeID(i)]
+		}
+	}
+	out := make([]ProximityResult, 0, hi-lo)
+	for i, s := range total {
+		if !math.IsInf(s, 1) {
+			out = append(out, ProximityResult{Node: lo + graph.NodeID(i), Score: s})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out, nil
+}
+
+// PairMinWeight computes, by brute force over all candidate roots, the
+// minimum weight d(v,a) + d(v,b) of a two-terminal connection tree. It is
+// an independent oracle used to cross-check both MinConnectionTree and the
+// search heuristic in tests.
+func PairMinWeight(g *graph.Graph, a, b graph.NodeID) float64 {
+	da := ForwardDistances(g, []graph.NodeID{a})
+	db := ForwardDistances(g, []graph.NodeID{b})
+	best := Inf
+	for v := 0; v < g.NumNodes(); v++ {
+		if da[v] < Inf && db[v] < Inf && da[v]+db[v] < best {
+			best = da[v] + db[v]
+		}
+	}
+	return best
+}

@@ -1,0 +1,269 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/browse"
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqlexec"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	db, err := datagen.BuildThesis(datagen.SmallThesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Build(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db, core.NewSearcher(g, ix), nil)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHomePage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, frag := range []string{"BANKS", "student", "thesis", "department", "/search"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("home missing %q", frag)
+		}
+	}
+}
+
+func TestSearchPage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/search?q="+url.QueryEscape("sudarshan aditya"))
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "Sudarshan") || !strings.Contains(body, "Aditya") {
+		t.Error("search results missing matched entities")
+	}
+	if !strings.Contains(body, "score") {
+		t.Error("scores not shown")
+	}
+	if !strings.Contains(body, "/tuple?table=") {
+		t.Error("results not hyperlinked")
+	}
+	// Keyword nodes highlighted.
+	if !strings.Contains(body, `class="keyword"`) {
+		t.Error("keyword nodes not highlighted")
+	}
+}
+
+func TestSearchEmptyShowsForm(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/search")
+	if code != 200 || !strings.Contains(body, "<form") {
+		t.Errorf("status=%d body form missing", code)
+	}
+}
+
+func TestBrowsePage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/browse?table=student")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, frag := range []string{"<table>", "sort", "drop", "group", "Join in", "next page"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("browse missing %q", frag)
+		}
+	}
+	// FK cells are hyperlinks to the referenced tuple.
+	if !strings.Contains(body, "/tuple?table=program") {
+		t.Error("FK hyperlink missing")
+	}
+}
+
+func TestBrowseJoinAndFilter(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/browse?table=thesis&join=rollno&join=advisor&fcol=rollno&fop=%3D&fval="+datagen.StudentAditya)
+	if code != 200 {
+		t.Fatalf("status = %d, body=%s", code, body[:min(len(body), 300)])
+	}
+	if !strings.Contains(body, "Sudarshan") {
+		t.Error("joined advisor name missing")
+	}
+}
+
+func TestBrowseGroupBy(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/browse?table=student&groupby=progid")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "count") {
+		t.Error("group-by counts missing")
+	}
+}
+
+func TestBrowseErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := get(t, ts, "/browse"); code != http.StatusBadRequest {
+		t.Errorf("missing table: status = %d", code)
+	}
+	if code, _ := get(t, ts, "/browse?table=nosuch"); code != http.StatusBadRequest {
+		t.Errorf("bad table: status = %d", code)
+	}
+}
+
+func TestTuplePage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/tuple?table=thesis&pk="+datagen.ThesisAditya)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "Keyword Searching in Graph Structured Data") {
+		t.Error("thesis title missing")
+	}
+	// Outgoing FK links.
+	if !strings.Contains(body, "/tuple?table=student") || !strings.Contains(body, "/tuple?table=faculty") {
+		t.Error("FK links missing")
+	}
+	// Backward browsing from a referenced tuple.
+	code, body = get(t, ts, "/tuple?table=student&pk="+datagen.StudentAditya)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "Referenced by") || !strings.Contains(body, "thesis") {
+		t.Error("back references missing")
+	}
+}
+
+func TestTupleIntegerPK(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/tuple?table=department&pk=1")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "Computer Science and Engineering") {
+		t.Error("integer-keyed tuple not found")
+	}
+}
+
+func TestTupleNotFound(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := get(t, ts, "/tuple?table=student&pk=zzz"); code != http.StatusNotFound {
+		t.Errorf("status = %d", code)
+	}
+	if code, _ := get(t, ts, "/tuple?table=nosuch&pk=1"); code != http.StatusNotFound {
+		t.Errorf("status = %d", code)
+	}
+}
+
+func TestSchemaPage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts, "/schema")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "CREATE TABLE") || !strings.Contains(body, "FOREIGN KEY") {
+		t.Error("schema DDL missing")
+	}
+}
+
+func TestTemplatePages(t *testing.T) {
+	srv, ts := newTestServer(t)
+	engine := sqlexec.New(srv.db)
+	for _, tpl := range []browse.Template{
+		{Name: "ct", Kind: browse.KindCrossTab, Table: "program",
+			Spec: map[string]string{"row": "deptid", "col": "name"}},
+		{Name: "gb", Kind: browse.KindGroupBy, Table: "student",
+			Spec: map[string]string{"attrs": "progid"}},
+		{Name: "fv", Kind: browse.KindFolder, Table: "student",
+			Spec: map[string]string{"attrs": "progid,name"}},
+		{Name: "pie", Kind: browse.KindChart, Table: "student",
+			Spec: map[string]string{"label": "progid", "chart": "pie", "link": "gb"}},
+		{Name: "bars", Kind: browse.KindChart, Table: "student",
+			Spec: map[string]string{"label": "progid", "chart": "bar"}},
+		{Name: "lines", Kind: browse.KindChart, Table: "student",
+			Spec: map[string]string{"label": "progid", "chart": "line"}},
+	} {
+		if err := browse.SaveTemplate(engine, tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := get(t, ts, "/template?name=ct")
+	if code != 200 || !strings.Contains(body, "<table>") {
+		t.Errorf("crosstab: %d", code)
+	}
+	code, body = get(t, ts, "/template?name=gb")
+	if code != 200 || !strings.Contains(body, "path=") {
+		t.Errorf("groupby: %d", code)
+	}
+	// Drill down one level.
+	code, body = get(t, ts, "/template?name=gb&path=1")
+	if code != 200 || !strings.Contains(body, "<table>") {
+		t.Errorf("groupby leaves: %d", code)
+	}
+	code, body = get(t, ts, "/template?name=pie")
+	if code != 200 || !strings.Contains(body, "<svg") || !strings.Contains(body, "Drill down") {
+		t.Errorf("pie chart: %d", code)
+	}
+	code, body = get(t, ts, "/template?name=bars")
+	if code != 200 || !strings.Contains(body, "<rect") {
+		t.Errorf("bar chart: %d", code)
+	}
+	code, body = get(t, ts, "/template?name=lines")
+	if code != 200 || !strings.Contains(body, "<polyline") {
+		t.Errorf("line chart: %d", code)
+	}
+	if code, _ := get(t, ts, "/template?name=missing"); code != http.StatusNotFound {
+		t.Errorf("missing template: %d", code)
+	}
+	// The home page now lists templates.
+	_, home := get(t, ts, "/")
+	if !strings.Contains(home, "Templates") || !strings.Contains(home, "pie") {
+		t.Error("home template list missing")
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := get(t, ts, "/search?q="+url.QueryEscape("<script>alert(1)</script>"))
+	if strings.Contains(body, "<script>alert") {
+		t.Error("unescaped user input")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

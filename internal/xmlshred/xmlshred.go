@@ -1,0 +1,163 @@
+// Package xmlshred implements the XML support Section 7 of the paper
+// describes as ongoing work: "Since edges in our model can have attributes
+// such as type and weight, we can model containment (as in DataSpot and in
+// nested XML) simply as edges of a new type."
+//
+// XML documents are shredded into two relations — element (with a
+// containment foreign key to its parent element) and attribute (with a
+// foreign key to its element) — after which the ordinary BANKS machinery
+// indexes and searches them: a keyword query over XML returns connection
+// trees through the document structure.
+package xmlshred
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// ElementTable and AttributeTable are the shredded relation names.
+const (
+	ElementTable   = "xml_element"
+	AttributeTable = "xml_attribute"
+)
+
+// ContainmentWeight is the edge weight of parent-child containment edges.
+// The paper treats containment as just another link type; 1 keeps nested
+// elements as proximate as foreign-key neighbours.
+const ContainmentWeight = 1
+
+// Schema returns the two shredded relations.
+func Schema() []*sqldb.TableSchema {
+	return []*sqldb.TableSchema{
+		{
+			Name: ElementTable,
+			Columns: []sqldb.Column{
+				{Name: "eid", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "doc", Type: sqldb.TypeText},
+				{Name: "tag", Type: sqldb.TypeText},
+				{Name: "content", Type: sqldb.TypeText},
+				{Name: "parent", Type: sqldb.TypeInt},
+			},
+			PrimaryKey: []string{"eid"},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "parent", RefTable: ElementTable, Weight: ContainmentWeight},
+			},
+		},
+		{
+			Name: AttributeTable,
+			Columns: []sqldb.Column{
+				{Name: "elem", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+				{Name: "value", Type: sqldb.TypeText},
+			},
+			ForeignKeys: []sqldb.ForeignKey{
+				{Column: "elem", RefTable: ElementTable, Weight: ContainmentWeight},
+			},
+		},
+	}
+}
+
+// EnsureSchema creates the shredded relations if they do not exist yet.
+func EnsureSchema(db *sqldb.Database) error {
+	for _, s := range Schema() {
+		if db.Table(s.Name) != nil {
+			continue
+		}
+		if _, err := db.CreateTable(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load parses one XML document and shreds it into db under the given
+// document name. It returns the number of elements loaded. Element ids
+// continue from the current maximum, so multiple documents coexist.
+func Load(db *sqldb.Database, r io.Reader, docName string) (int, error) {
+	if err := EnsureSchema(db); err != nil {
+		return 0, err
+	}
+	// Find the next free element id.
+	nextID := int64(1)
+	db.Table(ElementTable).Scan(func(_ sqldb.RID, row []sqldb.Value) bool {
+		if row[0].I >= nextID {
+			nextID = row[0].I + 1
+		}
+		return true
+	})
+
+	dec := xml.NewDecoder(r)
+	type frame struct {
+		eid  int64
+		text strings.Builder
+		rid  sqldb.RID
+	}
+	var stack []*frame
+	loaded := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return loaded, fmt.Errorf("xmlshred: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			eid := nextID
+			nextID++
+			parent := sqldb.Null()
+			if len(stack) > 0 {
+				parent = sqldb.Int(stack[len(stack)-1].eid)
+			}
+			rid, err := db.Insert(ElementTable, []sqldb.Value{
+				sqldb.Int(eid), sqldb.Text(docName), sqldb.Text(t.Name.Local),
+				sqldb.Null(), parent,
+			})
+			if err != nil {
+				return loaded, err
+			}
+			loaded++
+			for _, a := range t.Attr {
+				if _, err := db.Insert(AttributeTable, []sqldb.Value{
+					sqldb.Int(eid), sqldb.Text(a.Name.Local), sqldb.Text(a.Value),
+				}); err != nil {
+					return loaded, err
+				}
+			}
+			stack = append(stack, &frame{eid: eid, rid: rid})
+		case xml.CharData:
+			if len(stack) > 0 {
+				s := strings.TrimSpace(string(t))
+				if s != "" {
+					f := stack[len(stack)-1]
+					if f.text.Len() > 0 {
+						f.text.WriteByte(' ')
+					}
+					f.text.WriteString(s)
+				}
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return loaded, fmt.Errorf("xmlshred: unbalanced end element %s", t.Name.Local)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.text.Len() > 0 {
+				if err := db.Update(ElementTable, f.rid, map[string]sqldb.Value{
+					"content": sqldb.Text(f.text.String()),
+				}); err != nil {
+					return loaded, err
+				}
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return loaded, fmt.Errorf("xmlshred: %d unclosed element(s)", len(stack))
+	}
+	return loaded, nil
+}

@@ -1,0 +1,256 @@
+package banks
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// SearchOptions tune one keyword query. The zero value (or nil) uses the
+// configuration the paper's evaluation found best: 10 answers, output heap
+// of 20, λ=0.2, edge log-scaling on, additive combination.
+type SearchOptions struct {
+	// TopK is the number of answers to return (default 10).
+	TopK int
+	// HeapSize is the output-heap capacity of §3 (default 20).
+	HeapSize int
+	// Lambda weighs prestige against proximity in [0,1] (default 0.2).
+	// Note that 0 is a meaningful value; set UseZeroLambda to select it
+	// explicitly.
+	Lambda float64
+	// UseZeroLambda forces Lambda=0 (pure proximity). Needed because the
+	// zero value of Lambda means "default 0.2".
+	UseZeroLambda bool
+	// DisableEdgeLog turns off log damping of edge weights (default on).
+	DisableEdgeLog bool
+	// NodeLog turns on log damping of node weights (default off).
+	NodeLog bool
+	// Multiplicative selects E·N^λ combination instead of additive.
+	Multiplicative bool
+	// ExcludedRootTables lists relations that may not serve as
+	// information nodes (e.g. pure link tables such as Writes).
+	ExcludedRootTables []string
+	// AllowPartialMatch drops query terms that match nothing instead of
+	// returning no answers.
+	AllowPartialMatch bool
+}
+
+func (o *SearchOptions) toCore() *core.Options {
+	c := core.DefaultOptions()
+	if o == nil {
+		return c
+	}
+	if o.TopK > 0 {
+		c.TopK = o.TopK
+	}
+	if o.HeapSize > 0 {
+		c.HeapSize = o.HeapSize
+	}
+	if o.UseZeroLambda {
+		c.Score.Lambda = 0
+	} else if o.Lambda != 0 {
+		c.Score.Lambda = o.Lambda
+	}
+	c.Score.EdgeLog = !o.DisableEdgeLog
+	c.Score.NodeLog = o.NodeLog
+	if o.Multiplicative {
+		c.Score.Combine = core.Multiplicative
+	}
+	c.ExcludedRootTables = o.ExcludedRootTables
+	c.RequireAllTerms = !o.AllowPartialMatch
+	return c
+}
+
+// Tuple is one database row inside an answer tree.
+type Tuple struct {
+	Table   string
+	RID     int64
+	Columns []string
+	Values  Row
+}
+
+// Label renders the tuple compactly: Table(col=val, ...), text values
+// truncated for display.
+func (t Tuple) Label() string {
+	var b strings.Builder
+	b.WriteString(t.Table)
+	b.WriteString("(")
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c)
+		b.WriteString("=")
+		b.WriteString(truncate(fmt.Sprint(valueOrNull(t.Values[i])), 40))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func valueOrNull(v interface{}) interface{} {
+	if v == nil {
+		return "NULL"
+	}
+	return v
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// TreeNode is one node of the rendered answer tree.
+type TreeNode struct {
+	Tuple      Tuple
+	EdgeWeight float64 // weight of the edge from the parent (0 at the root)
+	Children   []*TreeNode
+	Matched    bool // whether this tuple matched a query keyword
+}
+
+// Answer is one keyword-query result: a connection tree rooted at the
+// information node (§2).
+type Answer struct {
+	// Rank is the 1-based position in the result list.
+	Rank int
+	// Score is the overall §2.3 relevance in [0,1]; EScore and NScore are
+	// its proximity and prestige components; Weight is the raw tree
+	// weight.
+	Score, EScore, NScore, Weight float64
+	// Root is the information node's tuple.
+	Root Tuple
+	// Tree is the full connection tree rooted at Root.
+	Tree *TreeNode
+}
+
+// Format renders the answer in the indented style of the paper's Figure 2.
+func (a *Answer) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%2d. (%.4f) ", a.Rank, a.Score)
+	formatNode(&b, a.Tree, 0)
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n *TreeNode, depth int) {
+	if depth > 0 {
+		b.WriteString(strings.Repeat("    ", depth))
+		b.WriteString("-> ")
+	}
+	b.WriteString(n.Tuple.Label())
+	if n.Matched {
+		b.WriteString("  *")
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		formatNode(b, c, depth+1)
+	}
+}
+
+// Search answers a keyword query. The query is tokenized on
+// non-alphanumeric boundaries, so "sunita soumen" and "sunita, soumen" are
+// the same two-term query.
+func (s *System) Search(query string, opts *SearchOptions) ([]*Answer, error) {
+	terms := index.Tokenize(query)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("banks: empty query")
+	}
+	answers, err := s.searcher.Search(terms, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Answer, len(answers))
+	for i, a := range answers {
+		out[i] = s.convertAnswer(a)
+	}
+	return out, nil
+}
+
+func (s *System) convertAnswer(a *core.Answer) *Answer {
+	matched := make(map[graph.NodeID]bool, len(a.TermNodes))
+	for _, n := range a.TermNodes {
+		matched[n] = true
+	}
+	children := make(map[graph.NodeID][]core.TreeEdge)
+	for _, e := range a.Edges {
+		children[e.From] = append(children[e.From], e)
+	}
+	var build func(n graph.NodeID, w float64) *TreeNode
+	build = func(n graph.NodeID, w float64) *TreeNode {
+		node := &TreeNode{Tuple: s.tupleOf(n), EdgeWeight: w, Matched: matched[n]}
+		for _, e := range children[n] {
+			node.Children = append(node.Children, build(e.To, e.W))
+		}
+		return node
+	}
+	tree := build(a.Root, 0)
+	return &Answer{
+		Rank:   a.Rank,
+		Score:  a.Score,
+		EScore: a.EScore,
+		NScore: a.NScore,
+		Weight: a.Weight,
+		Root:   tree.Tuple,
+		Tree:   tree,
+	}
+}
+
+// tupleOf materializes the row behind a graph node.
+func (s *System) tupleOf(n graph.NodeID) Tuple {
+	table := s.g.TableNameOf(n)
+	rid := s.g.RIDOf(n)
+	t := s.db.inner.Table(table)
+	out := Tuple{Table: table, RID: int64(rid)}
+	if t == nil {
+		return out
+	}
+	row := t.Row(rid)
+	if row == nil {
+		return out
+	}
+	for i, c := range t.Schema().Columns {
+		out.Columns = append(out.Columns, c.Name)
+		out.Values = append(out.Values, fromValue(row[i]))
+	}
+	return out
+}
+
+// Lookup returns, for one keyword, how many tuples match it directly and
+// which relations match it as metadata — useful for query debugging UIs.
+func (s *System) Lookup(term string) (tuples int, metadataTables []string) {
+	m := s.ix.Lookup(term)
+	for _, tid := range m.Tables {
+		metadataTables = append(metadataTables, s.g.TableName(tid))
+	}
+	return len(m.Nodes), metadataTables
+}
+
+// TupleByPK fetches a tuple by its primary key rendered as text; the web
+// UI's hyperlinks use it.
+func (s *System) TupleByPK(table, pk string) (Tuple, bool) {
+	t := s.db.inner.Table(table)
+	if t == nil {
+		return Tuple{}, false
+	}
+	rid := t.LookupPK([]sqldb.Value{sqldb.Text(pk)})
+	if rid < 0 {
+		// Try an integer key.
+		var iv sqldb.Value
+		if _, err := fmt.Sscanf(pk, "%d", &iv.I); err == nil {
+			iv.T = sqldb.TypeInt
+			rid = t.LookupPK([]sqldb.Value{iv})
+		}
+	}
+	if rid < 0 {
+		return Tuple{}, false
+	}
+	n := s.g.NodeOf(table, rid)
+	if n == graph.NoNode {
+		return Tuple{}, false
+	}
+	return s.tupleOf(n), true
+}

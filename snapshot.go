@@ -1,0 +1,94 @@
+package banks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// SaveSnapshot persists the built data graph and keyword index so a later
+// process can serve queries without re-deriving them from the database —
+// the disk-resident mode the paper describes for its keyword index,
+// extended to the graph. The row data itself is not included; pair the
+// snapshot with the same database contents (for example via
+// Database.DumpSQL replayed through ExecScript).
+//
+// Each section is length-prefixed (8 bytes big-endian) so the two readers
+// cannot run into each other's bytes.
+func (s *System) SaveSnapshot(w io.Writer) error {
+	writeSection := func(fill func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := fill(&buf); err != nil {
+			return err
+		}
+		var hdr [8]byte
+		binary.BigEndian.PutUint64(hdr[:], uint64(buf.Len()))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(buf.Bytes())
+		return err
+	}
+	if err := writeSection(func(w io.Writer) error {
+		_, err := s.g.WriteTo(w)
+		return err
+	}); err != nil {
+		return fmt.Errorf("banks: writing graph snapshot: %w", err)
+	}
+	if err := writeSection(func(w io.Writer) error {
+		_, err := s.ix.WriteTo(w)
+		return err
+	}); err != nil {
+		return fmt.Errorf("banks: writing index snapshot: %w", err)
+	}
+	return nil
+}
+
+func readSection(r io.Reader) (io.Reader, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	return io.LimitReader(r, int64(binary.BigEndian.Uint64(hdr[:]))), nil
+}
+
+// LoadSystem reconstructs a System from a snapshot written by SaveSnapshot
+// over the given database. The database must hold the same rows the
+// snapshot was built from; tuple rendering reads rows by the RIDs recorded
+// in the snapshot.
+func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error) {
+	gs, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
+	}
+	g, err := graph.ReadGraph(gs)
+	if err != nil {
+		return nil, fmt.Errorf("banks: reading graph snapshot: %w", err)
+	}
+	is, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
+	}
+	ix, err := index.ReadFrom(is)
+	if err != nil {
+		return nil, fmt.Errorf("banks: reading index snapshot: %w", err)
+	}
+	if ix.NumNodes() != g.NumNodes() {
+		return nil, fmt.Errorf("banks: snapshot mismatch: index built for %d nodes, graph has %d",
+			ix.NumNodes(), g.NumNodes())
+	}
+	s := &System{db: db, g: g, ix: ix, searcher: core.NewSearcher(g, ix)}
+	if opts != nil {
+		s.opts = *opts
+	}
+	return s, nil
+}
+
+// DumpSQL writes the database as a replayable SQL script, referenced
+// tables first.
+func (d *Database) DumpSQL(w io.Writer) error { return d.inner.DumpSQL(w) }

@@ -1,0 +1,77 @@
+package banks
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db, sys := newQuickstartSystem(t)
+	var snap bytes.Buffer
+	if err := sys.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct without rebuilding.
+	sys2, err := LoadSystem(db, &snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := sys.Search("sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sys2.Search("sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("answer counts differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Score != a2[i].Score || a1[i].Root.Table != a2[i].Root.Table || a1[i].Root.RID != a2[i].Root.RID {
+			t.Errorf("answer %d differs: %+v vs %+v", i, a1[i].Root, a2[i].Root)
+		}
+	}
+	gs1, gs2 := sys.GraphStats(), sys2.GraphStats()
+	if gs1.Nodes != gs2.Nodes || gs1.Arcs != gs2.Arcs {
+		t.Errorf("graph stats differ: %+v vs %+v", gs1, gs2)
+	}
+}
+
+func TestLoadSystemBadInput(t *testing.T) {
+	db := NewDatabase()
+	if _, err := LoadSystem(db, bytes.NewReader([]byte("junk")), nil); err == nil {
+		t.Error("junk snapshot should fail")
+	}
+}
+
+func TestDumpSQLPlusSnapshotFullRestore(t *testing.T) {
+	// The documented deployment flow: dump SQL + snapshot, restore both.
+	db, sys := newQuickstartSystem(t)
+	var sqlDump, snap bytes.Buffer
+	if err := db.DumpSQL(&sqlDump); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDatabase()
+	if err := db2.ExecScript(sqlDump.String()); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := LoadSystem(db2, &snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := sys2.Search("byron", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("restored system found nothing")
+	}
+	if answers[0].Root.Values[1] != "Byron Dom" {
+		t.Errorf("restored tuple = %+v", answers[0].Root)
+	}
+}

@@ -1,0 +1,32 @@
+package banks
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// ErrStopped is returned by SearchStream when the callback cancels the
+// search.
+var ErrStopped = errors.New("banks: search stopped by caller")
+
+// SearchStream delivers answers incrementally, in emission order, as the
+// backward expanding search produces them — the paper's motivation for
+// incremental evaluation: first answers render while the search is still
+// running. Returning false from fn cancels the search and SearchStream
+// returns ErrStopped.
+func (s *System) SearchStream(query string, opts *SearchOptions, fn func(*Answer) bool) error {
+	terms := index.Tokenize(query)
+	if len(terms) == 0 {
+		return fmt.Errorf("banks: empty query")
+	}
+	err := s.searcher.SearchStream(terms, opts.toCore(), func(a *core.Answer) bool {
+		return fn(s.convertAnswer(a))
+	})
+	if errors.Is(err, core.ErrStopped) {
+		return ErrStopped
+	}
+	return err
+}

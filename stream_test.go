@@ -1,0 +1,42 @@
+package banks
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPublicSearchStream(t *testing.T) {
+	_, sys := newQuickstartSystem(t)
+	opts := &SearchOptions{ExcludedRootTables: []string{"writes"}}
+	var seen []*Answer
+	err := sys.SearchStream("sunita soumen", opts, func(a *Answer) bool {
+		seen = append(seen, a)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no streamed answers")
+	}
+	if seen[0].Root.Table != "paper" {
+		t.Errorf("first streamed root = %s", seen[0].Root.Table)
+	}
+
+	// Early cancel.
+	count := 0
+	err = sys.SearchStream("sunita soumen", opts, func(*Answer) bool {
+		count++
+		return false
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Errorf("err = %v", err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+
+	if err := sys.SearchStream(" ", opts, func(*Answer) bool { return true }); err == nil {
+		t.Error("empty query should error")
+	}
+}

@@ -1,0 +1,47 @@
+package banks
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicLoadXMLAndSearch(t *testing.T) {
+	db := NewDatabase()
+	doc := `<library>
+		<book isbn="42"><title>Graph Search Systems</title><writer>Ada Byron</writer></book>
+		<book isbn="43"><title>Relational Algebra</title><writer>Edgar Codd</writer></book>
+	</library>`
+	n, err := db.LoadXML(strings.NewReader(doc), "library")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("elements = %d, want 7", n)
+	}
+	sys, err := NewSystem(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two keywords from different children of the same <book> connect at
+	// the book element.
+	answers, err := sys.Search("graph byron", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no XML answers")
+	}
+	if answers[0].Root.Table != "xml_element" {
+		t.Fatalf("root table = %s", answers[0].Root.Table)
+	}
+	// Root should be the containing <book>, not the whole <library>.
+	var tag string
+	for i, c := range answers[0].Root.Columns {
+		if c == "tag" {
+			tag, _ = answers[0].Root.Values[i].(string)
+		}
+	}
+	if tag != "book" {
+		t.Errorf("root tag = %q, want book\n%s", tag, answers[0].Format())
+	}
+}
