@@ -368,6 +368,121 @@ func BenchmarkProximityBaseline(b *testing.B) {
 	})
 }
 
+// --- core search allocation benchmarks ---
+
+// BenchmarkSearch* measure the per-query cost of the backward expanding
+// search on both generators; ReportAllocs makes allocs/op visible so the
+// dense, pooled per-query state can be compared against the old
+// map-per-iterator core (results recorded in BENCH_core.json).
+
+func BenchmarkSearchDBLPTwoTerm(b *testing.B) {
+	f := paperFixture(b)
+	opts := dblpOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.s.Search([]string{"soumen", "sunita"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchDBLPThreeTerm(b *testing.B) {
+	f := paperFixture(b)
+	opts := dblpOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.s.Search([]string{"soumen", "sunita", "byron"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchDBLPSingleTerm(b *testing.B) {
+	f := paperFixture(b)
+	opts := dblpOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.s.Search([]string{"mohan"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchDBLPMetadata mixes a metadata term (matching a whole
+// relation, capped by MetadataNodeLimit) with a data term — the paper's §7
+// worst case for iterator count.
+func BenchmarkSearchDBLPMetadata(b *testing.B) {
+	f := paperFixture(b)
+	opts := dblpOpts()
+	opts.MetadataNodeLimit = 200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.s.Search([]string{"author", "sunita"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	tpcdOnce sync.Once
+	tpcdFix  *benchFixture
+	tpcdErr  error
+)
+
+func tpcdFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	tpcdOnce.Do(func() {
+		db, err := datagen.BuildTPCD(datagen.SmallTPCD())
+		if err != nil {
+			tpcdErr = err
+			return
+		}
+		g, err := graph.Build(db, nil)
+		if err != nil {
+			tpcdErr = err
+			return
+		}
+		ix, err := index.Build(db, g)
+		if err != nil {
+			tpcdErr = err
+			return
+		}
+		tpcdFix = &benchFixture{db: db, g: g, ix: ix, s: core.NewSearcher(g, ix)}
+	})
+	if tpcdFix == nil {
+		b.Fatalf("tpcd fixture failed: %v", tpcdErr)
+	}
+	return tpcdFix
+}
+
+func BenchmarkSearchTPCDTwoTerm(b *testing.B) {
+	f := tpcdFixture(b)
+	opts := core.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.s.Search([]string{"steel", "widget"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchTPCDThreeTerm(b *testing.B) {
+	f := tpcdFixture(b)
+	opts := core.DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.s.Search([]string{"premium", "steel", "widget"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate microbenchmarks ---
 
 func BenchmarkDatasetBuildSmall(b *testing.B) {

@@ -1,0 +1,3 @@
+module github.com/banksdb/banks
+
+go 1.21

@@ -102,6 +102,38 @@ func (a *Answer) Signature() string {
 	return strings.Join(und, ",")
 }
 
+// sigHash is the integer form of Signature used on the hot path: a 64-bit
+// order-independent hash of the undirected edge set (of the root alone for
+// edgeless answers). Commutative combination over per-edge mixes makes
+// sorting unnecessary; a collision would merge two distinct trees, with
+// probability ~2^-64 per candidate pair — negligible against the few
+// thousand candidates a query generates.
+func (a *Answer) sigHash() uint64 {
+	if len(a.Edges) == 0 {
+		return mix64(uint64(uint32(a.Root)) | 1<<40)
+	}
+	h := mix64(uint64(len(a.Edges)))
+	for _, e := range a.Edges {
+		lo, hi := e.From, e.To
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		h += mix64(uint64(uint32(lo))<<32 | uint64(uint32(hi)))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer with good
+// avalanche behaviour.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // String renders a compact representation for logs and tests.
 func (a *Answer) String() string {
 	return fmt.Sprintf("answer{root=%d edges=%d w=%.3g score=%.4f}", a.Root, len(a.Edges), a.Weight, a.Score)

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// searchArena is the dense, NodeID-indexed scratch state for one query.
+// Everything a search needs that used to be a per-query (or worse,
+// per-iterator) hash map lives here as flat slices sized to the graph's
+// node count, invalidated in O(1) between queries by bumping a generation
+// stamp instead of clearing. Arenas are recycled through the Searcher's
+// sync.Pool, so the steady-state allocation cost of a query is just its
+// answers — the memory-frugal iterator-state representation EMBANKS argues
+// for, which is also what keeps one Searcher cheap to share between many
+// concurrent queries.
+//
+// An arena is owned by exactly one search from acquire to release; none of
+// its state is safe for concurrent use.
+type searchArena struct {
+	n int // graph.NumNodes() the arena was sized for
+
+	// mark is a stamped membership set used by short-lived phases that
+	// never overlap: matchTerm's per-term dedup and buildAnswer's in-tree
+	// set. A slot is a member iff mark[n] == markGen.
+	mark    []uint32
+	markGen uint32
+
+	// originIdx maps a keyword node to its slot in origins for the whole
+	// query; valid iff originStamp[n] == originGen.
+	originIdx   []int32
+	originStamp []uint32
+	originGen   uint32
+
+	// visitIdx maps a visited node to its slot in the chunked termLists
+	// storage; valid iff visitStamp[n] == visitGen.
+	visitIdx   []int32
+	visitStamp []uint32
+	visitGen   uint32
+	visited    int
+
+	// origins are the keyword nodes of the current query, each with its
+	// shortest-path iterator; masks holds per-origin term-membership
+	// bitmasks, maskWords uint64 words per origin.
+	origins   []originRec
+	masks     []uint64
+	maskWords int
+
+	// termLists is the backing store for the per-visited-node term lists
+	// (v.L_i in the Figure 3 pseudocode), chunked nTerms slots per visited
+	// node. Inner slices keep their capacity across queries.
+	termLists []([]graph.NodeID)
+	listsUsed int
+
+	// freeIters are recycled shortest-path iterators; each holds dense
+	// arrays sized to n plus its heap, all reused via generation bumps.
+	freeIters []*sspIterator
+
+	// Result-heap dedup state, keyed by hashed tree signature.
+	inHeap map[uint64]*resultItem
+	outSig map[uint64]bool
+
+	ih           iterHeap
+	comboBuf     []graph.NodeID
+	scratchEdges []TreeEdge
+}
+
+// originRec is one keyword node of the current query.
+type originRec struct {
+	node graph.NodeID
+	it   *sspIterator
+}
+
+func newSearchArena(n int) *searchArena {
+	return &searchArena{
+		n:           n,
+		mark:        make([]uint32, n),
+		originIdx:   make([]int32, n),
+		originStamp: make([]uint32, n),
+		visitIdx:    make([]int32, n),
+		visitStamp:  make([]uint32, n),
+		inHeap:      make(map[uint64]*resultItem),
+		outSig:      make(map[uint64]bool),
+	}
+}
+
+// bumpGen advances a generation counter, zeroing the stamp array on the
+// (roughly once per 4 billion queries) wraparound so stale stamps can never
+// alias the new generation.
+func bumpGen(gen *uint32, stamps []uint32) uint32 {
+	*gen++
+	if *gen == 0 {
+		for i := range stamps {
+			stamps[i] = 0
+		}
+		*gen = 1
+	}
+	return *gen
+}
+
+// bumpMark starts a fresh membership set; members are slots with
+// mark[n] == returned generation.
+func (a *searchArena) bumpMark() uint32 { return bumpGen(&a.markGen, a.mark) }
+
+// beginOrigins resets the node -> origin-slot mapping for a new query with
+// nTerms search terms.
+func (a *searchArena) beginOrigins(nTerms int) {
+	bumpGen(&a.originGen, a.originStamp)
+	a.origins = a.origins[:0]
+	a.masks = a.masks[:0]
+	a.maskWords = (nTerms + 63) / 64
+}
+
+// originIndex returns the origin slot of node n, or -1.
+func (a *searchArena) originIndex(n graph.NodeID) int32 {
+	if a.originStamp[n] == a.originGen {
+		return a.originIdx[n]
+	}
+	return -1
+}
+
+// addOrigin registers node n as a keyword node and returns its slot.
+func (a *searchArena) addOrigin(n graph.NodeID) int32 {
+	i := int32(len(a.origins))
+	a.origins = append(a.origins, originRec{node: n})
+	for k := 0; k < a.maskWords; k++ {
+		a.masks = append(a.masks, 0)
+	}
+	a.originStamp[n] = a.originGen
+	a.originIdx[n] = i
+	return i
+}
+
+// originTerms returns the term bitmask words of origin slot i.
+func (a *searchArena) originTerms(i int32) []uint64 {
+	return a.masks[int(i)*a.maskWords : (int(i)+1)*a.maskWords]
+}
+
+// beginVisits resets the node -> visit-slot mapping.
+func (a *searchArena) beginVisits() {
+	bumpGen(&a.visitGen, a.visitStamp)
+	a.visited = 0
+}
+
+// nodeLists returns the nTerms per-term lists of visited node v, creating
+// its slot on first use. Inner slices retain capacity across queries.
+func (a *searchArena) nodeLists(v graph.NodeID, nTerms int) []([]graph.NodeID) {
+	var vi int32
+	if a.visitStamp[v] == a.visitGen {
+		vi = a.visitIdx[v]
+	} else {
+		vi = int32(a.visited)
+		a.visited++
+		a.visitStamp[v] = a.visitGen
+		a.visitIdx[v] = vi
+	}
+	need := (int(vi) + 1) * nTerms
+	for len(a.termLists) < need {
+		a.termLists = append(a.termLists, nil)
+	}
+	if need > a.listsUsed {
+		a.listsUsed = need
+	}
+	return a.termLists[int(vi)*nTerms : need]
+}
+
+// newIterator hands out a recycled (or fresh) shortest-path iterator rooted
+// at origin. The caller must keep it reachable from a.origins so release
+// can reclaim it.
+func (a *searchArena) newIterator(g *graph.Graph, origin graph.NodeID) *sspIterator {
+	var it *sspIterator
+	if k := len(a.freeIters); k > 0 {
+		it = a.freeIters[k-1]
+		a.freeIters = a.freeIters[:k-1]
+	} else {
+		it = &sspIterator{
+			dist:    make([]float64, a.n),
+			parent:  make([]graph.NodeID, a.n),
+			pweight: make([]float64, a.n),
+			visit:   make([]uint32, a.n),
+		}
+	}
+	it.reset(g, origin)
+	return it
+}
+
+// release returns all per-query state to the arena so the next search
+// reuses its memory. Called exactly once per search, after the last answer
+// has been materialized.
+func (a *searchArena) release() {
+	for i := range a.origins {
+		if it := a.origins[i].it; it != nil {
+			it.g = nil
+			a.freeIters = append(a.freeIters, it)
+			a.origins[i].it = nil
+		}
+	}
+	a.origins = a.origins[:0]
+	a.masks = a.masks[:0]
+	for i := 0; i < a.listsUsed; i++ {
+		a.termLists[i] = a.termLists[i][:0]
+	}
+	a.listsUsed = 0
+	a.ih = a.ih[:0]
+	clear(a.inHeap)
+	clear(a.outSig)
+}

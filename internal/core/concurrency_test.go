@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearchesShareOneSearcher locks in the pooled-arena safety
+// claim: one Searcher over one graph/index snapshot must serve many
+// goroutines at once (run under -race), each getting exactly the answers a
+// serial run produces.
+func TestConcurrentSearchesShareOneSearcher(t *testing.T) {
+	f := newBibFixture(t)
+	queries := [][]string{
+		{"soumen", "sunita"},
+		{"soumen", "sunita", "byron"},
+		{"mohan"},
+		{"mohan", "aries"},
+		{"surprising", "sunita"},
+		{"author"},
+	}
+	o := defaultBibOptions()
+
+	// Serial reference run.
+	want := make([][]string, len(queries))
+	for qi, q := range queries {
+		answers, err := f.s.Search(q, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range answers {
+			want[qi] = append(want[qi], fmt.Sprintf("%s|%.9f", a.Signature(), a.Score))
+		}
+	}
+
+	const goroutines = 16
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (gi + r) % len(queries)
+				answers, err := f.s.Search(queries[qi], o)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(answers) != len(want[qi]) {
+					errs <- fmt.Errorf("query %v: %d answers, want %d", queries[qi], len(answers), len(want[qi]))
+					return
+				}
+				for i, a := range answers {
+					got := fmt.Sprintf("%s|%.9f", a.Signature(), a.Score)
+					if got != want[qi][i] {
+						errs <- fmt.Errorf("query %v answer %d: %s, want %s", queries[qi], i, got, want[qi][i])
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentStreamAndBatch mixes streaming (with early cancellation)
+// and batch searches across goroutines; cancellation must release arenas
+// cleanly so later queries see no stale state.
+func TestConcurrentStreamAndBatch(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	var wg sync.WaitGroup
+	for gi := 0; gi < 8; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				if (gi+r)%2 == 0 {
+					count := 0
+					_ = f.s.SearchStream([]string{"soumen", "sunita"}, o, func(*Answer) bool {
+						count++
+						return count < 1 // cancel after the first answer
+					})
+				} else {
+					if _, err := f.s.Search([]string{"mohan", "aries"}, o); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"github.com/banksdb/banks/internal/graph"
 )
 
@@ -13,14 +11,20 @@ import (
 // nondecreasing distance, lazily, one at a time — which is what lets the
 // backward expanding search interleave |S| of these through a single
 // iterator heap.
+//
+// State is held in dense NodeID-indexed arrays rather than hash maps: a
+// visit-stamp array distinguishes untouched / tentative / settled nodes, so
+// reusing an iterator for a new origin costs two generation bumps instead
+// of four map rebuilds. Iterators are recycled through the searchArena.
 type sspIterator struct {
 	g      *graph.Graph
 	origin graph.NodeID
 
-	dist    map[graph.NodeID]float64      // settled distances
-	parent  map[graph.NodeID]graph.NodeID // next hop from node toward origin (forward direction)
-	pweight map[graph.NodeID]float64      // weight of the arc node -> parent[node]
-	tent    map[graph.NodeID]float64      // best tentative distances seen so far
+	dist    []float64      // tentative (visit==gen) or settled (visit==gen+1) distance
+	parent  []graph.NodeID // next hop from node toward origin (forward direction)
+	pweight []float64      // weight of the arc node -> parent[node]
+	visit   []uint32       // visit state stamp; see gen
+	gen     uint32         // even; visit[n]==gen → tentative, ==gen+1 → settled, else untouched
 	pq      distHeap
 }
 
@@ -29,43 +33,95 @@ type distEntry struct {
 	d    float64
 }
 
+// distHeap is a hand-rolled binary min-heap on d. container/heap would box
+// every distEntry pushed through its interface{} parameters — on the hot
+// path that is one allocation per relaxation.
 type distHeap []distEntry
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h *distHeap) push(e distEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].d <= s[i].d {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
 }
 
-func newSSPIterator(g *graph.Graph, origin graph.NodeID) *sspIterator {
-	it := &sspIterator{
-		g:       g,
-		origin:  origin,
-		dist:    make(map[graph.NodeID]float64),
-		parent:  make(map[graph.NodeID]graph.NodeID),
-		pweight: make(map[graph.NodeID]float64),
-		tent:    make(map[graph.NodeID]float64),
+func (h *distHeap) pop() distEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	if n > 1 {
+		s[:n].siftDown(0)
 	}
-	it.tent[origin] = 0
-	heap.Push(&it.pq, distEntry{node: origin, d: 0})
+	return top
+}
+
+func (h distHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].d < h[l].d {
+			m = r
+		}
+		if h[i].d <= h[m].d {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// reset re-roots a (possibly recycled) iterator at origin. The generation
+// bump invalidates all previous visit stamps in O(1); the stamp array is
+// zeroed only on uint32 wraparound.
+func (it *sspIterator) reset(g *graph.Graph, origin graph.NodeID) {
+	it.g = g
+	it.origin = origin
+	it.gen += 2
+	if it.gen < 2 { // wrapped
+		for i := range it.visit {
+			it.visit[i] = 0
+		}
+		it.gen = 2
+	}
+	it.pq = it.pq[:0]
+	it.dist[origin] = 0
+	it.visit[origin] = it.gen
+	it.pq.push(distEntry{node: origin, d: 0})
+}
+
+// newSSPIterator allocates a standalone iterator (tests use this; searches
+// go through searchArena.newIterator for pooling).
+func newSSPIterator(g *graph.Graph, origin graph.NodeID) *sspIterator {
+	n := g.NumNodes()
+	it := &sspIterator{
+		dist:    make([]float64, n),
+		parent:  make([]graph.NodeID, n),
+		pweight: make([]float64, n),
+		visit:   make([]uint32, n),
+	}
+	it.reset(g, origin)
 	return it
 }
 
+func (it *sspIterator) settled(n graph.NodeID) bool { return it.visit[n] == it.gen+1 }
+
 // clean drops stale heap entries (lazy deletion).
 func (it *sspIterator) clean() {
-	for len(it.pq) > 0 {
-		top := it.pq[0]
-		if _, settled := it.dist[top.node]; settled {
-			heap.Pop(&it.pq)
-			continue
-		}
-		return
+	for len(it.pq) > 0 && it.settled(it.pq[0].node) {
+		it.pq.pop()
 	}
 }
 
@@ -86,20 +142,23 @@ func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
 	if len(it.pq) == 0 {
 		return graph.NoNode, 0, false
 	}
-	top := heap.Pop(&it.pq).(distEntry)
+	top := it.pq.pop()
 	v, d := top.node, top.d
 	it.dist[v] = d
+	it.visit[v] = it.gen + 1
 	for _, e := range it.g.In(v) {
 		u, w := e.To, e.W
-		if _, settled := it.dist[u]; settled {
-			continue
+		st := it.visit[u]
+		if st == it.gen+1 {
+			continue // settled
 		}
 		nd := d + w
-		if best, seen := it.tent[u]; !seen || nd < best {
-			it.tent[u] = nd
+		if st != it.gen || nd < it.dist[u] {
+			it.dist[u] = nd
+			it.visit[u] = it.gen
 			it.parent[u] = v
 			it.pweight[u] = w
-			heap.Push(&it.pq, distEntry{node: u, d: nd})
+			it.pq.push(distEntry{node: u, d: nd})
 		}
 	}
 	return v, d, true
@@ -107,18 +166,20 @@ func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
 
 // Dist returns the settled distance of v (forward path weight v->origin).
 func (it *sspIterator) Dist(v graph.NodeID) (float64, bool) {
-	d, ok := it.dist[v]
-	return d, ok
+	if !it.settled(v) {
+		return 0, false
+	}
+	return it.dist[v], true
 }
 
 // PathEdges appends to dst the directed forward edges of the shortest path
 // v -> ... -> origin. v must be settled.
 func (it *sspIterator) PathEdges(v graph.NodeID, dst []TreeEdge) []TreeEdge {
 	for v != it.origin {
-		p, ok := it.parent[v]
-		if !ok {
+		if !it.settled(v) {
 			return dst // origin unreachable; cannot happen for settled v
 		}
+		p := it.parent[v]
 		dst = append(dst, TreeEdge{From: v, To: p, W: it.pweight[v]})
 		v = p
 	}

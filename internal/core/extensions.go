@@ -31,8 +31,8 @@ func parseQualifiedTerm(term string) (qual, bare string, ok bool) {
 // name a relation (all matching tuples of that relation) or an attribute
 // (tuples whose that attribute contains the term). It falls back to nil
 // when the qualifier names nothing.
-func (s *Searcher) matchQualified(db *sqldb.Database, qual, term string, o *Options, stats *Stats) []graph.NodeID {
-	candidates := s.matchTerm(term, o, stats)
+func (s *Searcher) matchQualified(ar *searchArena, db *sqldb.Database, qual, term string, o *Options, stats *Stats) []graph.NodeID {
+	candidates := s.matchTerm(ar, term, o, stats)
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -83,6 +83,8 @@ func (s *Searcher) matchQualified(db *sqldb.Database, qual, term string, o *Opti
 func (s *Searcher) SearchQualified(db *sqldb.Database, terms []string, prefix bool, opts *Options) ([]*Answer, error) {
 	o := opts.withDefaults()
 	stats := &Stats{}
+	ar := s.acquireArena()
+	defer s.releaseArena(ar)
 	var sets [][]graph.NodeID
 	for _, raw := range terms {
 		raw = strings.TrimSpace(strings.ToLower(raw))
@@ -91,9 +93,9 @@ func (s *Searcher) SearchQualified(db *sqldb.Database, terms []string, prefix bo
 		}
 		var set []graph.NodeID
 		if qual, bare, ok := parseQualifiedTerm(raw); ok {
-			set = s.matchQualified(db, qual, bare, o, stats)
+			set = s.matchQualified(ar, db, qual, bare, o, stats)
 		} else {
-			set = s.matchTerm(raw, o, stats)
+			set = s.matchTerm(ar, raw, o, stats)
 			if len(set) == 0 && prefix {
 				set = s.ix.LookupPrefix(raw)
 			}
@@ -109,16 +111,11 @@ func (s *Searcher) SearchQualified(db *sqldb.Database, terms []string, prefix bo
 	if len(sets) == 0 {
 		return nil, nil
 	}
-	excluded := make(map[int32]bool, len(o.ExcludedRootTables))
-	for _, name := range o.ExcludedRootTables {
-		if id := s.g.TableID(name); id >= 0 {
-			excluded[id] = true
-		}
-	}
+	excluded := s.excludedTables(o)
 	if len(sets) == 1 {
-		return s.searchSingleTerm(sets[0], nil, excluded, o, stats), nil
+		return s.searchSingleTerm(ar, sets[0], excluded, o, stats, nil), nil
 	}
-	return s.searchMultiTerm(sets, nil, excluded, o, stats, nil), nil
+	return s.searchMultiTerm(ar, sets, excluded, o, stats, nil), nil
 }
 
 // AnswerGroup is a set of answers sharing the same tree structure over the

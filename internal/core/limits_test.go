@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
 )
 
@@ -58,6 +60,49 @@ func TestMetadataNodeLimit(t *testing.T) {
 	}
 	if stats.MatchedNodes[0] != 50 || stats.MetadataTruncated {
 		t.Errorf("unlimited stats = %+v", stats)
+	}
+}
+
+// TestMetadataNodeLimitExactUnderDuplicatePostings locks in the fix for
+// the cap being budgeted against len(m.Nodes) *including duplicates*: a
+// Lookup whose posting list repeats nodes must still admit exactly
+// MetadataNodeLimit metadata nodes, no more.
+func TestMetadataNodeLimitExactUnderDuplicatePostings(t *testing.T) {
+	db := sqldb.NewDatabase()
+	db.CreateTable(&sqldb.TableSchema{
+		Name:    "gizmo",
+		Columns: []sqldb.Column{{Name: "label", Type: sqldb.TypeText}},
+	})
+	for i := 0; i < 30; i++ {
+		db.Insert("gizmo", []sqldb.Value{sqldb.Text(fmt.Sprintf("item %d", i))})
+	}
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := g.TableID("gizmo")
+	// Hand-built index: "gizmo" matches nodes 0 and 1 as data — each
+	// posted three times — and the whole table via metadata.
+	lo, _ := g.NodesOfTable(tid)
+	ix := index.NewFromPostings(g.NumNodes(), map[string][]graph.NodeID{
+		"gizmo": {lo, lo, lo, lo + 1, lo + 1, lo + 1},
+	}, map[string][]int32{
+		"gizmo": {tid},
+	})
+	s := NewSearcher(g, ix)
+	o := DefaultOptions()
+	o.MetadataNodeLimit = 5
+	_, stats, err := s.SearchStats([]string{"gizmo"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.MetadataTruncated {
+		t.Error("truncation not reported")
+	}
+	// Exactly 2 distinct data nodes + 5 admitted metadata nodes. The old
+	// budget (len(set) >= len(m.Nodes)+limit = 11) would have admitted 9.
+	if got := stats.MatchedNodes[0]; got != 7 {
+		t.Errorf("matched = %d, want 7 (2 data + 5 metadata)", got)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
@@ -18,6 +20,9 @@ type Options struct {
 	// HeapSize is the capacity of the fixed-size output heap that
 	// approximately re-sorts answers by relevance before they are emitted
 	// (§3; default 20). Larger values sort better but delay first results.
+	// Both the multi-term and the single-term paths emit through this
+	// heap, so with a small HeapSize even single-term results arrive in
+	// approximate (not exact) relevance order.
 	HeapSize int
 	// Score holds the §2.3 ranking parameters.
 	Score ScoreOptions
@@ -93,16 +98,23 @@ type Stats struct {
 }
 
 // Searcher answers keyword queries over a graph + keyword index pair.
-// It is safe for concurrent use; each Search call keeps its own state.
+// It is safe for concurrent use: each Search call checks a searchArena —
+// the dense per-query scratch state — out of an internal pool, so
+// concurrent queries never share mutable state while steady-state searches
+// allocate almost nothing.
 type Searcher struct {
-	g  *graph.Graph
-	ix *index.Index
+	g      *graph.Graph
+	ix     *index.Index
+	arenas sync.Pool // of *searchArena sized to g.NumNodes()
 }
 
 // NewSearcher returns a Searcher over g and ix (built from the same
 // database snapshot).
 func NewSearcher(g *graph.Graph, ix *index.Index) *Searcher {
-	return &Searcher{g: g, ix: ix}
+	s := &Searcher{g: g, ix: ix}
+	n := g.NumNodes()
+	s.arenas.New = func() interface{} { return newSearchArena(n) }
+	return s
 }
 
 // Graph returns the underlying data graph.
@@ -110,6 +122,15 @@ func (s *Searcher) Graph() *graph.Graph { return s.g }
 
 // Index returns the underlying keyword index.
 func (s *Searcher) Index() *index.Index { return s.ix }
+
+// acquireArena checks a per-query arena out of the pool; releaseArena puts
+// it back after wiping its per-query state.
+func (s *Searcher) acquireArena() *searchArena { return s.arenas.Get().(*searchArena) }
+
+func (s *Searcher) releaseArena(a *searchArena) {
+	a.release()
+	s.arenas.Put(a)
+}
 
 // Search runs the backward expanding search for the given terms.
 func (s *Searcher) Search(terms []string, opts *Options) ([]*Answer, error) {
@@ -140,11 +161,14 @@ func (s *Searcher) searchWithCallback(terms []string, opts *Options, cb func(*An
 		return nil, stats, errors.New("core: empty query")
 	}
 
+	ar := s.acquireArena()
+	defer s.releaseArena(ar)
+
 	// Locate S_i for each term (§3 step 1).
 	var sets [][]graph.NodeID
 	var active []string
 	for _, term := range clean {
-		set := s.matchTerm(term, o, stats)
+		set := s.matchTerm(ar, term, o, stats)
 		if len(set) == 0 {
 			if o.RequireAllTerms {
 				stats.Terms = active
@@ -164,83 +188,161 @@ func (s *Searcher) searchWithCallback(terms []string, opts *Options, cb func(*An
 		return nil, stats, nil
 	}
 
+	excluded := s.excludedTables(o)
+
+	if len(sets) == 1 {
+		return s.searchSingleTerm(ar, sets[0], excluded, o, stats, cb), stats, nil
+	}
+	return s.searchMultiTerm(ar, sets, excluded, o, stats, cb), stats, nil
+}
+
+// excludedTables resolves ExcludedRootTables to a table-id set.
+func (s *Searcher) excludedTables(o *Options) map[int32]bool {
+	if len(o.ExcludedRootTables) == 0 {
+		return nil
+	}
 	excluded := make(map[int32]bool, len(o.ExcludedRootTables))
 	for _, name := range o.ExcludedRootTables {
 		if id := s.g.TableID(name); id >= 0 {
 			excluded[id] = true
 		}
 	}
-
-	if len(sets) == 1 {
-		answers := s.searchSingleTerm(sets[0], active, excluded, o, stats)
-		for _, a := range answers {
-			if cb != nil && !cb(a) {
-				break
-			}
-		}
-		return answers, stats, nil
-	}
-	return s.searchMultiTerm(sets, active, excluded, o, stats, cb), stats, nil
+	return excluded
 }
 
 // matchTerm resolves one term to its node set, expanding metadata matches
-// to whole tables subject to MetadataNodeLimit.
-func (s *Searcher) matchTerm(term string, o *Options, stats *Stats) []graph.NodeID {
+// to whole tables subject to MetadataNodeLimit. The limit budgets actually
+// admitted metadata nodes, so duplicate index postings and data/metadata
+// overlap cannot inflate it.
+func (s *Searcher) matchTerm(ar *searchArena, term string, o *Options, stats *Stats) []graph.NodeID {
 	m := s.ix.Lookup(term)
-	seen := make(map[graph.NodeID]bool, len(m.Nodes))
+	gen := ar.bumpMark()
 	set := make([]graph.NodeID, 0, len(m.Nodes))
 	for _, n := range m.Nodes {
-		if !seen[n] {
-			seen[n] = true
+		if ar.mark[n] != gen {
+			ar.mark[n] = gen
 			set = append(set, n)
 		}
 	}
+	metaAdmitted := 0
 	for _, tid := range m.Tables {
 		lo, hi := s.g.NodesOfTable(tid)
 		for n := lo; n < hi; n++ {
-			if o.MetadataNodeLimit > 0 && len(set) >= len(m.Nodes)+o.MetadataNodeLimit {
+			if ar.mark[n] == gen {
+				continue
+			}
+			if o.MetadataNodeLimit > 0 && metaAdmitted >= o.MetadataNodeLimit {
 				stats.MetadataTruncated = true
 				return set
 			}
-			if !seen[n] {
-				seen[n] = true
-				set = append(set, n)
-			}
+			ar.mark[n] = gen
+			set = append(set, n)
+			metaAdmitted++
 		}
 	}
 	return set
 }
 
+// emitter drives the fixed-size output heap of §3 shared by the single-
+// and multi-term paths: candidate answers are offered, deduplicated by
+// hashed tree signature, buffered up to HeapSize, and emitted best-first
+// on overflow and during the final drain.
+type emitter struct {
+	o       *Options
+	stats   *Stats
+	cb      func(*Answer) bool
+	rh      resultHeap
+	inHeap  map[uint64]*resultItem
+	outSig  map[uint64]bool
+	seq     int
+	emitted []*Answer
+	stopped bool
+}
+
+func newEmitter(ar *searchArena, o *Options, stats *Stats, cb func(*Answer) bool) *emitter {
+	return &emitter{o: o, stats: stats, cb: cb, inHeap: ar.inHeap, outSig: ar.outSig}
+}
+
+func (em *emitter) emitBest() {
+	item := heap.Pop(&em.rh).(*resultItem)
+	delete(em.inHeap, item.sig)
+	em.outSig[item.sig] = true
+	em.emitted = append(em.emitted, item.ans)
+	item.ans.Rank = len(em.emitted)
+	if em.cb != nil && !em.cb(item.ans) {
+		em.stopped = true
+	}
+}
+
+func (em *emitter) offer(a *Answer) {
+	sig := a.sigHash()
+	if em.outSig[sig] {
+		// A duplicate of an already-output answer is discarded even if its
+		// relevance is higher (§3).
+		em.stats.Duplicates++
+		return
+	}
+	if prev, ok := em.inHeap[sig]; ok {
+		em.stats.Duplicates++
+		if a.Score > prev.ans.Score {
+			prev.ans = a
+			heap.Fix(&em.rh, prev.idx)
+		}
+		return
+	}
+	item := &resultItem{ans: a, sig: sig, seq: em.seq}
+	em.seq++
+	if len(em.rh) >= em.o.HeapSize {
+		em.emitBest()
+	}
+	heap.Push(&em.rh, item)
+	em.inHeap[sig] = item
+}
+
+// drain emits buffered answers best-first until TopK is reached or the
+// heap empties.
+func (em *emitter) drain() {
+	for len(em.rh) > 0 && len(em.emitted) < em.o.TopK && !em.stopped {
+		em.emitBest()
+	}
+}
+
+// finish trims the overshoot (heap overflow during a single node visit can
+// emit a result or two beyond TopK) and fixes ranks.
+func (em *emitter) finish() []*Answer {
+	if len(em.emitted) > em.o.TopK {
+		em.emitted = em.emitted[:em.o.TopK]
+	}
+	for i, a := range em.emitted {
+		a.Rank = i + 1
+	}
+	return em.emitted
+}
+
 // searchSingleTerm handles n=1 exactly: any tree with edges has a
 // single-child root and is discarded by the §3 rule, so the answers are
 // precisely the matching nodes, ranked by relevance (EScore of a node tree
-// is 1, so prestige separates them — the "Mohan" anecdote).
-func (s *Searcher) searchSingleTerm(set []graph.NodeID, terms []string, excluded map[int32]bool, o *Options, stats *Stats) []*Answer {
-	answers := make([]*Answer, 0, len(set))
+// is 1, so prestige separates them — the "Mohan" anecdote). Answers flow
+// through the same fixed-size output heap as the multi-term path, so the
+// emission contract (approximate relevance order, governed by HeapSize) is
+// identical for both.
+func (s *Searcher) searchSingleTerm(ar *searchArena, set []graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) []*Answer {
+	em := newEmitter(ar, o, stats, cb)
 	for _, n := range set {
+		if em.stopped || len(em.emitted) >= o.TopK {
+			break
+		}
 		if excluded[s.g.TableOf(n)] {
 			stats.ExcludedRoots++
 			continue
 		}
 		a := &Answer{Root: n, TermNodes: []graph.NodeID{n}}
 		scoreAnswer(a, s.g, o.Score)
-		answers = append(answers, a)
 		stats.Generated++
+		em.offer(a)
 	}
-	sort.SliceStable(answers, func(i, j int) bool {
-		if answers[i].Score != answers[j].Score {
-			return answers[i].Score > answers[j].Score
-		}
-		return answers[i].Root < answers[j].Root
-	})
-	if len(answers) > o.TopK {
-		answers = answers[:o.TopK]
-	}
-	for i, a := range answers {
-		a.Rank = i + 1
-	}
-	_ = terms
-	return answers
+	em.drain()
+	return em.finish()
 }
 
 // iterEntry is one shortest-path iterator in the iterator heap, keyed by
@@ -250,18 +352,44 @@ type iterEntry struct {
 	next float64
 }
 
-type iterHeap []*iterEntry
+// iterHeap is a hand-rolled binary min-heap of iterator entries, stored by
+// value to avoid per-entry allocations.
+type iterHeap []iterEntry
 
-func (h iterHeap) Len() int            { return len(h) }
-func (h iterHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
-func (h iterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *iterHeap) Push(x interface{}) { *h = append(*h, x.(*iterEntry)) }
-func (h *iterHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h iterHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h iterHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].next < h[l].next {
+			m = r
+		}
+		if h[i].next <= h[m].next {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// popTop removes the root entry.
+func (h *iterHeap) popTop() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	if n > 1 {
+		s[:n].siftDown(0)
+	}
 }
 
 // resultItem is an answer in the fixed-size output heap (a max-heap on
@@ -269,13 +397,19 @@ func (h *iterHeap) Pop() interface{} {
 type resultItem struct {
 	ans *Answer
 	idx int
-	sig string
+	seq int
+	sig uint64
 }
 
 type resultHeap []*resultItem
 
-func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return h[i].ans.Score > h[j].ans.Score }
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].ans.Score != h[j].ans.Score {
+		return h[i].ans.Score > h[j].ans.Score
+	}
+	return h[i].seq < h[j].seq // deterministic: offer order breaks score ties
+}
 func (h resultHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
@@ -296,87 +430,48 @@ func (h *resultHeap) Pop() interface{} {
 
 // searchMultiTerm is the backward expanding search of Figure 3. cb, when
 // non-nil, observes answers at emission time and may cancel the search.
-func (s *Searcher) searchMultiTerm(sets [][]graph.NodeID, terms []string, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) []*Answer {
+func (s *Searcher) searchMultiTerm(ar *searchArena, sets [][]graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) []*Answer {
 	n := len(sets)
 
-	// A node may match several terms; it gets one iterator but appears in
-	// each term's origin list.
-	originTerms := make(map[graph.NodeID][]int)
+	// A node may match several terms; it gets one iterator and one origin
+	// slot whose bitmask records the terms it matched.
+	ar.beginOrigins(n)
 	for ti, set := range sets {
 		for _, node := range set {
-			originTerms[node] = append(originTerms[node], ti)
-		}
-	}
-	iters := make(map[graph.NodeID]*sspIterator, len(originTerms))
-	var ih iterHeap
-	for node := range originTerms {
-		it := newSSPIterator(s.g, node)
-		iters[node] = it
-		if _, d, ok := it.Peek(); ok {
-			ih = append(ih, &iterEntry{it: it, next: d})
-		}
-	}
-	heap.Init(&ih)
-
-	// Per-visited-node term lists (v.L_i in the pseudocode).
-	lists := make(map[graph.NodeID][][]graph.NodeID)
-	getLists := func(v graph.NodeID) [][]graph.NodeID {
-		l, ok := lists[v]
-		if !ok {
-			l = make([][]graph.NodeID, n)
-			lists[v] = l
-		}
-		return l
-	}
-
-	var (
-		emitted []*Answer
-		rh      resultHeap
-		inHeap  = make(map[string]*resultItem)
-		outSig  = make(map[string]bool)
-	)
-	stopped := false
-	emitBest := func() {
-		item := heap.Pop(&rh).(*resultItem)
-		delete(inHeap, item.sig)
-		outSig[item.sig] = true
-		emitted = append(emitted, item.ans)
-		item.ans.Rank = len(emitted)
-		if cb != nil && !cb(item.ans) {
-			stopped = true
-		}
-	}
-	offer := func(a *Answer) {
-		sig := a.Signature()
-		if outSig[sig] {
-			// A duplicate of an already-output answer is discarded even
-			// if its relevance is higher (§3).
-			stats.Duplicates++
-			return
-		}
-		if prev, ok := inHeap[sig]; ok {
-			stats.Duplicates++
-			if a.Score > prev.ans.Score {
-				prev.ans = a
-				heap.Fix(&rh, prev.idx)
+			oi := ar.originIndex(node)
+			if oi < 0 {
+				oi = ar.addOrigin(node)
 			}
-			return
+			ar.originTerms(oi)[ti/64] |= 1 << uint(ti%64)
 		}
-		item := &resultItem{ans: a, sig: sig}
-		if len(rh) >= o.HeapSize {
-			emitBest()
-		}
-		heap.Push(&rh, item)
-		inHeap[sig] = item
 	}
+	ih := ar.ih[:0]
+	for i := range ar.origins {
+		it := ar.newIterator(s.g, ar.origins[i].node)
+		ar.origins[i].it = it
+		if _, d, ok := it.Peek(); ok {
+			ih = append(ih, iterEntry{it: it, next: d})
+		}
+	}
+	ih.init()
+
+	// Per-visited-node term lists (v.L_i in the pseudocode) live in the
+	// arena's chunked dense storage.
+	ar.beginVisits()
+
+	em := newEmitter(ar, o, stats, cb)
+
+	if cap(ar.comboBuf) < n {
+		ar.comboBuf = make([]graph.NodeID, n)
+	}
+	combo := ar.comboBuf[:n]
 
 	// generate builds all new connection trees rooted at v that use origin
 	// as the term-ti leaf (CrossProduct in the pseudocode).
 	generate := func(v graph.NodeID, origin graph.NodeID, ti int) {
-		l := getLists(v)
+		l := ar.nodeLists(v, n)
 		rootExcluded := excluded[s.g.TableOf(v)]
 		// Cross product of {origin} with the other term lists.
-		combo := make([]graph.NodeID, n)
 		combo[ti] = origin
 		produced := 0
 		var rec func(term int) bool
@@ -392,8 +487,8 @@ func (s *Searcher) searchMultiTerm(sets [][]graph.NodeID, terms []string, exclud
 					stats.ExcludedRoots++
 					return true
 				}
-				if a := s.buildAnswer(v, combo, iters, o, stats); a != nil {
-					offer(a)
+				if a := s.buildAnswer(ar, v, combo, o, stats); a != nil {
+					em.offer(a)
 				}
 				return true
 			}
@@ -415,36 +510,33 @@ func (s *Searcher) searchMultiTerm(sets [][]graph.NodeID, terms []string, exclud
 		l[ti] = append(l[ti], origin)
 	}
 
-	for len(ih) > 0 && len(emitted) < o.TopK && stats.Pops < o.MaxPops && !stopped {
-		entry := ih[0]
+	for len(ih) > 0 && len(em.emitted) < o.TopK && stats.Pops < o.MaxPops && !em.stopped {
+		entry := &ih[0]
 		v, _, ok := entry.it.Next()
 		if !ok {
-			heap.Pop(&ih)
+			ih.popTop()
 			continue
 		}
 		stats.Pops++
+		originNode := entry.it.origin
 		if _, d, more := entry.it.Peek(); more {
 			entry.next = d
-			heap.Fix(&ih, 0)
+			ih.siftDown(0)
 		} else {
-			heap.Pop(&ih)
+			ih.popTop()
 		}
-		for _, ti := range originTerms[entry.it.origin] {
-			generate(v, entry.it.origin, ti)
+		oi := ar.originIndex(originNode)
+		for wi, word := range ar.originTerms(oi) {
+			for word != 0 {
+				ti := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				generate(v, originNode, ti)
+			}
 		}
 	}
-	for len(rh) > 0 && len(emitted) < o.TopK && !stopped {
-		emitBest()
-	}
-	// Heap overflow during a single node visit can emit a result or two
-	// beyond TopK; trim to the contract.
-	if len(emitted) > o.TopK {
-		emitted = emitted[:o.TopK]
-	}
-	for i, a := range emitted {
-		a.Rank = i + 1
-	}
-	return emitted
+	em.drain()
+	ar.ih = ih
+	return em.finish()
 }
 
 // buildAnswer materializes the connection tree rooted at v whose term-i
@@ -455,24 +547,27 @@ func (s *Searcher) searchMultiTerm(sets [][]graph.NodeID, terms []string, exclud
 // the root is reused and the walk continues from that node. Every leaf
 // stays reachable from the root and the result is a genuine tree. Returns
 // nil for trees pruned by the single-child-root rule.
-func (s *Searcher) buildAnswer(v graph.NodeID, combo []graph.NodeID, iters map[graph.NodeID]*sspIterator, o *Options, stats *Stats) *Answer {
-	inTree := map[graph.NodeID]bool{v: true}
+func (s *Searcher) buildAnswer(ar *searchArena, v graph.NodeID, combo []graph.NodeID, o *Options, stats *Stats) *Answer {
+	gen := ar.bumpMark()
+	ar.mark[v] = gen
 	var edges []TreeEdge
-	var scratch []TreeEdge
+	scratch := ar.scratchEdges
 	for _, origin := range combo {
-		it := iters[origin]
-		if it == nil {
+		oi := ar.originIndex(origin)
+		if oi < 0 || ar.origins[oi].it == nil {
+			ar.scratchEdges = scratch[:0]
 			return nil
 		}
-		scratch = it.PathEdges(v, scratch[:0])
+		scratch = ar.origins[oi].it.PathEdges(v, scratch[:0])
 		for _, e := range scratch {
-			if inTree[e.To] {
+			if ar.mark[e.To] == gen {
 				continue // reuse the existing root->e.To route
 			}
-			inTree[e.To] = true
+			ar.mark[e.To] = gen
 			edges = append(edges, e)
 		}
 	}
+	ar.scratchEdges = scratch[:0]
 	a := &Answer{
 		Root:      v,
 		Edges:     edges,

@@ -15,7 +15,10 @@ var ErrStopped = errors.New("core: search stopped by caller")
 
 // SearchStream runs the backward expanding search and calls fn for every
 // emitted answer, in emission (approximate relevance) order with Rank
-// already assigned. Returning false from fn cancels the search;
+// already assigned. Single-term and multi-term queries share one emission
+// contract: answers flow through the fixed-size output heap of
+// opts.HeapSize, so ordering is exact only when the candidate count stays
+// within the heap. Returning false from fn cancels the search;
 // SearchStream then returns ErrStopped. At most opts.TopK answers are
 // delivered.
 func (s *Searcher) SearchStream(terms []string, opts *Options, fn func(*Answer) bool) error {

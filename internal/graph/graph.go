@@ -41,8 +41,15 @@ type Graph struct {
 	ridOf   []sqldb.RID // node -> rid
 	nodeOf  [][]NodeID  // table id -> rid -> node (NoNode for tombstones)
 
-	fwd [][]Edge // out-edges (both FK-forward and indegree-scaled backward arcs)
-	rev [][]Edge // rev[v] = (u, w(u->v)) for every arc u->v
+	// Adjacency is stored in CSR (compressed sparse row) form: the
+	// out-edges of node n are fwdEdges[fwdOff[n]:fwdOff[n+1]], likewise for
+	// the reverse direction. Two flat arrays per direction instead of a
+	// slice-of-slices keeps the per-node overhead at 4 bytes and makes the
+	// Dijkstra relaxation loop walk contiguous memory.
+	fwdOff   []int32 // len NumNodes+1
+	fwdEdges []Edge  // out-edges (both FK-forward and indegree-scaled backward arcs)
+	revOff   []int32
+	revEdges []Edge // in-edges: revEdges[revOff[v]:revOff[v+1]] = (u, w(u->v)) for every arc u->v
 
 	prestige []float64 // node weight: FK reference indegree
 
@@ -99,15 +106,15 @@ func (g *Graph) NodesOfTable(t int32) (lo, hi NodeID) {
 }
 
 // Out returns the out-edges of n. Callers must not mutate the slice.
-func (g *Graph) Out(n NodeID) []Edge { return g.fwd[n] }
+func (g *Graph) Out(n NodeID) []Edge { return g.fwdEdges[g.fwdOff[n]:g.fwdOff[n+1]] }
 
 // In returns the in-edges of n as (source, weight-of-arc-into-n) pairs.
 // Callers must not mutate the slice.
-func (g *Graph) In(n NodeID) []Edge { return g.rev[n] }
+func (g *Graph) In(n NodeID) []Edge { return g.revEdges[g.revOff[n]:g.revOff[n+1]] }
 
 // ArcWeight returns the weight of arc u->v, or -1 when absent.
 func (g *Graph) ArcWeight(u, v NodeID) float64 {
-	for _, e := range g.fwd[u] {
+	for _, e := range g.Out(u) {
 		if e.To == v {
 			return e.W
 		}
@@ -140,12 +147,8 @@ func (g *Graph) MemoryFootprint() int64 {
 	for _, m := range g.nodeOf {
 		b += int64(len(m)) * 4
 	}
-	for _, es := range g.fwd {
-		b += int64(len(es))*12 + 24
-	}
-	for _, es := range g.rev {
-		b += int64(len(es))*12 + 24
-	}
+	b += int64(len(g.fwdEdges)+len(g.revEdges)) * 16
+	b += int64(len(g.fwdOff)+len(g.revOff)) * 4
 	return b
 }
 
@@ -190,26 +193,27 @@ func (g *Graph) finish(arcs []arc) {
 		}
 		merged = append(merged, a)
 	}
-	g.fwd = make([][]Edge, g.NumNodes())
-	g.rev = make([][]Edge, g.NumNodes())
-	outDeg := make([]int32, g.NumNodes())
-	inDeg := make([]int32, g.NumNodes())
+	nn := g.NumNodes()
+	g.fwdOff = make([]int32, nn+1)
+	g.revOff = make([]int32, nn+1)
 	for _, a := range merged {
-		outDeg[a.from]++
-		inDeg[a.to]++
+		g.fwdOff[a.from+1]++
+		g.revOff[a.to+1]++
 	}
-	for n := range g.fwd {
-		if outDeg[n] > 0 {
-			g.fwd[n] = make([]Edge, 0, outDeg[n])
-		}
-		if inDeg[n] > 0 {
-			g.rev[n] = make([]Edge, 0, inDeg[n])
-		}
+	for n := 0; n < nn; n++ {
+		g.fwdOff[n+1] += g.fwdOff[n]
+		g.revOff[n+1] += g.revOff[n]
 	}
+	g.fwdEdges = make([]Edge, len(merged))
+	g.revEdges = make([]Edge, len(merged))
+	fc := make([]int32, nn)
+	rc := make([]int32, nn)
 	g.minEdge = 0
 	for _, a := range merged {
-		g.fwd[a.from] = append(g.fwd[a.from], Edge{To: a.to, W: a.w})
-		g.rev[a.to] = append(g.rev[a.to], Edge{To: a.from, W: a.w})
+		g.fwdEdges[g.fwdOff[a.from]+fc[a.from]] = Edge{To: a.to, W: a.w}
+		fc[a.from]++
+		g.revEdges[g.revOff[a.to]+rc[a.to]] = Edge{To: a.from, W: a.w}
+		rc[a.to]++
 		if g.minEdge == 0 || a.w < g.minEdge {
 			g.minEdge = a.w
 		}

@@ -42,9 +42,10 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	// Arcs: forward adjacency only; the reverse side is rebuilt on read.
 	putUvarint(cw, uint64(g.numArcs))
 	for n := 0; n < g.NumNodes(); n++ {
-		putUvarint(cw, uint64(len(g.fwd[n])))
+		out := g.Out(NodeID(n))
+		putUvarint(cw, uint64(len(out)))
 		prev := NodeID(0)
-		for _, e := range g.fwd[n] {
+		for _, e := range out {
 			putUvarint(cw, uint64(e.To-prev)) // sorted by To: delta-code
 			prev = e.To
 			putFloat(cw, e.W)

@@ -171,6 +171,27 @@ func (ix *Index) LookupPrefix(prefix string) []graph.NodeID {
 	return dedup
 }
 
+// NewFromPostings builds an index directly from posting and metadata maps
+// for a graph of numNodes nodes — for tests and embedders that synthesize
+// match sets without a database. Unlike Build, postings are taken verbatim:
+// no sorting or deduplication is applied, so consumers of Lookup (such as
+// core.Searcher) must tolerate duplicate node entries.
+func NewFromPostings(numNodes int, terms map[string][]graph.NodeID, meta map[string][]int32) *Index {
+	ix := &Index{
+		terms: make(map[string][]graph.NodeID, len(terms)),
+		meta:  make(map[string][]int32, len(meta)),
+		nodes: numNodes,
+	}
+	for tok, ns := range terms {
+		ix.terms[strings.ToLower(tok)] = append([]graph.NodeID(nil), ns...)
+		ix.posts += len(ns)
+	}
+	for tok, ts := range meta {
+		ix.meta[strings.ToLower(tok)] = append([]int32(nil), ts...)
+	}
+	return ix
+}
+
 // NumTerms returns the number of distinct indexed tokens.
 func (ix *Index) NumTerms() int { return len(ix.terms) }
 
