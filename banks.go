@@ -20,10 +20,24 @@
 //	                                  pid TEXT REFERENCES paper)`)
 //	// ... INSERT data ...
 //	sys, err := banks.NewSystem(db, nil)
-//	answers, err := sys.Search("sunita soumen", nil)
-//	for _, a := range answers {
+//	res, err := sys.Query(ctx, banks.Query{Text: "sunita soumen"})
+//	for _, a := range res.Answers {
 //	    fmt.Println(a.Format())
 //	}
+//
+// Query is the single entry point for keyword search: one request type
+// covers plain, qualified ("author:levy") and prefix matching, answer
+// grouping by tree shape, and per-search statistics, and every query
+// honours its context — cancellation or a deadline stops the backward
+// expanding search promptly. QueryStream delivers answers incrementally.
+// The pre-Query methods (Search, SearchStream, SearchQualified,
+// SearchGrouped) remain as deprecated wrappers.
+//
+// A System serves queries from an immutable engine snapshot (graph +
+// index + searcher) held behind an atomic pointer. Refresh builds a new
+// snapshot aside and swaps it in atomically, so queries and HTTP requests
+// already in flight keep reading the snapshot they started on — Refresh
+// is safe to call at any time, under any concurrency.
 //
 // The package also exposes the browsing subsystem of the paper's Section 4
 // via System.Handler, an http.Handler serving hyperlinked table views,
@@ -33,6 +47,7 @@ package banks
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"github.com/banksdb/banks/internal/core"
@@ -186,17 +201,33 @@ type SystemOptions struct {
 	PrestigeDamping float64
 }
 
-// System couples a database snapshot with its BANKS graph and keyword
-// index and answers keyword queries. Rebuild with Refresh after bulk data
-// changes; searches against a stale System still work but will not see new
-// tuples.
-type System struct {
-	db       *Database
+// engine is one immutable snapshot of the derived search structures: the
+// data graph, the keyword index built over it, and the searcher that
+// answers queries against the pair. An engine is never mutated after
+// construction; Refresh swaps a whole new engine in atomically, and every
+// query (including tuple materialization at answer-conversion time) pins
+// the engine it started on, so in-flight work is never torn between two
+// snapshots.
+type engine struct {
 	g        *graph.Graph
 	ix       *index.Index
 	searcher *core.Searcher
-	opts     SystemOptions
 }
+
+// System couples a database snapshot with its BANKS graph and keyword
+// index and answers keyword queries. Rebuild with Refresh after bulk data
+// changes; searches against a stale System still work but will not see new
+// tuples. A System is safe for concurrent use, including Refresh while
+// queries and Handler requests are in flight.
+type System struct {
+	db   *Database
+	eng  atomic.Pointer[engine]
+	opts SystemOptions
+}
+
+// engine returns the current snapshot. Callers pin it once per operation
+// so one logical query never mixes two snapshots.
+func (s *System) engine() *engine { return s.eng.Load() }
 
 // NewSystem builds the data graph (§2) and keyword index (§3) for db.
 func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
@@ -210,7 +241,10 @@ func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 	return s, nil
 }
 
-// Refresh rebuilds the graph and index from the current database contents.
+// Refresh rebuilds the graph and index from the current database contents
+// and atomically swaps the new snapshot in. Queries already in flight
+// finish against the snapshot they started on; queries that begin after
+// Refresh returns see the new data.
 func (s *System) Refresh() error {
 	bo := graph.DefaultBuildOptions()
 	bo.ScaleBackEdges = !s.opts.DisableBackEdgeScaling
@@ -223,9 +257,7 @@ func (s *System) Refresh() error {
 	if err != nil {
 		return err
 	}
-	s.g = g
-	s.ix = ix
-	s.searcher = core.NewSearcher(g, ix)
+	s.eng.Store(&engine{g: g, ix: ix, searcher: core.NewSearcher(g, ix)})
 	return nil
 }
 
@@ -242,11 +274,12 @@ type GraphStats struct {
 
 // GraphStats returns the current graph's size statistics.
 func (s *System) GraphStats() GraphStats {
+	g := s.engine().g
 	return GraphStats{
-		Tables: s.g.NumTables(),
-		Nodes:  s.g.NumNodes(),
-		Arcs:   s.g.NumArcs(),
-		Bytes:  s.g.MemoryFootprint(),
+		Tables: g.NumTables(),
+		Nodes:  g.NumNodes(),
+		Arcs:   g.NumArcs(),
+		Bytes:  g.MemoryFootprint(),
 	}
 }
 
@@ -258,5 +291,6 @@ type IndexStats struct {
 
 // IndexStats returns the keyword index's size statistics.
 func (s *System) IndexStats() IndexStats {
-	return IndexStats{Terms: s.ix.NumTerms(), Postings: s.ix.NumPostings()}
+	ix := s.engine().ix
+	return IndexStats{Terms: ix.NumTerms(), Postings: ix.NumPostings()}
 }

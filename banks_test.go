@@ -4,6 +4,7 @@ import (
 	"database/sql"
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 // newQuickstartSystem builds the small bibliographic database from the
@@ -223,6 +224,34 @@ func TestTupleLabelTruncation(t *testing.T) {
 	nullT := Tuple{Table: "t", Columns: []string{"a"}, Values: Row{nil}}
 	if !strings.Contains(nullT.Label(), "NULL") {
 		t.Errorf("label = %q", nullT.Label())
+	}
+}
+
+func TestTupleLabelTruncationUTF8(t *testing.T) {
+	// 60 three-byte runes (180 bytes) force truncation at the 40-byte
+	// budget; the cut must land on a rune boundary, never mid-sequence.
+	long := strings.Repeat("日本語データ", 12)
+	tu := Tuple{Table: "t", Columns: []string{"a"}, Values: Row{long}}
+	l := tu.Label()
+	if !utf8.ValidString(l) {
+		t.Errorf("label is not valid UTF-8: %q", l)
+	}
+	if !strings.Contains(l, "…") {
+		t.Errorf("label not truncated: %q", l)
+	}
+	// Direct boundary cases: cuts landing inside a multi-byte rune.
+	for n := 2; n < 12; n++ {
+		got := truncate("aé日本", n)
+		if !utf8.ValidString(got) {
+			t.Errorf("truncate(%q, %d) = %q: invalid UTF-8", "aé日本", n, got)
+		}
+	}
+	// ASCII behaviour unchanged.
+	if got := truncate("abcdef", 4); got != "abc…" {
+		t.Errorf("truncate ascii = %q", got)
+	}
+	if got := truncate("ab", 4); got != "ab" {
+		t.Errorf("short string altered: %q", got)
 	}
 }
 

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -35,6 +37,10 @@ func main() {
 	flag.Parse()
 	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency
 
+	// Interrupt cancels the context; every query below stops promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := datagen.SmallDBLP()
 	if *scale == "paper" {
 		cfg = datagen.PaperScaleDBLP()
@@ -55,10 +61,10 @@ func main() {
 		runSpace(g, buildTime)
 	}
 	if all || *anecdotes {
-		runAnecdotes(db, s)
+		runAnecdotes(ctx, db, s)
 	}
 	if all || *latency {
-		runLatency(s)
+		runLatency(ctx, s)
 	}
 	if all || *figure5 {
 		runFigure5(db, g, s)
@@ -90,7 +96,7 @@ func runSpace(g *graph.Graph, buildTime time.Duration) {
 	fmt.Printf("paper (Java)        ~120 MB, ~2 min load for 100K nodes/300K edges\n\n")
 }
 
-func runAnecdotes(db *sqldb.Database, s *core.Searcher) {
+func runAnecdotes(ctx context.Context, db *sqldb.Database, s *core.Searcher) {
 	fmt.Println("== E2: §5.1 anecdotes (DBLP) ==")
 	opts := eval.DefaultDBLPOptions()
 	for _, q := range [][]string{
@@ -100,7 +106,7 @@ func runAnecdotes(db *sqldb.Database, s *core.Searcher) {
 		{"seltzer", "sunita"},
 	} {
 		fmt.Printf("query %q:\n", q)
-		answers, err := s.Search(q, opts)
+		answers, _, err := s.Query(ctx, core.Request{Terms: q}, opts, nil)
 		check(err)
 		for i, a := range answers {
 			if i >= 3 {
@@ -121,7 +127,7 @@ func runAnecdotes(db *sqldb.Database, s *core.Searcher) {
 	ts := core.NewSearcher(tg, tix)
 	for _, q := range [][]string{{"computer", "engineering"}, {"sudarshan", "aditya"}} {
 		fmt.Printf("query %q:\n", q)
-		answers, err := ts.Search(q, core.DefaultOptions())
+		answers, _, err := ts.Query(ctx, core.Request{Terms: q}, core.DefaultOptions(), nil)
 		check(err)
 		for i, a := range answers {
 			if i >= 3 {
@@ -151,7 +157,7 @@ func headline(db *sqldb.Database, s *core.Searcher, a *core.Answer) string {
 // runLatency reproduces the §5.2 observation that queries take "about a
 // second to a few seconds" on the paper's hardware; ours should be far
 // faster, but the per-class breakdown is the comparable artifact.
-func runLatency(s *core.Searcher) {
+func runLatency(ctx context.Context, s *core.Searcher) {
 	fmt.Println("== E5: §5.2 query latency by class ==")
 	opts := eval.DefaultDBLPOptions()
 	classes := []struct {
@@ -172,7 +178,7 @@ func runLatency(s *core.Searcher) {
 		var answers []*core.Answer
 		var err error
 		for i := 0; i < reps; i++ {
-			answers, err = s.Search(c.terms, opts)
+			answers, _, err = s.Query(ctx, core.Request{Terms: c.terms}, opts, nil)
 			check(err)
 		}
 		fmt.Printf("%-22s %8v/query  (%d answers)\n", c.name, time.Since(start)/reps, len(answers))

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/banksdb/banks/internal/core"
@@ -64,9 +66,14 @@ func main() {
 	}
 	opts.ExcludedRootTables = excluded
 
+	// Interrupt (Ctrl-C) cancels the context, which stops the backward
+	// expanding search within a few hundred iterator pops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	s := core.NewSearcher(g, ix)
 	qstart := time.Now()
-	answers, st, err := s.SearchStats(terms, opts)
+	answers, st, err := s.Query(ctx, core.Request{Terms: terms}, opts, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

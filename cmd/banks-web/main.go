@@ -53,7 +53,10 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.ExcludedRootTables = excluded
-	srv := web.NewServer(db, core.NewSearcher(g, ix), opts)
+	// The dataset is static here, so the provider always hands back the
+	// same searcher; a live deployment would swap in rebuilt snapshots.
+	searcher := core.NewSearcher(g, ix)
+	srv := web.NewServer(db, func() *core.Searcher { return searcher }, opts)
 	log.Printf("BANKS web UI on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,17 +29,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	opts := &banks.SearchOptions{
 		TopK:               5,
 		ExcludedRootTables: []string{"Writes", "Cites"},
 	}
 	for _, q := range []string{"mohan", "transaction", "soumen sunita", "seltzer sunita"} {
-		answers, err := sys.Search(q, opts)
+		res, err := sys.Query(ctx, banks.Query{Text: q, Options: opts})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("results for %q:\n", q)
-		for _, a := range answers {
+		for _, a := range res.Answers {
 			fmt.Print(a.Format())
 		}
 		fmt.Println()

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,15 +41,22 @@ func main() {
 	fmt.Printf("data graph: %d nodes, %d directed edges\n\n", stats.Nodes, stats.Arcs)
 
 	// A keyword query naming two authors finds the paper connecting them,
-	// even though the connection spans three relations.
-	answers, err := sys.Search("sunita soumen", &banks.SearchOptions{
-		ExcludedRootTables: []string{"writes"}, // link tuples are poor information nodes
+	// even though the connection spans three relations. Query is the
+	// single entry point: it takes a context (cancellation, deadlines)
+	// and returns the answers together with per-search statistics.
+	res, err := sys.Query(context.Background(), banks.Query{
+		Text: "sunita soumen",
+		Options: &banks.SearchOptions{
+			ExcludedRootTables: []string{"writes"}, // link tuples are poor information nodes
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(`results for "sunita soumen":`)
-	for _, a := range answers {
+	for _, a := range res.Answers {
 		fmt.Print(a.Format())
 	}
+	fmt.Printf("\n(%d iterator pops, %d candidate trees)\n",
+		res.Stats.Pops, res.Stats.Generated)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -53,12 +54,12 @@ func main() {
 
 	// Keyword search anecdotes (§5.1).
 	for _, q := range []string{"computer engineering", "sudarshan aditya"} {
-		answers, err := sys.Search(q, nil)
+		res, err := sys.Query(context.Background(), banks.Query{Text: q})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("results for %q:\n", q)
-		for i, a := range answers {
+		for i, a := range res.Answers {
 			if i >= 3 {
 				break
 			}

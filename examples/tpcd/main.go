@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,14 +31,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	answers, err := sys.Search("steel widget", &banks.SearchOptions{
-		ExcludedRootTables: []string{"lineitem"},
+	res, err := sys.Query(context.Background(), banks.Query{
+		Text:    "steel widget",
+		Options: &banks.SearchOptions{ExcludedRootTables: []string{"lineitem"}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(`results for "steel widget" (prestige = order count):`)
-	for _, a := range answers {
+	for _, a := range res.Answers {
 		fmt.Printf("%2d. score=%.4f prestige-component=%.4f  %s\n",
 			a.Rank, a.Score, a.NScore, a.Root.Label())
 	}

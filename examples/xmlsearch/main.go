@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,12 +52,15 @@ func main() {
 	// "ranking soumen": the topic and the instructor connect at their
 	// <course> element, the information node.
 	for _, q := range []string{"ranking soumen", "recovery sudarshan", "cs725"} {
-		answers, err := sys.Search(q, &banks.SearchOptions{TopK: 3})
+		res, err := sys.Query(context.Background(), banks.Query{
+			Text:    q,
+			Options: &banks.SearchOptions{TopK: 3},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("results for %q:\n", q)
-		for _, a := range answers {
+		for _, a := range res.Answers {
 			fmt.Print(a.Format())
 		}
 		fmt.Println()

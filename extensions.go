@@ -1,34 +1,29 @@
 package banks
 
 import (
-	"fmt"
-	"strings"
-
-	"github.com/banksdb/banks/internal/core"
+	"context"
 )
 
 // This file surfaces the Section 7 extensions: attribute-qualified terms,
 // approximate (prefix) matching, and answer summarization by tree shape.
+// All three are fields of Query; the methods here are the deprecated
+// pre-Query spellings.
 
 // SearchQualified answers a query whose whitespace-separated terms may be
 // qualified as "relation:keyword" or "attribute:keyword" (the paper's
 // planned "author:Levy" form). With prefix true, unqualified terms that
 // match no token exactly fall back to prefix matching ("approximate
 // matching" in §7).
+//
+// Deprecated: use Query with the Qualified (and optionally Prefix) fields
+// set: sys.Query(ctx, Query{Text: query, Qualified: true, Prefix: prefix}).
 func (s *System) SearchQualified(query string, prefix bool, opts *SearchOptions) ([]*Answer, error) {
-	terms := strings.Fields(query)
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("banks: empty query")
-	}
-	answers, err := s.searcher.SearchQualified(s.db.inner, terms, prefix, opts.toCore())
+	res, err := s.Query(context.Background(),
+		Query{Text: query, Qualified: true, Prefix: prefix, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Answer, len(answers))
-	for i, a := range answers {
-		out[i] = s.convertAnswer(a)
-	}
-	return out, nil
+	return res.Answers, nil
 }
 
 // AnswerGroup is a set of answers sharing one tree structure over the
@@ -41,23 +36,14 @@ type AnswerGroup struct {
 // SearchGrouped runs Search and summarizes the results by tree structure
 // (§7: "group the output tuples into sets that have the same tree
 // structure"). Groups are ordered by their best-ranked member.
+//
+// Deprecated: use Query with GroupByShape set and read Results.Groups:
+// sys.Query(ctx, Query{Text: query, GroupByShape: true}).
 func (s *System) SearchGrouped(query string, opts *SearchOptions) ([]AnswerGroup, error) {
-	terms := strings.Fields(query)
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("banks: empty query")
-	}
-	answers, err := s.searcher.Search(terms, opts.toCore())
+	res, err := s.Query(context.Background(),
+		Query{Text: query, GroupByShape: true, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	groups := core.GroupAnswers(s.searcher.Graph(), answers)
-	out := make([]AnswerGroup, len(groups))
-	for i, g := range groups {
-		pub := AnswerGroup{Shape: g.Shape}
-		for _, a := range g.Answers {
-			pub.Answers = append(pub.Answers, s.convertAnswer(a))
-		}
-		out[i] = pub
-	}
-	return out, nil
+	return res.Groups, nil
 }

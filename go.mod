@@ -1,3 +1,3 @@
 module github.com/banksdb/banks
 
-go 1.21
+go 1.23

@@ -3,6 +3,7 @@ package banks
 import (
 	"net/http"
 
+	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/web"
 )
 
@@ -13,7 +14,10 @@ import (
 //
 //	http.ListenAndServe(":8080", sys.Handler(nil))
 //
-// opts sets the default search parameters for the /search endpoint.
+// Each request pins the engine snapshot current at its start and each
+// search honours the request's context, so the handler is safe to serve
+// concurrently with Refresh. opts sets the default search parameters for
+// the /search endpoint.
 func (s *System) Handler(opts *SearchOptions) http.Handler {
-	return web.NewServer(s.db.inner, s.searcher, opts.toCore())
+	return web.NewServer(s.db.inner, func() *core.Searcher { return s.engine().searcher }, opts.toCore())
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -51,7 +52,10 @@ func (s *Searcher) matchQualified(ar *searchArena, db *sqldb.Database, qual, ter
 	}
 	// Attribute qualifier: keep matches whose named column contains the
 	// term (checked against the stored value, so "author:levy" works per
-	// the §7 example).
+	// the §7 example). Row reads take the database read lock — concurrent
+	// writers append under the write lock.
+	db.RLock()
+	defer db.RUnlock()
 	var out []graph.NodeID
 	for _, n := range candidates {
 		tbl := db.Table(s.g.TableNameOf(n))
@@ -81,41 +85,9 @@ func (s *Searcher) matchQualified(ar *searchArena, db *sqldb.Database, qual, ter
 // of unqualified terms. db is needed to check attribute qualifiers; pass
 // the database the graph was built from.
 func (s *Searcher) SearchQualified(db *sqldb.Database, terms []string, prefix bool, opts *Options) ([]*Answer, error) {
-	o := opts.withDefaults()
-	stats := &Stats{}
-	ar := s.acquireArena()
-	defer s.releaseArena(ar)
-	var sets [][]graph.NodeID
-	for _, raw := range terms {
-		raw = strings.TrimSpace(strings.ToLower(raw))
-		if raw == "" {
-			continue
-		}
-		var set []graph.NodeID
-		if qual, bare, ok := parseQualifiedTerm(raw); ok {
-			set = s.matchQualified(ar, db, qual, bare, o, stats)
-		} else {
-			set = s.matchTerm(ar, raw, o, stats)
-			if len(set) == 0 && prefix {
-				set = s.ix.LookupPrefix(raw)
-			}
-		}
-		if len(set) == 0 {
-			if o.RequireAllTerms {
-				return nil, nil
-			}
-			continue
-		}
-		sets = append(sets, set)
-	}
-	if len(sets) == 0 {
-		return nil, nil
-	}
-	excluded := s.excludedTables(o)
-	if len(sets) == 1 {
-		return s.searchSingleTerm(ar, sets[0], excluded, o, stats, nil), nil
-	}
-	return s.searchMultiTerm(ar, sets, excluded, o, stats, nil), nil
+	answers, _, err := s.Query(context.Background(),
+		Request{Terms: terms, Qualified: true, Prefix: prefix, DB: db}, opts, nil)
+	return answers, err
 }
 
 // AnswerGroup is a set of answers sharing the same tree structure over the

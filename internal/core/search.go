@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -11,6 +12,7 @@ import (
 
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
 )
 
 // Options control one search.
@@ -132,26 +134,59 @@ func (s *Searcher) releaseArena(a *searchArena) {
 	s.arenas.Put(a)
 }
 
+// Request describes one keyword query for Query — the unified,
+// context-aware entry point the specialised helpers (Search, SearchStats,
+// SearchStream, SearchQualified) are thin wrappers over.
+type Request struct {
+	// Terms are the (already split) query terms. Terms are trimmed and
+	// lowercased; empty terms are dropped.
+	Terms []string
+	// Qualified enables the §7 "relation:keyword" / "attribute:keyword"
+	// term forms: a term containing a colon is split into qualifier and
+	// keyword and restricted accordingly.
+	Qualified bool
+	// Prefix enables approximate matching (§7): an unqualified term that
+	// matches no indexed token exactly falls back to prefix matching.
+	Prefix bool
+	// DB is the database the graph was built from; it is required only to
+	// resolve attribute qualifiers (Qualified terms naming a column).
+	DB *sqldb.Database
+}
+
+// cancelCheckMask sets how often the expansion loops poll ctx.Done():
+// every cancelCheckMask+1 iterator pops. 256 pops is a few microseconds
+// of work, so cancellation latency stays far below any plausible
+// deadline while the steady-state cost of the check is noise.
+const cancelCheckMask = 256 - 1
+
 // Search runs the backward expanding search for the given terms.
 func (s *Searcher) Search(terms []string, opts *Options) ([]*Answer, error) {
-	answers, _, err := s.SearchStats(terms, opts)
+	answers, _, err := s.Query(context.Background(), Request{Terms: terms}, opts, nil)
 	return answers, err
 }
 
 // SearchStats is Search plus execution statistics.
 func (s *Searcher) SearchStats(terms []string, opts *Options) ([]*Answer, *Stats, error) {
-	return s.searchWithCallback(terms, opts, nil)
+	return s.Query(context.Background(), Request{Terms: terms}, opts, nil)
 }
 
-// searchWithCallback is the shared driver behind SearchStats and
-// SearchStream. cb, when non-nil, sees every answer at emission time and
-// may cancel by returning false.
-func (s *Searcher) searchWithCallback(terms []string, opts *Options, cb func(*Answer) bool) ([]*Answer, *Stats, error) {
+// Query is the unified search driver: it resolves the request's terms to
+// node sets (plain, qualified or prefix matching per the request), runs
+// the backward expanding search under ctx, and returns the emitted
+// answers with execution statistics. cb, when non-nil, sees every answer
+// at emission time and may cancel by returning false (the search then
+// stops cleanly with the answers emitted so far). When ctx is canceled or
+// its deadline passes, the expansion loop stops within a few hundred
+// iterator pops and Query returns ctx's error.
+func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb func(*Answer) bool) ([]*Answer, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opts.withDefaults()
 	stats := &Stats{}
 
 	var clean []string
-	for _, t := range terms {
+	for _, t := range req.Terms {
 		t = strings.TrimSpace(strings.ToLower(t))
 		if t != "" {
 			clean = append(clean, t)
@@ -168,7 +203,15 @@ func (s *Searcher) searchWithCallback(terms []string, opts *Options, cb func(*An
 	var sets [][]graph.NodeID
 	var active []string
 	for _, term := range clean {
-		set := s.matchTerm(ar, term, o, stats)
+		var set []graph.NodeID
+		if qual, bare, ok := parseQualifiedTerm(term); req.Qualified && ok {
+			set = s.matchQualified(ar, req.DB, qual, bare, o, stats)
+		} else {
+			set = s.matchTerm(ar, term, o, stats)
+			if len(set) == 0 && req.Prefix {
+				set = s.ix.LookupPrefix(term)
+			}
+		}
 		if len(set) == 0 {
 			if o.RequireAllTerms {
 				stats.Terms = active
@@ -187,13 +230,23 @@ func (s *Searcher) searchWithCallback(terms []string, opts *Options, cb func(*An
 	if len(sets) == 0 {
 		return nil, stats, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 
 	excluded := s.excludedTables(o)
 
+	var answers []*Answer
+	var err error
 	if len(sets) == 1 {
-		return s.searchSingleTerm(ar, sets[0], excluded, o, stats, cb), stats, nil
+		answers, err = s.searchSingleTerm(ctx, ar, sets[0], excluded, o, stats, cb)
+	} else {
+		answers, err = s.searchMultiTerm(ctx, ar, sets, excluded, o, stats, cb)
 	}
-	return s.searchMultiTerm(ar, sets, excluded, o, stats, cb), stats, nil
+	if err != nil {
+		return nil, stats, err
+	}
+	return answers, stats, nil
 }
 
 // excludedTables resolves ExcludedRootTables to a table-id set.
@@ -326,11 +379,16 @@ func (em *emitter) finish() []*Answer {
 // through the same fixed-size output heap as the multi-term path, so the
 // emission contract (approximate relevance order, governed by HeapSize) is
 // identical for both.
-func (s *Searcher) searchSingleTerm(ar *searchArena, set []graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) []*Answer {
+func (s *Searcher) searchSingleTerm(ctx context.Context, ar *searchArena, set []graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) ([]*Answer, error) {
 	em := newEmitter(ar, o, stats, cb)
-	for _, n := range set {
+	for i, n := range set {
 		if em.stopped || len(em.emitted) >= o.TopK {
 			break
+		}
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		if excluded[s.g.TableOf(n)] {
 			stats.ExcludedRoots++
@@ -342,7 +400,7 @@ func (s *Searcher) searchSingleTerm(ar *searchArena, set []graph.NodeID, exclude
 		em.offer(a)
 	}
 	em.drain()
-	return em.finish()
+	return em.finish(), nil
 }
 
 // iterEntry is one shortest-path iterator in the iterator heap, keyed by
@@ -430,7 +488,10 @@ func (h *resultHeap) Pop() interface{} {
 
 // searchMultiTerm is the backward expanding search of Figure 3. cb, when
 // non-nil, observes answers at emission time and may cancel the search.
-func (s *Searcher) searchMultiTerm(ar *searchArena, sets [][]graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) []*Answer {
+// The expansion loop polls ctx every cancelCheckMask+1 iterator pops so a
+// canceled context or an expired deadline stops a long-running expansion
+// promptly; the context's error is then returned and no answers are.
+func (s *Searcher) searchMultiTerm(ctx context.Context, ar *searchArena, sets [][]graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) ([]*Answer, error) {
 	n := len(sets)
 
 	// A node may match several terms; it gets one iterator and one origin
@@ -511,6 +572,12 @@ func (s *Searcher) searchMultiTerm(ar *searchArena, sets [][]graph.NodeID, exclu
 	}
 
 	for len(ih) > 0 && len(em.emitted) < o.TopK && stats.Pops < o.MaxPops && !em.stopped {
+		if stats.Pops&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				ar.ih = ih
+				return nil, err
+			}
+		}
 		entry := &ih[0]
 		v, _, ok := entry.it.Next()
 		if !ok {
@@ -536,7 +603,7 @@ func (s *Searcher) searchMultiTerm(ar *searchArena, sets [][]graph.NodeID, exclu
 	}
 	em.drain()
 	ar.ih = ih
-	return em.finish()
+	return em.finish(), nil
 }
 
 // buildAnswer materializes the connection tree rooted at v whose term-i

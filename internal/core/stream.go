@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 )
 
@@ -30,7 +31,7 @@ func (s *Searcher) SearchStream(terms []string, opts *Options, fn func(*Answer) 
 		}
 		return true
 	}
-	if _, _, err := s.searchWithCallback(terms, opts, cb); err != nil {
+	if _, _, err := s.Query(context.Background(), Request{Terms: terms}, opts, cb); err != nil {
 		return err
 	}
 	if stopped {

@@ -25,14 +25,18 @@ import (
 type Server struct {
 	db       *sqldb.Database
 	engine   *sqlexec.Engine
-	searcher *core.Searcher
+	searcher func() *core.Searcher
 	opts     *core.Options
 	mux      *http.ServeMux
 }
 
-// NewServer builds a server over the database and searcher. opts sets the
+// NewServer builds a server over the database and a searcher provider.
+// searcher is called once per request needing search structures, so a
+// caller that atomically swaps in a rebuilt searcher (System.Refresh)
+// gets each HTTP request pinned to one consistent snapshot: a request
+// never mixes the graph it searched with a newer one. opts sets the
 // default search parameters (nil uses core defaults).
-func NewServer(db *sqldb.Database, searcher *core.Searcher, opts *core.Options) *Server {
+func NewServer(db *sqldb.Database, searcher func() *core.Searcher, opts *core.Options) *Server {
 	s := &Server{
 		db:       db,
 		engine:   sqlexec.New(db),
@@ -99,6 +103,7 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	b.WriteString(`<form action="/search"><input name="q" size="40" placeholder="keywords...">` +
 		`<input type="submit" value="Search"></form>`)
 	b.WriteString("<h2>Relations</h2><ul>")
+	s.db.RLock()
 	for _, name := range s.db.TableNames() {
 		if name == "banks_templates" {
 			continue
@@ -107,6 +112,7 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, `<li><a href="/browse?table=%s">%s</a> (%d rows)</li>`,
 			template.URLQueryEscaper(name), template.HTMLEscapeString(name), t.Len())
 	}
+	s.db.RUnlock()
 	b.WriteString("</ul>")
 	if names, err := browse.ListTemplates(s.engine); err == nil && len(names) > 0 {
 		b.WriteString("<h2>Templates</h2><ul>")
@@ -120,9 +126,10 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 }
 
 // pkOf renders the textual primary key of a node's row, or "" when the
-// table has no single-column PK.
-func (s *Server) pkOf(n graph.NodeID) (table, pk string) {
-	table = s.searcher.Graph().TableNameOf(n)
+// table has no single-column PK. g is the graph snapshot the request
+// pinned.
+func (s *Server) pkOf(g *graph.Graph, n graph.NodeID) (table, pk string) {
+	table = g.TableNameOf(n)
 	t := s.db.Table(table)
 	if t == nil {
 		return table, ""
@@ -131,15 +138,14 @@ func (s *Server) pkOf(n graph.NodeID) (table, pk string) {
 	if len(schema.PrimaryKey) != 1 {
 		return table, ""
 	}
-	row := t.Row(s.searcher.Graph().RIDOf(n))
+	row := t.Row(g.RIDOf(n))
 	if row == nil {
 		return table, ""
 	}
 	return table, row[schema.ColumnIndex(schema.PrimaryKey[0])].String()
 }
 
-func (s *Server) tupleHTML(n graph.NodeID, matched bool) string {
-	g := s.searcher.Graph()
+func (s *Server) tupleHTML(g *graph.Graph, n graph.NodeID, matched bool) string {
 	table := g.TableNameOf(n)
 	t := s.db.Table(table)
 	row := t.Row(g.RIDOf(n))
@@ -148,7 +154,7 @@ func (s *Server) tupleHTML(n graph.NodeID, matched bool) string {
 		cells = append(cells, template.HTMLEscapeString(c.Name+"="+row[i].String()))
 	}
 	label := template.HTMLEscapeString(table) + "(" + strings.Join(cells, ", ") + ")"
-	_, pk := s.pkOf(n)
+	_, pk := s.pkOf(g, n)
 	if pk != "" {
 		label = fmt.Sprintf(`<a href="/tuple?table=%s&pk=%s">%s</a>`,
 			template.URLQueryEscaper(table), template.URLQueryEscaper(pk), label)
@@ -167,7 +173,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			`<input type="submit" value="Search"></form>`))
 		return
 	}
-	answers, err := s.searcher.Search(terms, s.opts)
+	// Pin one searcher (and therefore one graph snapshot) for the whole
+	// request; a concurrent Refresh cannot tear the result rendering. The
+	// request context rides into the expansion loop, so a client that
+	// disconnects stops paying for its search.
+	searcher := s.searcher()
+	g := searcher.Graph()
+	answers, _, err := searcher.Query(r.Context(), core.Request{Terms: terms}, s.opts, nil)
 	if err != nil {
 		s.renderError(w, http.StatusBadRequest, err)
 		return
@@ -178,6 +190,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if len(answers) == 0 {
 		b.WriteString("<p>No results.</p>")
 	}
+	// Row reads during tree rendering hold the database read lock so a
+	// concurrent writer cannot expose half-written rows.
+	s.db.RLock()
 	for _, a := range answers {
 		matched := make(map[graph.NodeID]bool)
 		for _, n := range a.TermNodes {
@@ -191,7 +206,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			a.Rank, a.Score)
 		var walk func(n graph.NodeID)
 		walk = func(n graph.NodeID) {
-			b.WriteString(s.tupleHTML(n, matched[n]))
+			b.WriteString(s.tupleHTML(g, n, matched[n]))
 			if len(children[n]) > 0 {
 				b.WriteString("<ul>")
 				for _, e := range children[n] {
@@ -205,6 +220,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		walk(a.Root)
 		b.WriteString("</li></ul></div>")
 	}
+	s.db.RUnlock()
 	s.render(w, "Results for "+q, template.HTML(b.String()))
 }
 
@@ -306,6 +322,10 @@ func (s *Server) handleTuple(w http.ResponseWriter, r *http.Request) {
 		s.renderError(w, http.StatusNotFound, fmt.Errorf("no table %q", table))
 		return
 	}
+	// Key lookup and row read take the database read lock; the returned
+	// row slice is immutable once inserted, so it is safe to render after
+	// release (LinksFor manages its own locking).
+	s.db.RLock()
 	rid := t.LookupPK([]sqldb.Value{sqldb.Text(pk)})
 	if rid < 0 {
 		if i, err := strconv.ParseInt(pk, 10, 64); err == nil {
@@ -313,10 +333,12 @@ func (s *Server) handleTuple(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if rid < 0 {
+		s.db.RUnlock()
 		s.renderError(w, http.StatusNotFound, fmt.Errorf("no %s row with key %q", table, pk))
 		return
 	}
 	row := t.Row(rid)
+	s.db.RUnlock()
 	links, err := browse.LinksFor(s.db, table, rid)
 	if err != nil {
 		s.renderError(w, http.StatusInternalServerError, err)

@@ -30,7 +30,8 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(db, core.NewSearcher(g, ix), nil)
+	searcher := core.NewSearcher(g, ix)
+	srv := NewServer(db, func() *core.Searcher { return searcher }, nil)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts

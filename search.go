@@ -1,12 +1,13 @@
 package banks
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/graph"
-	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
 )
 
@@ -98,11 +99,17 @@ func valueOrNull(v interface{}) interface{} {
 	return v
 }
 
+// truncate caps s at n bytes, appending an ellipsis. The cut always lands
+// on a rune boundary so multi-byte UTF-8 values truncate to valid text.
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	cut := n - 1
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "…"
 }
 
 // TreeNode is one node of the rendered answer tree.
@@ -154,23 +161,25 @@ func formatNode(b *strings.Builder, n *TreeNode, depth int) {
 // Search answers a keyword query. The query is tokenized on
 // non-alphanumeric boundaries, so "sunita soumen" and "sunita, soumen" are
 // the same two-term query.
+//
+// Deprecated: use Query, which takes a context and returns per-search
+// statistics: sys.Query(ctx, Query{Text: query, Options: opts}).
 func (s *System) Search(query string, opts *SearchOptions) ([]*Answer, error) {
-	terms := index.Tokenize(query)
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("banks: empty query")
-	}
-	answers, err := s.searcher.Search(terms, opts.toCore())
+	res, err := s.Query(context.Background(), Query{Text: query, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Answer, len(answers))
-	for i, a := range answers {
-		out[i] = s.convertAnswer(a)
-	}
-	return out, nil
+	return res.Answers, nil
 }
 
-func (s *System) convertAnswer(a *core.Answer) *Answer {
+// convertAnswer materializes a core answer against the pinned engine
+// snapshot eng, so conversion never mixes the graph a search ran on with
+// a newer one swapped in by a concurrent Refresh. The database read lock
+// is held for the duration of the tree walk: row storage appends under
+// the write lock, and answers must not render half-written rows.
+func (s *System) convertAnswer(eng *engine, a *core.Answer) *Answer {
+	s.db.inner.RLock()
+	defer s.db.inner.RUnlock()
 	matched := make(map[graph.NodeID]bool, len(a.TermNodes))
 	for _, n := range a.TermNodes {
 		matched[n] = true
@@ -181,7 +190,7 @@ func (s *System) convertAnswer(a *core.Answer) *Answer {
 	}
 	var build func(n graph.NodeID, w float64) *TreeNode
 	build = func(n graph.NodeID, w float64) *TreeNode {
-		node := &TreeNode{Tuple: s.tupleOf(n), EdgeWeight: w, Matched: matched[n]}
+		node := &TreeNode{Tuple: s.tupleOf(eng, n), EdgeWeight: w, Matched: matched[n]}
 		for _, e := range children[n] {
 			node.Children = append(node.Children, build(e.To, e.W))
 		}
@@ -199,10 +208,10 @@ func (s *System) convertAnswer(a *core.Answer) *Answer {
 	}
 }
 
-// tupleOf materializes the row behind a graph node.
-func (s *System) tupleOf(n graph.NodeID) Tuple {
-	table := s.g.TableNameOf(n)
-	rid := s.g.RIDOf(n)
+// tupleOf materializes the row behind a graph node of eng's snapshot.
+func (s *System) tupleOf(eng *engine, n graph.NodeID) Tuple {
+	table := eng.g.TableNameOf(n)
+	rid := eng.g.RIDOf(n)
 	t := s.db.inner.Table(table)
 	out := Tuple{Table: table, RID: int64(rid)}
 	if t == nil {
@@ -222,9 +231,10 @@ func (s *System) tupleOf(n graph.NodeID) Tuple {
 // Lookup returns, for one keyword, how many tuples match it directly and
 // which relations match it as metadata — useful for query debugging UIs.
 func (s *System) Lookup(term string) (tuples int, metadataTables []string) {
-	m := s.ix.Lookup(term)
+	eng := s.engine()
+	m := eng.ix.Lookup(term)
 	for _, tid := range m.Tables {
-		metadataTables = append(metadataTables, s.g.TableName(tid))
+		metadataTables = append(metadataTables, eng.g.TableName(tid))
 	}
 	return len(m.Nodes), metadataTables
 }
@@ -232,10 +242,13 @@ func (s *System) Lookup(term string) (tuples int, metadataTables []string) {
 // TupleByPK fetches a tuple by its primary key rendered as text; the web
 // UI's hyperlinks use it.
 func (s *System) TupleByPK(table, pk string) (Tuple, bool) {
+	eng := s.engine()
 	t := s.db.inner.Table(table)
 	if t == nil {
 		return Tuple{}, false
 	}
+	s.db.inner.RLock()
+	defer s.db.inner.RUnlock()
 	rid := t.LookupPK([]sqldb.Value{sqldb.Text(pk)})
 	if rid < 0 {
 		// Try an integer key.
@@ -248,9 +261,9 @@ func (s *System) TupleByPK(table, pk string) (Tuple, bool) {
 	if rid < 0 {
 		return Tuple{}, false
 	}
-	n := s.g.NodeOf(table, rid)
+	n := eng.g.NodeOf(table, rid)
 	if n == graph.NoNode {
 		return Tuple{}, false
 	}
-	return s.tupleOf(n), true
+	return s.tupleOf(eng, n), true
 }

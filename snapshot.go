@@ -11,6 +11,20 @@ import (
 	"github.com/banksdb/banks/internal/index"
 )
 
+// Snapshot framing: an 8-byte magic, a 4-byte big-endian format version,
+// then the length-prefixed graph and index sections. The magic lets
+// LoadSystem reject arbitrary files with a clear error instead of
+// misreading their first bytes as a section length; the version gates
+// future format changes.
+const (
+	snapshotMagic   = "BANKSNAP"
+	snapshotVersion = 1
+	// maxSnapshotSection bounds a section's declared length (64 GiB —
+	// far beyond any graph this process could hold) so a corrupted
+	// length prefix fails fast instead of driving huge allocations.
+	maxSnapshotSection = int64(1) << 36
+)
+
 // SaveSnapshot persists the built data graph and keyword index so a later
 // process can serve queries without re-deriving them from the database —
 // the disk-resident mode the paper describes for its keyword index,
@@ -18,30 +32,38 @@ import (
 // snapshot with the same database contents (for example via
 // Database.DumpSQL replayed through ExecScript).
 //
-// Each section is length-prefixed (8 bytes big-endian) so the two readers
-// cannot run into each other's bytes.
+// The stream starts with a magic number and format version; each section
+// is then length-prefixed (8 bytes big-endian) so the two readers cannot
+// run into each other's bytes.
 func (s *System) SaveSnapshot(w io.Writer) error {
+	eng := s.engine()
+	var hdr [12]byte
+	copy(hdr[:8], snapshotMagic)
+	binary.BigEndian.PutUint32(hdr[8:], snapshotVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("banks: writing snapshot header: %w", err)
+	}
 	writeSection := func(fill func(io.Writer) error) error {
 		var buf bytes.Buffer
 		if err := fill(&buf); err != nil {
 			return err
 		}
-		var hdr [8]byte
-		binary.BigEndian.PutUint64(hdr[:], uint64(buf.Len()))
-		if _, err := w.Write(hdr[:]); err != nil {
+		var pfx [8]byte
+		binary.BigEndian.PutUint64(pfx[:], uint64(buf.Len()))
+		if _, err := w.Write(pfx[:]); err != nil {
 			return err
 		}
 		_, err := w.Write(buf.Bytes())
 		return err
 	}
 	if err := writeSection(func(w io.Writer) error {
-		_, err := s.g.WriteTo(w)
+		_, err := eng.g.WriteTo(w)
 		return err
 	}); err != nil {
 		return fmt.Errorf("banks: writing graph snapshot: %w", err)
 	}
 	if err := writeSection(func(w io.Writer) error {
-		_, err := s.ix.WriteTo(w)
+		_, err := eng.ix.WriteTo(w)
 		return err
 	}); err != nil {
 		return fmt.Errorf("banks: writing index snapshot: %w", err)
@@ -54,17 +76,32 @@ func readSection(r io.Reader) (io.Reader, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	return io.LimitReader(r, int64(binary.BigEndian.Uint64(hdr[:]))), nil
+	n := int64(binary.BigEndian.Uint64(hdr[:]))
+	if n < 0 || n > maxSnapshotSection {
+		return nil, fmt.Errorf("banks: snapshot section claims %d bytes; snapshot corrupt", n)
+	}
+	return io.LimitReader(r, n), nil
 }
 
 // LoadSystem reconstructs a System from a snapshot written by SaveSnapshot
 // over the given database. The database must hold the same rows the
 // snapshot was built from; tuple rendering reads rows by the RIDs recorded
-// in the snapshot.
+// in the snapshot. A stream that does not begin with the snapshot magic is
+// rejected outright.
 func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
+	}
+	if string(hdr[:8]) != snapshotMagic {
+		return nil, fmt.Errorf("banks: not a BANKS snapshot (bad magic %q)", hdr[:8])
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != snapshotVersion {
+		return nil, fmt.Errorf("banks: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
 	gs, err := readSection(r)
 	if err != nil {
-		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
+		return nil, fmt.Errorf("banks: reading graph section: %w", err)
 	}
 	g, err := graph.ReadGraph(gs)
 	if err != nil {
@@ -72,7 +109,7 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 	}
 	is, err := readSection(r)
 	if err != nil {
-		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
+		return nil, fmt.Errorf("banks: reading index section: %w", err)
 	}
 	ix, err := index.ReadFrom(is)
 	if err != nil {
@@ -82,10 +119,11 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 		return nil, fmt.Errorf("banks: snapshot mismatch: index built for %d nodes, graph has %d",
 			ix.NumNodes(), g.NumNodes())
 	}
-	s := &System{db: db, g: g, ix: ix, searcher: core.NewSearcher(g, ix)}
+	s := &System{db: db}
 	if opts != nil {
 		s.opts = *opts
 	}
+	s.eng.Store(&engine{g: g, ix: ix, searcher: core.NewSearcher(g, ix)})
 	return s, nil
 }
 

@@ -2,6 +2,7 @@ package banks
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -42,6 +43,55 @@ func TestLoadSystemBadInput(t *testing.T) {
 	db := NewDatabase()
 	if _, err := LoadSystem(db, bytes.NewReader([]byte("junk")), nil); err == nil {
 		t.Error("junk snapshot should fail")
+	}
+}
+
+func TestLoadSystemRejectsBadMagic(t *testing.T) {
+	db := NewDatabase()
+	// A non-snapshot file long enough to reach (and fail) the magic
+	// check; without the header this would be misread as a section
+	// length of ~2^63 bytes.
+	junk := bytes.Repeat([]byte{0xFF}, 64)
+	_, err := LoadSystem(db, bytes.NewReader(junk), nil)
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want a bad-magic error", err)
+	}
+}
+
+func TestLoadSystemRejectsBadVersion(t *testing.T) {
+	db, sys := newQuickstartSystem(t)
+	var snap bytes.Buffer
+	if err := sys.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	raw := snap.Bytes()
+	raw[8], raw[9], raw[10], raw[11] = 0xDE, 0xAD, 0xBE, 0xEF
+	_, err := LoadSystem(db, bytes.NewReader(raw), nil)
+	if err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("err = %v, want a version error", err)
+	}
+}
+
+func TestLoadSystemRejectsHugeSection(t *testing.T) {
+	db := NewDatabase()
+	// Valid magic+version, then a section claiming 2^60 bytes: the size
+	// check must refuse instead of trying to consume it.
+	var b bytes.Buffer
+	b.WriteString(snapshotMagic)
+	b.Write([]byte{0, 0, 0, snapshotVersion})
+	b.Write([]byte{0x10, 0, 0, 0, 0, 0, 0, 0}) // 1<<60
+	_, err := LoadSystem(db, &b, nil)
+	if err == nil {
+		t.Fatal("huge section accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("err = %v, want a corrupt-section error", err)
 	}
 }
 

@@ -1,15 +1,12 @@
 package banks
 
 import (
+	"context"
 	"errors"
-	"fmt"
-
-	"github.com/banksdb/banks/internal/core"
-	"github.com/banksdb/banks/internal/index"
 )
 
-// ErrStopped is returned by SearchStream when the callback cancels the
-// search.
+// ErrStopped is returned by QueryStream (and the deprecated SearchStream)
+// when the callback cancels the search.
 var ErrStopped = errors.New("banks: search stopped by caller")
 
 // SearchStream delivers answers incrementally, in emission order, as the
@@ -17,16 +14,10 @@ var ErrStopped = errors.New("banks: search stopped by caller")
 // incremental evaluation: first answers render while the search is still
 // running. Returning false from fn cancels the search and SearchStream
 // returns ErrStopped.
+//
+// Deprecated: use QueryStream, which takes a context and returns the
+// partial results: sys.QueryStream(ctx, Query{Text: query, Options: opts}, fn).
 func (s *System) SearchStream(query string, opts *SearchOptions, fn func(*Answer) bool) error {
-	terms := index.Tokenize(query)
-	if len(terms) == 0 {
-		return fmt.Errorf("banks: empty query")
-	}
-	err := s.searcher.SearchStream(terms, opts.toCore(), func(a *core.Answer) bool {
-		return fn(s.convertAnswer(a))
-	})
-	if errors.Is(err, core.ErrStopped) {
-		return ErrStopped
-	}
+	_, err := s.QueryStream(context.Background(), Query{Text: query, Options: opts}, fn)
 	return err
 }
