@@ -190,7 +190,7 @@ func fromResult(r *sqlexec.Result) *Result {
 	return out
 }
 
-// SystemOptions configure graph construction.
+// SystemOptions configure graph construction and query-time caching.
 type SystemOptions struct {
 	// DisableBackEdgeScaling turns off the §2.1 indegree scaling of
 	// backward edges (for ablation; the paper's behaviour is on).
@@ -199,6 +199,33 @@ type SystemOptions struct {
 	// transfer instead of raw reference indegree (the extension §2.2
 	// mentions). 0 keeps the paper's indegree prestige.
 	PrestigeDamping float64
+	// BuildShards caps how many concurrent workers Refresh uses to build
+	// the graph and keyword index. 0 uses runtime.GOMAXPROCS(0); 1 forces
+	// the serial build. Any shard count produces byte-identical engines,
+	// so parallelism is purely a wall-clock knob.
+	BuildShards int
+	// MatchCacheBytes bounds the per-snapshot keyword match-set cache
+	// consulted before the index on every term lookup. 0 uses
+	// DefaultMatchCacheBytes; a negative value disables caching. The
+	// cache belongs to the immutable engine snapshot, so Refresh
+	// invalidates it for free by swapping in a fresh one.
+	MatchCacheBytes int64
+}
+
+// DefaultMatchCacheBytes is the match-set cache budget used when
+// SystemOptions.MatchCacheBytes is zero.
+const DefaultMatchCacheBytes = 4 << 20
+
+// cacheBytes resolves the MatchCacheBytes knob to an effective budget.
+func (o SystemOptions) cacheBytes() int64 {
+	switch {
+	case o.MatchCacheBytes < 0:
+		return 0
+	case o.MatchCacheBytes == 0:
+		return DefaultMatchCacheBytes
+	default:
+		return o.MatchCacheBytes
+	}
 }
 
 // engine is one immutable snapshot of the derived search structures: the
@@ -211,7 +238,20 @@ type SystemOptions struct {
 type engine struct {
 	g        *graph.Graph
 	ix       *index.Index
+	cache    *index.MatchCache // nil when caching is disabled
 	searcher *core.Searcher
+}
+
+// newEngine assembles one immutable snapshot: graph, index, a fresh
+// match-set cache scoped to the pair, and the searcher over all three.
+func newEngine(g *graph.Graph, ix *index.Index, opts SystemOptions) *engine {
+	cache := index.NewMatchCache(opts.cacheBytes())
+	return &engine{
+		g:        g,
+		ix:       ix,
+		cache:    cache,
+		searcher: core.NewSearcher(g, ix).WithMatchCache(cache),
+	}
 }
 
 // System couples a database snapshot with its BANKS graph and keyword
@@ -249,15 +289,16 @@ func (s *System) Refresh() error {
 	bo := graph.DefaultBuildOptions()
 	bo.ScaleBackEdges = !s.opts.DisableBackEdgeScaling
 	bo.PrestigeDamping = s.opts.PrestigeDamping
+	bo.Shards = s.opts.BuildShards
 	g, err := graph.Build(s.db.inner, bo)
 	if err != nil {
 		return err
 	}
-	ix, err := index.Build(s.db.inner, g)
+	ix, err := index.BuildWithOptions(s.db.inner, g, &index.BuildOptions{Shards: s.opts.BuildShards})
 	if err != nil {
 		return err
 	}
-	s.eng.Store(&engine{g: g, ix: ix, searcher: core.NewSearcher(g, ix)})
+	s.eng.Store(newEngine(g, ix, s.opts))
 	return nil
 }
 
@@ -293,4 +334,37 @@ type IndexStats struct {
 func (s *System) IndexStats() IndexStats {
 	ix := s.engine().ix
 	return IndexStats{Terms: ix.NumTerms(), Postings: ix.NumPostings()}
+}
+
+// CacheStats summarize the current snapshot's keyword match-set cache.
+// Counters reset whenever Refresh swaps in a new snapshot (each snapshot
+// owns a fresh cache).
+type CacheStats struct {
+	Hits     int64 // term lookups served from the cache
+	Misses   int64 // term lookups that fell through to the index
+	Entries  int   // resident match sets
+	Bytes    int64 // charged bytes (keys + postings + overhead)
+	MaxBytes int64 // configured budget (0 when caching is disabled)
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (cs CacheStats) HitRate() float64 {
+	total := cs.Hits + cs.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(total)
+}
+
+// CacheStats returns the current snapshot's match-cache counters; all
+// zeros when caching is disabled.
+func (s *System) CacheStats() CacheStats {
+	st := s.engine().cache.Stats()
+	return CacheStats{
+		Hits:     st.Hits,
+		Misses:   st.Misses,
+		Entries:  st.Entries,
+		Bytes:    st.Bytes,
+		MaxBytes: st.MaxBytes,
+	}
 }

@@ -21,6 +21,7 @@ package banks
 // tractable.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -501,6 +502,147 @@ func BenchmarkKeywordLookup(b *testing.B) {
 			b.Fatal("no matches")
 		}
 	}
+}
+
+// --- parallel engine build + match cache (regression harness) ---
+
+// The engine-build and cached-lookup benchmarks guard the parallel
+// sharded build and the match-set cache: BENCH_build.json records their
+// trajectory, and CI runs them once per push (-benchtime 1x) so a
+// regression that breaks them outright fails the build.
+
+// buildBenchTPCD sizes a TPC-D catalog big enough that build wall-time is
+// dominated by real work (FK resolution, tokenizing, arc sorting), not
+// fixed overhead: ≈100K nodes, ≈500K directed arcs.
+func buildBenchTPCD() datagen.TPCDConfig {
+	return datagen.TPCDConfig{
+		Parts: 2000, Suppliers: 400, Customers: 1500,
+		Orders: 20000, LinesPer: 4, Seed: 7,
+	}
+}
+
+var (
+	buildTPCDOnce sync.Once
+	buildTPCDDB   *sqldb.Database
+	buildTPCDErr  error
+)
+
+func buildBenchTPCDDB(b *testing.B) *sqldb.Database {
+	b.Helper()
+	buildTPCDOnce.Do(func() {
+		buildTPCDDB, buildTPCDErr = datagen.BuildTPCD(buildBenchTPCD())
+	})
+	if buildTPCDErr != nil {
+		b.Fatal(buildTPCDErr)
+	}
+	return buildTPCDDB
+}
+
+// BenchmarkEngineBuild measures the full engine derivation (graph +
+// keyword index) at several shard counts on both generators. shards-0 is
+// the production default (GOMAXPROCS).
+func BenchmarkEngineBuild(b *testing.B) {
+	datasets := []struct {
+		name string
+		db   func(b *testing.B) *sqldb.Database
+	}{
+		{"dblp", func(b *testing.B) *sqldb.Database { return paperFixture(b).db }},
+		{"tpcd", buildBenchTPCDDB},
+	}
+	for _, ds := range datasets {
+		for _, shards := range []int{1, 2, 4, 0} {
+			b.Run(ds.name+"/"+benchName("shards", shards), func(b *testing.B) {
+				db := ds.db(b)
+				bo := graph.DefaultBuildOptions()
+				bo.Shards = shards
+				io := &index.BuildOptions{Shards: shards}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g, err := graph.Build(db, bo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ix, err := index.BuildWithOptions(db, g, io)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if g.NumNodes() == 0 || ix.NumTerms() == 0 {
+						b.Fatal("degenerate engine")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCachedLookup measures term resolution on a skewed workload
+// with and without the match cache. The prefix variants are the headline:
+// an uncached prefix lookup walks the whole vocabulary, a cached repeat is
+// one map probe. Hit rate is reported as a metric.
+func BenchmarkCachedLookup(b *testing.B) {
+	f := paperFixture(b)
+	terms := datagen.ZipfTerms(1<<14, 42)
+
+	b.Run("exact-uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.ix.Lookup(terms[i%len(terms)])
+		}
+	})
+	b.Run("exact-cached", func(b *testing.B) {
+		c := index.NewMatchCache(4 << 20)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.Lookup(f.ix, terms[i%len(terms)])
+		}
+		b.ReportMetric(c.Stats().HitRate(), "hit-rate")
+	})
+	b.Run("prefix-uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ns := f.ix.LookupPrefix(terms[i%len(terms)][:4]); len(ns) == 0 {
+				b.Fatal("no prefix matches")
+			}
+		}
+	})
+	b.Run("prefix-cached", func(b *testing.B) {
+		c := index.NewMatchCache(4 << 20)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ns := c.LookupPrefix(f.ix, terms[i%len(terms)][:4]); len(ns) == 0 {
+				b.Fatal("no prefix matches")
+			}
+		}
+		b.ReportMetric(c.Stats().HitRate(), "hit-rate")
+	})
+}
+
+// BenchmarkCachedQuerySkewed runs whole single-term prefix queries over
+// the skewed stream through a cached and an uncached searcher — the
+// user-visible latency effect of the cache.
+func BenchmarkCachedQuerySkewed(b *testing.B) {
+	f := paperFixture(b)
+	terms := datagen.ZipfTerms(1<<14, 99)
+	opts := dblpOpts()
+	run := func(b *testing.B, s *core.Searcher) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := core.Request{Terms: []string{terms[i%len(terms)][:4]}, Prefix: true}
+			if _, _, err := s.Query(context.Background(), req, opts, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		run(b, core.NewSearcher(f.g, f.ix))
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := index.NewMatchCache(4 << 20)
+		s := core.NewSearcher(f.g, f.ix).WithMatchCache(c)
+		run(b, s)
+		b.ReportMetric(c.Stats().HitRate(), "hit-rate")
+	})
 }
 
 func benchName(prefix string, n int) string {

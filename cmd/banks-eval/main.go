@@ -5,9 +5,12 @@
 //	-anecdotes   the §5.1 anecdote queries with their top answers
 //	-space       the §5.2 graph size / memory experiment
 //	-latency     the §5.2 query latency experiment (7 query classes)
+//	-buildbench  the parallel-build shard sweep and the match-cache
+//	             skewed-workload experiment (the BENCH_build.json data)
 //
 // By default it runs everything at -scale small; -scale paper uses the
-// 100K-node / 300K-edge configuration of the paper.
+// 100K-node / 300K-edge configuration of the paper. -shards caps the
+// build parallelism of the main experiments (0 = GOMAXPROCS).
 package main
 
 import (
@@ -33,26 +36,35 @@ func main() {
 	anecdotes := flag.Bool("anecdotes", false, "run the §5.1 anecdote queries")
 	space := flag.Bool("space", false, "run the §5.2 space experiment")
 	latency := flag.Bool("latency", false, "run the §5.2 latency experiment")
+	buildbench := flag.Bool("buildbench", false, "run the parallel-build and match-cache experiments")
 	scale := flag.String("scale", "small", "dataset scale: small or paper")
+	shards := flag.Int("shards", 0, "build shard cap (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency
+	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency && !*buildbench
 
 	// Interrupt cancels the context; every query below stops promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *buildbench {
+		runBuildBench(ctx, *scale)
+		return
+	}
+
 	cfg := datagen.SmallDBLP()
 	if *scale == "paper" {
 		cfg = datagen.PaperScaleDBLP()
 	}
-	fmt.Printf("== building DBLP dataset (%s scale) ==\n", *scale)
+	fmt.Printf("== building DBLP dataset (%s scale, %d shards) ==\n", *scale, *shards)
 	db, err := datagen.BuildDBLP(cfg)
 	check(err)
+	bo := graph.DefaultBuildOptions()
+	bo.Shards = *shards
 	start := time.Now()
-	g, err := graph.Build(db, nil)
+	g, err := graph.Build(db, bo)
 	check(err)
 	buildTime := time.Since(start)
-	ix, err := index.Build(db, g)
+	ix, err := index.BuildWithOptions(db, g, &index.BuildOptions{Shards: *shards})
 	check(err)
 	s := core.NewSearcher(g, ix)
 	fmt.Printf("%s, %d index terms; graph built in %v\n\n", g, ix.NumTerms(), buildTime)
@@ -197,6 +209,101 @@ func runFigure5(db *sqldb.Database, g *graph.Graph, s *core.Searcher) {
 	fmt.Printf("best setting: lambda=%.1f EdgeLog=%v (error %.1f)\n", best.Lambda, best.EdgeLog, best.Scaled)
 	fmt.Println("paper: lambda=0.2 with edge log-scaling best (error ~0); lambda=1 worst (~15)")
 	fmt.Println()
+}
+
+// runBuildBench produces the BENCH_build.json data: graph+index build
+// wall-time at several shard counts on both generators, and the match
+// cache's hit rate and lookup latency on a Zipf-skewed term workload.
+// Ctrl-C (which cancels ctx) stops the sweep between build repetitions.
+func runBuildBench(ctx context.Context, scale string) {
+	fmt.Printf("== parallel engine build (host: %d CPUs, GOMAXPROCS %d) ==\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+
+	dblpCfg := datagen.SmallDBLP()
+	if scale == "paper" {
+		dblpCfg = datagen.PaperScaleDBLP()
+	}
+	tpcdCfg := datagen.TPCDConfig{Parts: 2000, Suppliers: 400, Customers: 1500, Orders: 20000, LinesPer: 4, Seed: 7}
+
+	datasets := []struct {
+		name  string
+		build func() (*sqldb.Database, error)
+	}{
+		{"dblp", func() (*sqldb.Database, error) { return datagen.BuildDBLP(dblpCfg) }},
+		{"tpcd", func() (*sqldb.Database, error) { return datagen.BuildTPCD(tpcdCfg) }},
+	}
+	shardCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, ds := range datasets {
+		db, err := ds.build()
+		check(err)
+		for _, sh := range shardCounts {
+			bo := graph.DefaultBuildOptions()
+			bo.Shards = sh
+			best := time.Duration(0)
+			var nodes, arcs, terms int
+			const reps = 3
+			for r := 0; r < reps; r++ {
+				check(ctx.Err())
+				start := time.Now()
+				g, err := graph.Build(db, bo)
+				check(err)
+				ix, err := index.BuildWithOptions(db, g, &index.BuildOptions{Shards: sh})
+				check(err)
+				el := time.Since(start)
+				if best == 0 || el < best {
+					best = el
+				}
+				nodes, arcs, terms = g.NumNodes(), g.NumArcs(), ix.NumTerms()
+			}
+			fmt.Printf("%-5s shards=%-2d  build %10v  (%d nodes, %d arcs, %d terms; best of %d)\n",
+				ds.name, sh, best, nodes, arcs, terms, reps)
+		}
+	}
+
+	fmt.Println("\n== match cache on a Zipf(1.3) term workload ==")
+	check(ctx.Err())
+	db, err := datagen.BuildDBLP(dblpCfg)
+	check(err)
+	g, err := graph.Build(db, nil)
+	check(err)
+	ix, err := index.Build(db, g)
+	check(err)
+	// The same stream the BenchmarkCachedLookup regression suite uses.
+	const draws = 200000
+	stream := datagen.ZipfTerms(draws, 42)
+	uncachedStart := time.Now()
+	for _, w := range stream {
+		_ = ix.Lookup(w)
+	}
+	uncached := time.Since(uncachedStart)
+	cache := index.NewMatchCache(4 << 20)
+	cachedStart := time.Now()
+	for _, w := range stream {
+		_ = cache.Lookup(ix, w)
+	}
+	cached := time.Since(cachedStart)
+	st := cache.Stats()
+	fmt.Printf("exact lookups   %d draws: uncached %v, cached %v, hit rate %.3f\n",
+		draws, uncached, cached, st.HitRate())
+
+	pfxCache := index.NewMatchCache(4 << 20)
+	const pfxDraws = 2000
+	pfxUncachedStart := time.Now()
+	for i := 0; i < pfxDraws; i++ {
+		_ = ix.LookupPrefix(stream[i][:4])
+	}
+	pfxUncached := time.Since(pfxUncachedStart)
+	pfxCachedStart := time.Now()
+	for i := 0; i < pfxDraws; i++ {
+		_ = pfxCache.LookupPrefix(ix, stream[i][:4])
+	}
+	pfxCached := time.Since(pfxCachedStart)
+	fmt.Printf("prefix lookups  %d draws: uncached %v (%v/op), cached %v (%v/op), hit rate %.3f\n",
+		pfxDraws, pfxUncached, pfxUncached/pfxDraws, pfxCached, pfxCached/pfxDraws,
+		pfxCache.Stats().HitRate())
 }
 
 func runFull(db *sqldb.Database, g *graph.Graph, s *core.Searcher) {

@@ -54,8 +54,9 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.ExcludedRootTables = excluded
 	// The dataset is static here, so the provider always hands back the
-	// same searcher; a live deployment would swap in rebuilt snapshots.
-	searcher := core.NewSearcher(g, ix)
+	// same searcher; a live deployment would swap in rebuilt snapshots
+	// (each with its own fresh match cache, as System.Refresh does).
+	searcher := core.NewSearcher(g, ix).WithMatchCache(index.NewMatchCache(4 << 20))
 	srv := web.NewServer(db, func() *core.Searcher { return searcher }, opts)
 	log.Printf("BANKS web UI on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))

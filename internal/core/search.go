@@ -107,7 +107,8 @@ type Stats struct {
 type Searcher struct {
 	g      *graph.Graph
 	ix     *index.Index
-	arenas sync.Pool // of *searchArena sized to g.NumNodes()
+	cache  *index.MatchCache // optional; nil disables match-set caching
+	arenas sync.Pool         // of *searchArena sized to g.NumNodes()
 }
 
 // NewSearcher returns a Searcher over g and ix (built from the same
@@ -124,6 +125,20 @@ func (s *Searcher) Graph() *graph.Graph { return s.g }
 
 // Index returns the underlying keyword index.
 func (s *Searcher) Index() *index.Index { return s.ix }
+
+// WithMatchCache attaches a keyword match-set cache consulted before the
+// index on every term lookup (exact and prefix). The cache must belong to
+// the same immutable graph/index snapshot as the Searcher; attach it
+// before the Searcher is shared between goroutines (the cache itself is
+// safe for concurrent use). Returns s for chaining.
+func (s *Searcher) WithMatchCache(c *index.MatchCache) *Searcher {
+	s.cache = c
+	return s
+}
+
+// MatchCache returns the attached match-set cache, or nil when caching is
+// disabled.
+func (s *Searcher) MatchCache() *index.MatchCache { return s.cache }
 
 // acquireArena checks a per-query arena out of the pool; releaseArena puts
 // it back after wiping its per-query state.
@@ -209,7 +224,7 @@ func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb fun
 		} else {
 			set = s.matchTerm(ar, term, o, stats)
 			if len(set) == 0 && req.Prefix {
-				set = s.ix.LookupPrefix(term)
+				set = s.cache.LookupPrefix(s.ix, term)
 			}
 		}
 		if len(set) == 0 {
@@ -268,7 +283,7 @@ func (s *Searcher) excludedTables(o *Options) map[int32]bool {
 // admitted metadata nodes, so duplicate index postings and data/metadata
 // overlap cannot inflate it.
 func (s *Searcher) matchTerm(ar *searchArena, term string, o *Options, stats *Stats) []graph.NodeID {
-	m := s.ix.Lookup(term)
+	m := s.cache.Lookup(s.ix, term)
 	gen := ar.bumpMark()
 	set := make([]graph.NodeID, 0, len(m.Nodes))
 	for _, n := range m.Nodes {

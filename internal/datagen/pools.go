@@ -10,6 +10,8 @@ package datagen
 import (
 	"math"
 	"math/rand"
+
+	"github.com/banksdb/banks/internal/index"
 )
 
 // Name pools. None of these tokens collide with the seeded anecdote
@@ -99,4 +101,30 @@ func zipfIndex(rng *rand.Rand, n int) int {
 		i = n - 1
 	}
 	return i
+}
+
+// TitleWords returns the paper-title vocabulary the generators draw from;
+// benchmark and evaluation harnesses use it to synthesize keyword
+// workloads whose terms are guaranteed to hit the index.
+func TitleWords() []string { return titleWords }
+
+// ZipfTerms returns an n-draw Zipf(s=1.3) term stream over the
+// single-token title vocabulary — the shared skewed workload behind the
+// match-cache benchmarks and banks-eval's -buildbench experiment, defined
+// once so BENCH_build.json and CI always measure the same distribution.
+// Multi-token vocabulary words ("on-line") are excluded: as single search
+// terms their prefixes match nothing.
+func ZipfTerms(n int, seed int64) []string {
+	var words []string
+	for _, w := range titleWords {
+		if len(index.Tokenize(w)) == 1 {
+			words = append(words, w)
+		}
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.3, 1, uint64(len(words)-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[zipf.Uint64()]
+	}
+	return out
 }

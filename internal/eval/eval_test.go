@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/banksdb/banks/internal/core"
@@ -21,31 +22,44 @@ type suiteFixture struct {
 	queries []Query
 }
 
-var cachedFixture *suiteFixture
+// The fixture is built exactly once under sync.Once so tests running in
+// parallel (or helpers called from subtests) cannot race on the package
+// global; fixtureErr carries a build failure to every caller.
+var (
+	fixtureOnce   sync.Once
+	cachedFixture *suiteFixture
+	fixtureErr    error
+)
 
 func getFixture(t *testing.T) *suiteFixture {
 	t.Helper()
-	if cachedFixture != nil {
-		return cachedFixture
+	fixtureOnce.Do(func() {
+		db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		g, err := graph.Build(db, nil)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		ix, err := index.Build(db, g)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		s := core.NewSearcher(g, ix)
+		queries, err := DBLPSuite(db, g)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		cachedFixture = &suiteFixture{db: db, g: g, s: s, queries: queries}
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
 	}
-	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := graph.Build(db, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ix, err := index.Build(db, g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := core.NewSearcher(g, ix)
-	queries, err := DBLPSuite(db, g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cachedFixture = &suiteFixture{db: db, g: g, s: s, queries: queries}
 	return cachedFixture
 }
 

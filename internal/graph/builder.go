@@ -2,8 +2,10 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
+	"github.com/banksdb/banks/internal/par"
 	"github.com/banksdb/banks/internal/sqldb"
 )
 
@@ -22,6 +24,13 @@ type BuildOptions struct {
 
 	// PrestigeIters bounds the power iteration (default 20).
 	PrestigeIters int
+
+	// Shards caps how many concurrent workers build the graph. 0 uses
+	// runtime.GOMAXPROCS(0); 1 forces the serial build. Every shard count
+	// produces byte-identical graphs: node ids are assigned by a
+	// deterministic per-range prefix sum, per-shard link lists are merged
+	// in (table, row-range) order, and the arc sort is order-insensitive.
+	Shards int
 }
 
 // DefaultBuildOptions returns the paper's configuration.
@@ -29,22 +38,80 @@ func DefaultBuildOptions() *BuildOptions {
 	return &BuildOptions{ScaleBackEdges: true}
 }
 
+// link is one resolved FK reference from tuple `from` to tuple `to` with
+// relation similarity s(R(from), R(to)).
+type link struct {
+	from, to NodeID
+	w        float64
+}
+
+// buildShard is one contiguous RID range of one table; the unit of
+// parallelism for every build pass. Shards of a table are ordered by RID
+// range, and the global shard list is ordered by (table, range), so
+// concatenating per-shard outputs reproduces the serial scan order exactly.
+type buildShard struct {
+	tbl    int       // index into the build's table list
+	lo, hi sqldb.RID // scan range [lo, hi)
+
+	liveRows int    // pass A: live rows in range
+	base     NodeID // first node id assigned to this range
+
+	links []link           // pass C: resolved FK links, in scan order
+	in    map[NodeID]int32 // pass C: links into v from this shard's table
+}
+
+// buildShardSize is the minimum row-range per shard; tables smaller than
+// this are built by a single worker, avoiding goroutine overhead on the
+// many small relations of a typical schema.
+const buildShardSize = 512
+
+// planShards splits every table into up to `shards` contiguous RID ranges.
+func planShards(tables []tableInfo, shards int) []buildShard {
+	var plan []buildShard
+	for i, ti := range tables {
+		capRows := ti.t.Cap()
+		chunk := (capRows + shards - 1) / shards
+		if chunk < buildShardSize {
+			chunk = buildShardSize
+		}
+		if capRows == 0 {
+			plan = append(plan, buildShard{tbl: i})
+			continue
+		}
+		for lo := 0; lo < capRows; lo += chunk {
+			hi := lo + chunk
+			if hi > capRows {
+				hi = capRows
+			}
+			plan = append(plan, buildShard{tbl: i, lo: sqldb.RID(lo), hi: sqldb.RID(hi)})
+		}
+	}
+	return plan
+}
+
+type tableInfo struct {
+	t  *sqldb.Table
+	id int32
+}
+
 // Build constructs the data graph from a database snapshot. The caller
-// should not mutate the database concurrently.
+// should not mutate the database concurrently. Construction is sharded
+// over opts.Shards workers (GOMAXPROCS by default) and the result is
+// byte-identical to a serial build.
 func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 	if opts == nil {
 		opts = DefaultBuildOptions()
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
 	db.RLock()
 	defer db.RUnlock()
 
 	g := &Graph{tableIDs: make(map[string]int32)}
 	names := db.TableNames()
-	type tinfo struct {
-		t  *sqldb.Table
-		id int32
-	}
-	tables := make([]tinfo, 0, len(names))
+	tables := make([]tableInfo, 0, len(names))
 	for _, name := range names {
 		t := db.Table(name)
 		if t == nil {
@@ -53,52 +120,82 @@ func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 		id := int32(len(g.tableNames))
 		g.tableNames = append(g.tableNames, t.Name())
 		g.tableIDs[strings.ToLower(t.Name())] = id
-		tables = append(tables, tinfo{t: t, id: id})
+		tables = append(tables, tableInfo{t: t, id: id})
 	}
 
-	// Pass 1: assign node ids, contiguous per table in RID order.
+	plan := planShards(tables, shards)
+
+	// Pass A (parallel): count live rows per shard, so node ids can be
+	// assigned without scanning serially.
+	par.Run(len(plan), shards, func(i int) {
+		sh := &plan[i]
+		n := 0
+		tables[sh.tbl].t.ScanRange(sh.lo, sh.hi, func(sqldb.RID, []sqldb.Value) bool {
+			n++
+			return true
+		})
+		sh.liveRows = n
+	})
+
+	// Node-id assignment: contiguous per table in RID order (the paper's
+	// dense ids), via a prefix sum over the shard plan.
 	g.tableStart = make([]NodeID, len(tables)+1)
+	total := NodeID(0)
+	ti := 0
+	for i := range plan {
+		for ti < plan[i].tbl { // tables between shards (none today, but safe)
+			ti++
+			g.tableStart[ti] = total
+		}
+		plan[i].base = total
+		total += NodeID(plan[i].liveRows)
+	}
+	for ti < len(tables) {
+		ti++
+		g.tableStart[ti] = total
+	}
+	numNodes := int(total)
+	g.tableOf = make([]int32, numNodes)
+	g.ridOf = make([]sqldb.RID, numNodes)
+	g.prestige = make([]float64, numNodes)
 	g.nodeOf = make([][]NodeID, len(tables))
-	for i, ti := range tables {
-		g.tableStart[i] = NodeID(len(g.tableOf))
-		m := make([]NodeID, ti.t.Cap())
+	for i, t := range tables {
+		m := make([]NodeID, t.t.Cap())
 		for r := range m {
 			m[r] = NoNode
 		}
-		ti.t.Scan(func(rid sqldb.RID, _ []sqldb.Value) bool {
-			n := NodeID(len(g.tableOf))
-			m[rid] = n
-			g.tableOf = append(g.tableOf, ti.id)
-			g.ridOf = append(g.ridOf, rid)
-			return true
-		})
 		g.nodeOf[i] = m
 	}
-	g.tableStart[len(tables)] = NodeID(len(g.tableOf))
-	g.prestige = make([]float64, len(g.tableOf))
 
-	// Pass 2: resolve FK links into forward arcs and count, per referenced
-	// node, the links arriving from each referencing relation (IN_{R}(v)).
-	type link struct {
-		from, to NodeID
-		w        float64 // similarity s(R(from), R(to))
+	// Pass B (parallel): fill the node maps. Each shard writes a disjoint
+	// node-id range and a disjoint RID range of its table's map.
+	par.Run(len(plan), shards, func(i int) {
+		sh := &plan[i]
+		tid := tables[sh.tbl].id
+		m := g.nodeOf[sh.tbl]
+		n := sh.base
+		tables[sh.tbl].t.ScanRange(sh.lo, sh.hi, func(rid sqldb.RID, _ []sqldb.Value) bool {
+			m[rid] = n
+			g.tableOf[n] = tid
+			g.ridOf[n] = rid
+			n++
+			return true
+		})
+	})
+
+	// Per-table FK metadata, resolved once (serial: error paths live here).
+	type fkInfo struct {
+		col     int
+		refTbl  int32
+		ref     *sqldb.Table
+		refType sqldb.Type
+		w       float64
 	}
-	var links []link
-	inByTable := make([]map[NodeID]int32, len(tables)) // [refTableIdx][v] = links into v from that table
-	for i := range inByTable {
-		inByTable[i] = make(map[NodeID]int32)
-	}
-	for i, ti := range tables {
-		schema := ti.t.Schema()
+	fksOf := make([][]fkInfo, len(tables))
+	for i, t := range tables {
+		schema := t.t.Schema()
 		if len(schema.ForeignKeys) == 0 {
 			continue
-		}
-		type fkInfo struct {
-			col     int
-			refTbl  int32
-			ref     *sqldb.Table
-			refType sqldb.Type
-			w       float64
 		}
 		fks := make([]fkInfo, 0, len(schema.ForeignKeys))
 		for _, fk := range schema.ForeignKeys {
@@ -116,16 +213,30 @@ func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 				w = 1
 			}
 			fks = append(fks, fkInfo{
-				col:     ti.t.ColumnIndex(fk.Column),
+				col:     t.t.ColumnIndex(fk.Column),
 				refTbl:  refID,
 				ref:     ref,
 				refType: refCol.Type,
 				w:       w,
 			})
 		}
-		fromTblIdx := i
-		ti.t.Scan(func(rid sqldb.RID, row []sqldb.Value) bool {
-			u := g.nodeOf[fromTblIdx][rid]
+		fksOf[i] = fks
+	}
+
+	// Pass C (parallel): resolve FK links into per-shard lists and count,
+	// per referenced node, the links arriving from this shard's relation
+	// (the shard's contribution to IN_{R}(v)). Only reads shared state:
+	// node maps are complete after pass B, and PK lookups are read-only.
+	par.Run(len(plan), shards, func(i int) {
+		sh := &plan[i]
+		fks := fksOf[sh.tbl]
+		if len(fks) == 0 {
+			return
+		}
+		sh.in = make(map[NodeID]int32)
+		m := g.nodeOf[sh.tbl]
+		tables[sh.tbl].t.ScanRange(sh.lo, sh.hi, func(rid sqldb.RID, row []sqldb.Value) bool {
+			u := m[rid]
 			for _, fk := range fks {
 				v := row[fk.col]
 				if v.IsNull() {
@@ -143,16 +254,43 @@ func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 				if vNode == u {
 					continue // self-loop carries no proximity information
 				}
-				links = append(links, link{from: u, to: vNode, w: fk.w})
-				inByTable[fromTblIdx][vNode]++
-				g.prestige[vNode]++
+				sh.links = append(sh.links, link{from: u, to: vNode, w: fk.w})
+				sh.in[vNode]++
 			}
 			return true
 		})
+	})
+
+	// Merge (serial, deterministic): concatenating shard link lists in
+	// plan order reproduces the serial scan order exactly; the per-table
+	// indegree counts and prestige are order-insensitive integer sums.
+	nLinks := 0
+	for i := range plan {
+		nLinks += len(plan[i].links)
+	}
+	links := make([]link, 0, nLinks)
+	inByTable := make([]map[NodeID]int32, len(tables))
+	for i := range plan {
+		sh := &plan[i]
+		links = append(links, sh.links...)
+		if len(sh.in) == 0 {
+			continue
+		}
+		agg := inByTable[sh.tbl]
+		if agg == nil {
+			agg = make(map[NodeID]int32, len(sh.in))
+			inByTable[sh.tbl] = agg
+		}
+		for v, c := range sh.in {
+			agg[v] += c
+		}
+	}
+	for _, l := range links {
+		g.prestige[l.to]++
 	}
 
-	// Pass 3: materialize arcs. Each FK link (u->v) contributes the forward
-	// arc u->v with weight s, and the backward arc v->u with weight
+	// Materialize arcs: each FK link (u->v) contributes the forward arc
+	// u->v with weight s, and the backward arc v->u with weight
 	// s * IN_{R(u)}(v) (§2.2); parallel arcs are merged to the minimum
 	// weight per Equation 1.
 	arcs := make([]arc, 0, 2*len(links))
@@ -164,7 +302,7 @@ func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 		}
 		arcs = append(arcs, arc{from: l.to, to: l.from, w: bw})
 	}
-	g.finish(arcs)
+	g.finishShards(arcs, shards)
 
 	if opts.PrestigeDamping > 0 && opts.PrestigeDamping < 1 {
 		pairs := make([]pair, len(links))

@@ -14,7 +14,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 
 	"github.com/banksdb/banks/internal/sqldb"
 )
@@ -177,15 +177,15 @@ type arc struct {
 // finish sorts/merges arcs (parallel arcs keep the minimum weight, Eq. 1 of
 // the paper) and fills adjacency, reverse adjacency, and normalizers.
 func (g *Graph) finish(arcs []arc) {
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i].from != arcs[j].from {
-			return arcs[i].from < arcs[j].from
-		}
-		if arcs[i].to != arcs[j].to {
-			return arcs[i].to < arcs[j].to
-		}
-		return arcs[i].w < arcs[j].w
-	})
+	g.finishShards(arcs, runtime.GOMAXPROCS(0))
+}
+
+// finishShards is finish with the arc sort spread over up to `shards`
+// workers. The output is independent of the shard count: arcLess is a
+// total order over (from, to, w), and the duplicate-arc merge keeps the
+// minimum weight whichever sorted run it arrives from.
+func (g *Graph) finishShards(arcs []arc, shards int) {
+	sortArcs(arcs, shards)
 	merged := arcs[:0]
 	for _, a := range arcs {
 		if n := len(merged); n > 0 && merged[n-1].from == a.from && merged[n-1].to == a.to {

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"sort"
+
+	"github.com/banksdb/banks/internal/par"
+)
+
+// arcLess is the total order the CSR fill relies on: grouped by source,
+// then target, then ascending weight so the duplicate merge keeps the
+// minimum-weight parallel arc (Equation 1).
+func arcLess(a, b arc) bool {
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	return a.w < b.w
+}
+
+// minParallelSortArcs is the arc count below which a parallel sort is not
+// worth the goroutine and scratch-buffer overhead.
+const minParallelSortArcs = 1 << 15
+
+// sortArcs sorts arcs by arcLess using up to `shards` workers: the slice
+// is split into contiguous runs sorted concurrently, then merged pairwise
+// in parallel rounds. Because arcLess is a total order, the result is the
+// same permutation class for every shard count — fully-equal arcs are
+// interchangeable — so downstream consumers see identical output.
+func sortArcs(arcs []arc, shards int) {
+	n := len(arcs)
+	if shards <= 1 || n < minParallelSortArcs {
+		sort.Slice(arcs, func(i, j int) bool { return arcLess(arcs[i], arcs[j]) })
+		return
+	}
+	chunk := (n + shards - 1) / shards
+	runs := make([][2]int, 0, shards)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		runs = append(runs, [2]int{lo, hi})
+	}
+	par.Run(len(runs), shards, func(i int) {
+		s := arcs[runs[i][0]:runs[i][1]]
+		sort.Slice(s, func(a, b int) bool { return arcLess(s[a], s[b]) })
+	})
+
+	scratch := make([]arc, n)
+	src, dst := arcs, scratch
+	for len(runs) > 1 {
+		type mergeJob struct{ a, b [2]int }
+		jobs := make([]mergeJob, 0, len(runs)/2)
+		next := make([][2]int, 0, (len(runs)+1)/2)
+		for i := 0; i+1 < len(runs); i += 2 {
+			jobs = append(jobs, mergeJob{a: runs[i], b: runs[i+1]})
+			next = append(next, [2]int{runs[i][0], runs[i+1][1]})
+		}
+		odd := len(runs)%2 == 1
+		par.Run(len(jobs), shards, func(ji int) {
+			j := jobs[ji]
+			mergeArcRuns(dst, src, j.a, j.b)
+		})
+		if odd {
+			last := runs[len(runs)-1]
+			copy(dst[last[0]:last[1]], src[last[0]:last[1]])
+			next = append(next, last)
+		}
+		src, dst = dst, src
+		runs = next
+	}
+	if &src[0] != &arcs[0] {
+		copy(arcs, src)
+	}
+}
+
+// mergeArcRuns merges the sorted runs src[a[0]:a[1]] and src[b[0]:b[1]]
+// (adjacent: a[1] == b[0]) into dst[a[0]:b[1]]. Ties go to the left run,
+// matching what a serial stable sort of the concatenation would produce.
+func mergeArcRuns(dst, src []arc, a, b [2]int) {
+	i, j, o := a[0], b[0], a[0]
+	for i < a[1] && j < b[1] {
+		if arcLess(src[j], src[i]) {
+			dst[o] = src[j]
+			j++
+		} else {
+			dst[o] = src[i]
+			i++
+		}
+		o++
+	}
+	for i < a[1] {
+		dst[o] = src[i]
+		i++
+		o++
+	}
+	for j < b[1] {
+		dst[o] = src[j]
+		j++
+		o++
+	}
+}

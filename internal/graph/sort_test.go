@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomArcs generates arcs with heavy (from, to) collisions so the
+// duplicate-merge path downstream of the sort is exercised too.
+func randomArcs(n int, seed int64) []arc {
+	rng := rand.New(rand.NewSource(seed))
+	arcs := make([]arc, n)
+	span := max(n/8, 1)
+	for i := range arcs {
+		arcs[i] = arc{
+			from: NodeID(rng.Intn(span)),
+			to:   NodeID(rng.Intn(span)),
+			w:    float64(rng.Intn(16)) + 1,
+		}
+	}
+	return arcs
+}
+
+// TestSortArcsMatchesSerial pins the parallel chunk-sort + pairwise-merge
+// against the plain serial sort for shard counts around and beyond the
+// chunk boundaries, including the below-threshold fallback.
+func TestSortArcsMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 100, minParallelSortArcs - 1, minParallelSortArcs, minParallelSortArcs + 7919} {
+		want := randomArcs(max(n, 1), 42)[:n]
+		wantCopy := append([]arc(nil), want...)
+		sort.Slice(wantCopy, func(i, j int) bool { return arcLess(wantCopy[i], wantCopy[j]) })
+		for _, shards := range []int{1, 2, 3, 4, 8, 17} {
+			got := append([]arc(nil), want...)
+			sortArcs(got, shards)
+			for i := range got {
+				if got[i] != wantCopy[i] {
+					t.Fatalf("n=%d shards=%d: arc %d = %+v, want %+v", n, shards, i, got[i], wantCopy[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package index
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// MatchCache is a bounded, sharded LRU cache of keyword match sets — the
+// server-side caching Mragyati argues for, applied to the hot path of §3:
+// resolving a search term to its node set. Exact lookups are a single map
+// probe, but prefix expansion walks every indexed token, and skewed query
+// workloads repeat the same few terms constantly; the cache turns both
+// into one mutex-protected map hit.
+//
+// A MatchCache is owned by one immutable engine snapshot (graph + index
+// pair). Because the snapshot never changes, cached entries never need
+// invalidation — swapping in a new snapshot swaps in a fresh cache, so
+// invalidation is free and a stale entry can never be observed.
+//
+// The cache is safe for concurrent use. A nil *MatchCache is valid and
+// disables caching: every method falls through to the underlying index.
+type MatchCache struct {
+	shards []matchCacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Sharding spreads lock contention across independent LRUs; the key's
+// FNV-1a hash picks the shard. The shard count scales with the budget
+// (one shard per MiB, capped) so the per-shard budget — which is also the
+// admission ceiling for a single match set — never drops below
+// minShardBudget for multi-shard caches: a big cache must still be able
+// to admit the huge match sets of short prefixes, which are exactly the
+// lookups worth caching.
+const (
+	maxMatchCacheShards = 16
+	minShardBudget      = 1 << 20
+)
+
+// matchEntryOverhead approximates the fixed per-entry cost (map bucket
+// share, list element, entry header) charged against the byte budget on
+// top of the key and postings payload.
+const matchEntryOverhead = 96
+
+type matchCacheShard struct {
+	mu    sync.Mutex
+	max   int64 // byte budget for this shard
+	bytes int64 // current charged bytes
+	items map[string]*list.Element
+	lru   list.List // front = most recently used
+}
+
+type matchCacheEntry struct {
+	key  string
+	m    Match
+	size int64
+}
+
+// NewMatchCache returns a cache bounded to roughly maxBytes of postings
+// (split evenly across shards). maxBytes <= 0 returns nil — the valid
+// "caching disabled" cache. A single match set larger than the per-shard
+// budget (the whole budget for caches under 2 MiB, at least 1 MiB
+// otherwise) is served but never cached.
+func NewMatchCache(maxBytes int64) *MatchCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	n := int(maxBytes / minShardBudget)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxMatchCacheShards {
+		n = maxMatchCacheShards
+	}
+	c := &MatchCache{shards: make([]matchCacheShard, n)}
+	per := maxBytes / int64(n)
+	if per < matchEntryOverhead {
+		per = matchEntryOverhead
+	}
+	for i := range c.shards {
+		c.shards[i].max = per
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *MatchCache) shard(key string) *matchCacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h%uint32(len(c.shards))]
+}
+
+func (c *MatchCache) get(key string) (Match, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return Match{}, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*matchCacheEntry).m, true
+}
+
+func (c *MatchCache) put(key string, m Match) {
+	size := int64(len(key)) + 4*int64(len(m.Nodes)) + 4*int64(len(m.Tables)) + matchEntryOverhead
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.max {
+		return // would evict the whole shard and still not fit
+	}
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*matchCacheEntry)
+		s.bytes += size - e.size
+		e.m, e.size = m, size
+		s.lru.MoveToFront(el)
+	} else {
+		s.items[key] = s.lru.PushFront(&matchCacheEntry{key: key, m: m, size: size})
+		s.bytes += size
+	}
+	for s.bytes > s.max {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := s.lru.Remove(back).(*matchCacheEntry)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+	}
+}
+
+// Cached lookups use a one-byte kind prefix so an exact term and a prefix
+// term with the same spelling occupy distinct entries.
+const (
+	exactKeyPrefix  = "="
+	prefixKeyPrefix = "~"
+)
+
+// Lookup is Index.Lookup through the cache: the match set for one search
+// term, cached under its normalized token. Empty matches are cached too —
+// skewed workloads repeat misses as much as hits. Callers must not mutate
+// the returned slices (they are shared with the index and other callers).
+func (c *MatchCache) Lookup(ix *Index, term string) Match {
+	if c == nil {
+		return ix.Lookup(term)
+	}
+	tok := strings.ToLower(strings.TrimSpace(term))
+	key := exactKeyPrefix + tok
+	if m, ok := c.get(key); ok {
+		c.hits.Add(1)
+		return m
+	}
+	c.misses.Add(1)
+	m := ix.Lookup(tok)
+	c.put(key, m)
+	return m
+}
+
+// LookupPrefix is Index.LookupPrefix through the cache. This is the
+// expensive lookup — the index walks every token for a prefix match — so
+// caching it converts O(vocabulary) scans into O(1) repeats. Callers must
+// not mutate the returned slice.
+func (c *MatchCache) LookupPrefix(ix *Index, prefix string) []graph.NodeID {
+	if c == nil {
+		return ix.LookupPrefix(prefix)
+	}
+	tok := strings.ToLower(strings.TrimSpace(prefix))
+	key := prefixKeyPrefix + tok
+	if m, ok := c.get(key); ok {
+		c.hits.Add(1)
+		return m.Nodes
+	}
+	c.misses.Add(1)
+	ns := ix.LookupPrefix(tok)
+	c.put(key, Match{Nodes: ns})
+	return ns
+}
+
+// CacheStats is a point-in-time summary of a MatchCache.
+type CacheStats struct {
+	Hits     int64 // lookups served from the cache
+	Misses   int64 // lookups that fell through to the index
+	Entries  int   // resident match sets
+	Bytes    int64 // charged bytes (keys + postings + overhead)
+	MaxBytes int64 // configured byte budget
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns current counters. Safe on a nil cache (all zeros).
+func (c *MatchCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.items)
+		st.Bytes += s.bytes
+		st.MaxBytes += s.max
+		s.mu.Unlock()
+	}
+	return st
+}

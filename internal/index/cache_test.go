@@ -1,0 +1,190 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// zipfTermIndex builds a term vocabulary and a Zipfian rank stream over it
+// — the skewed workload the cache is designed for.
+func zipfTermIndex(nTerms, postingsPer int) (*Index, []string) {
+	terms := make(map[string][]graph.NodeID, nTerms)
+	names := make([]string, nTerms)
+	for i := 0; i < nTerms; i++ {
+		name := fmt.Sprintf("term%04d", i)
+		names[i] = name
+		ns := make([]graph.NodeID, postingsPer)
+		for j := range ns {
+			ns[j] = graph.NodeID(i*postingsPer + j)
+		}
+		terms[name] = ns
+	}
+	return NewFromPostings(nTerms*postingsPer, terms, nil), names
+}
+
+// TestMatchCacheBoundUnderZipf streams a heavily skewed term workload far
+// larger than the cache budget and asserts the charged bytes never exceed
+// the configured cap — the memory-bound contract.
+func TestMatchCacheBoundUnderZipf(t *testing.T) {
+	ix, names := zipfTermIndex(4096, 32)
+	c := NewMatchCache(128 << 10) // ~14% of the full posting working set
+	if c == nil {
+		t.Fatal("cache unexpectedly disabled")
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(7)), 1.2, 1, uint64(len(names)-1))
+	for i := 0; i < 20000; i++ {
+		term := names[zipf.Uint64()]
+		m := c.Lookup(ix, term)
+		if len(m.Nodes) != 32 {
+			t.Fatalf("term %s: %d nodes", term, len(m.Nodes))
+		}
+		if i%500 == 0 {
+			st := c.Stats()
+			if st.Bytes > st.MaxBytes {
+				t.Fatalf("iteration %d: cache holds %d bytes, budget %d", i, st.Bytes, st.MaxBytes)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("cache holds %d bytes, budget %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache cached nothing")
+	}
+	if hr := st.HitRate(); hr < 0.8 {
+		t.Errorf("hit rate %.3f on Zipf(1.2) stream, want > 0.8", hr)
+	}
+}
+
+// TestMatchCacheEviction fills a tiny cache past its budget and checks
+// that old entries leave while the newest stays resident.
+func TestMatchCacheEviction(t *testing.T) {
+	ix, names := zipfTermIndex(64, 64)
+	// One entry is ~ 96 + 9 + 256 bytes; budget a handful per shard.
+	c := NewMatchCache(16 << 10)
+	for _, name := range names {
+		c.Lookup(ix, name)
+	}
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Entries >= len(names) {
+		t.Fatalf("nothing evicted: %d entries resident", st.Entries)
+	}
+	// The most recently inserted term must still hit.
+	before := c.Stats().Hits
+	c.Lookup(ix, names[len(names)-1])
+	if c.Stats().Hits != before+1 {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+// TestMatchCacheOversizeEntryRejected: an entry larger than a shard's
+// whole budget must be served but not cached (caching it would evict
+// everything for a one-shot win).
+func TestMatchCacheOversizeEntryRejected(t *testing.T) {
+	huge := make([]graph.NodeID, 1<<12)
+	for i := range huge {
+		huge[i] = graph.NodeID(i)
+	}
+	ix := NewFromPostings(len(huge), map[string][]graph.NodeID{"big": huge}, nil)
+	c := NewMatchCache(1 << 10) // shard budget ~64 bytes < 16 KiB entry
+	m := c.Lookup(ix, "big")
+	if len(m.Nodes) != len(huge) {
+		t.Fatalf("lookup through cache returned %d nodes", len(m.Nodes))
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("oversize entry was cached (%d entries, %d bytes)", st.Entries, st.Bytes)
+	}
+}
+
+// TestMatchCacheNil: a nil cache is the documented "disabled" value; every
+// method must fall through to the index.
+func TestMatchCacheNil(t *testing.T) {
+	var c *MatchCache
+	ix, names := zipfTermIndex(8, 4)
+	if m := c.Lookup(ix, names[0]); len(m.Nodes) != 4 {
+		t.Errorf("nil cache Lookup = %v", m.Nodes)
+	}
+	if ns := c.LookupPrefix(ix, "term"); len(ns) != 8*4 {
+		t.Errorf("nil cache LookupPrefix = %d nodes", len(ns))
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+	if NewMatchCache(0) != nil || NewMatchCache(-1) != nil {
+		t.Error("non-positive budget should return the nil (disabled) cache")
+	}
+}
+
+// TestMatchCachePrefixDistinctFromExact: "term" as an exact lookup and as
+// a prefix lookup are different match sets and must not share an entry.
+func TestMatchCachePrefixDistinctFromExact(t *testing.T) {
+	ix, _ := zipfTermIndex(16, 2)
+	c := NewMatchCache(1 << 20)
+	exact := c.Lookup(ix, "term0001")
+	pfx := c.LookupPrefix(ix, "term")
+	if len(exact.Nodes) != 2 {
+		t.Errorf("exact = %d nodes", len(exact.Nodes))
+	}
+	if len(pfx) != 16*2 {
+		t.Errorf("prefix = %d nodes", len(pfx))
+	}
+	// Repeat both: both must now hit.
+	h := c.Stats().Hits
+	c.Lookup(ix, "term0001")
+	c.LookupPrefix(ix, "term")
+	if got := c.Stats().Hits - h; got != 2 {
+		t.Errorf("repeat lookups produced %d hits, want 2", got)
+	}
+}
+
+// TestMatchCacheNormalization: lookups differing only in case or
+// surrounding space share one entry, matching Index.Lookup semantics.
+func TestMatchCacheNormalization(t *testing.T) {
+	ix, _ := zipfTermIndex(4, 2)
+	c := NewMatchCache(1 << 20)
+	c.Lookup(ix, "term0002")
+	h := c.Stats().Hits
+	if m := c.Lookup(ix, "  TERM0002 "); len(m.Nodes) != 2 {
+		t.Errorf("normalized lookup = %v", m.Nodes)
+	}
+	if c.Stats().Hits != h+1 {
+		t.Error("case/space variant missed the cache")
+	}
+}
+
+// TestMatchCacheConcurrent hammers one cache from many goroutines; run
+// with -race this pins the locking story.
+func TestMatchCacheConcurrent(t *testing.T) {
+	ix, names := zipfTermIndex(512, 16)
+	c := NewMatchCache(32 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.3, 1, uint64(len(names)-1))
+			for i := 0; i < 1200; i++ {
+				term := names[zipf.Uint64()]
+				if m := c.Lookup(ix, term); len(m.Nodes) != 16 {
+					t.Errorf("term %s: %d nodes", term, len(m.Nodes))
+					return
+				}
+				if i%7 == 0 {
+					c.LookupPrefix(ix, term[:5])
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > st.MaxBytes {
+		t.Errorf("bytes %d exceed budget %d after concurrent load", st.Bytes, st.MaxBytes)
+	}
+}

@@ -15,11 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"unicode"
 
 	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/par"
 	"github.com/banksdb/banks/internal/sqldb"
 )
 
@@ -66,10 +69,47 @@ type Index struct {
 	posts int
 }
 
+// BuildOptions tune index construction.
+type BuildOptions struct {
+	// Shards caps how many concurrent workers tokenize the database. 0
+	// uses runtime.GOMAXPROCS(0); 1 forces a serial build. Every shard
+	// count produces byte-identical indexes: shards cover contiguous RID
+	// ranges in (table, range) order, so concatenating their postings in
+	// plan order yields the same sorted posting lists a serial build does.
+	Shards int
+}
+
 // Build indexes every text attribute of every live row of db, mapping
 // matches to nodes of g. g must have been built from the same database
-// snapshot.
+// snapshot. The build is sharded over GOMAXPROCS workers; use
+// BuildWithOptions to control the shard count.
 func Build(db *sqldb.Database, g *graph.Graph) (*Index, error) {
+	return BuildWithOptions(db, g, nil)
+}
+
+// indexShard is one contiguous RID range of one table, tokenized by one
+// worker into a private posting map.
+type indexShard struct {
+	table    string
+	t        *sqldb.Table
+	textCols []int
+	lo, hi   sqldb.RID
+	terms    map[string][]graph.NodeID
+}
+
+// indexShardSize is the minimum row-range per shard (tokenizing is cheap
+// per row, so shards smaller than this are dominated by overhead).
+const indexShardSize = 512
+
+// BuildWithOptions is Build with explicit construction options.
+func BuildWithOptions(db *sqldb.Database, g *graph.Graph, opts *BuildOptions) (*Index, error) {
+	shards := 0
+	if opts != nil {
+		shards = opts.Shards
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	ix := &Index{
 		terms: make(map[string][]graph.NodeID),
 		meta:  make(map[string][]int32),
@@ -77,6 +117,11 @@ func Build(db *sqldb.Database, g *graph.Graph) (*Index, error) {
 	}
 	db.RLock()
 	defer db.RUnlock()
+
+	// Serial prologue: metadata tokens (relation and column names) and the
+	// shard plan. Error paths all live here, so the parallel scan below
+	// cannot fail.
+	var plan []indexShard
 	for _, name := range db.TableNames() {
 		t := db.Table(name)
 		if t == nil {
@@ -86,7 +131,6 @@ func Build(db *sqldb.Database, g *graph.Graph) (*Index, error) {
 		if tid < 0 {
 			return nil, fmt.Errorf("index: table %s not in graph", name)
 		}
-		// Metadata: relation name and column name tokens.
 		for _, tok := range Tokenize(name) {
 			ix.meta[tok] = appendUniqueTable(ix.meta[tok], tid)
 		}
@@ -99,26 +143,61 @@ func Build(db *sqldb.Database, g *graph.Graph) (*Index, error) {
 				textCols = append(textCols, i)
 			}
 		}
-		t.Scan(func(rid sqldb.RID, row []sqldb.Value) bool {
-			n := g.NodeOf(name, rid)
+		if len(textCols) == 0 {
+			continue
+		}
+		capRows := t.Cap()
+		chunk := (capRows + shards - 1) / shards
+		if chunk < indexShardSize {
+			chunk = indexShardSize
+		}
+		for lo := 0; lo < capRows; lo += chunk {
+			hi := lo + chunk
+			if hi > capRows {
+				hi = capRows
+			}
+			plan = append(plan, indexShard{
+				table: name, t: t, textCols: textCols,
+				lo: sqldb.RID(lo), hi: sqldb.RID(hi),
+			})
+		}
+	}
+
+	// Parallel scan: each shard tokenizes its row range into a private
+	// map. Within a shard postings are appended in RID order, so they are
+	// sorted by node id (node ids are assigned in RID order per table).
+	par.Run(len(plan), shards, func(i int) {
+		sh := &plan[i]
+		sh.terms = make(map[string][]graph.NodeID)
+		sh.t.ScanRange(sh.lo, sh.hi, func(rid sqldb.RID, row []sqldb.Value) bool {
+			n := g.NodeOf(sh.table, rid)
 			if n == graph.NoNode {
 				return true
 			}
-			for _, ci := range textCols {
+			for _, ci := range sh.textCols {
 				v := row[ci]
 				if v.IsNull() {
 					continue
 				}
 				for _, tok := range Tokenize(v.S) {
-					ix.terms[tok] = append(ix.terms[tok], n)
+					sh.terms[tok] = append(sh.terms[tok], n)
 				}
 			}
 			return true
 		})
+	})
+
+	// Merge in plan order: tables appear in creation order and ranges in
+	// ascending RID order, and node ids grow in exactly that order, so the
+	// concatenated postings per term are globally sorted — duplicates
+	// (one token twice in a row) are adjacent and removed below. The
+	// result is identical to sorting and deduplicating a serial scan.
+	for i := range plan {
+		for tok, ns := range plan[i].terms {
+			ix.terms[tok] = append(ix.terms[tok], ns...)
+		}
 	}
-	// Sort and dedupe postings.
 	for tok, ns := range ix.terms {
-		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 		out := ns[:0]
 		for i, n := range ns {
 			if i == 0 || n != ns[i-1] {
@@ -247,7 +326,16 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, bw.Flush()
 }
 
-// ReadFrom deserializes an index written by WriteTo.
+// readPrealloc caps the slice capacity trusted from a length prefix: a
+// corrupted count cannot drive a huge allocation because slices grow by
+// appending as the postings actually arrive, so a bogus count fails at
+// the truncated stream instead of exhausting memory.
+const readPrealloc = 1 << 16
+
+// ReadFrom deserializes an index written by WriteTo. Corrupt input —
+// counts or node ids outside the graph the index claims to cover, or a
+// truncated stream — is rejected with an error rather than panicking or
+// allocating unboundedly; the fuzz harness locks this contract down.
 func ReadFrom(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
@@ -261,6 +349,9 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	nodes, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if nodes > math.MaxInt32 {
+		return nil, fmt.Errorf("index: node count %d out of range", nodes)
 	}
 	ix.nodes = int(nodes)
 	nterms, err := binary.ReadUvarint(br)
@@ -276,15 +367,21 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns := make([]graph.NodeID, cnt)
-		prev := graph.NodeID(0)
-		for j := range ns {
+		if cnt > math.MaxInt32 {
+			return nil, fmt.Errorf("index: term %q claims %d postings", tok, cnt)
+		}
+		ns := make([]graph.NodeID, 0, min(cnt, readPrealloc))
+		prev := uint64(0)
+		for j := uint64(0); j < cnt; j++ {
 			d, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
 			}
-			prev += graph.NodeID(d)
-			ns[j] = prev
+			prev += d
+			if prev >= nodes {
+				return nil, fmt.Errorf("index: term %q posting %d references node %d of %d", tok, j, prev, nodes)
+			}
+			ns = append(ns, graph.NodeID(prev))
 		}
 		ix.terms[tok] = ns
 		ix.posts += len(ns)
@@ -302,13 +399,19 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		ts := make([]int32, cnt)
-		for j := range ts {
+		if cnt > math.MaxInt32 {
+			return nil, fmt.Errorf("index: metadata term %q claims %d tables", tok, cnt)
+		}
+		ts := make([]int32, 0, min(cnt, readPrealloc))
+		for j := uint64(0); j < cnt; j++ {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
 			}
-			ts[j] = int32(v)
+			if v > math.MaxInt32 {
+				return nil, fmt.Errorf("index: metadata term %q references table %d", tok, v)
+			}
+			ts = append(ts, int32(v))
 		}
 		ix.meta[tok] = ts
 	}

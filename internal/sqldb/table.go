@@ -89,9 +89,25 @@ func (t *Table) Live(rid RID) bool {
 // Scan calls fn for every live row in RID order; fn must not mutate the row.
 // Returning false from fn stops the scan.
 func (t *Table) Scan(fn func(rid RID, row []Value) bool) {
-	for i, row := range t.rows {
+	t.ScanRange(0, RID(len(t.rows)), fn)
+}
+
+// ScanRange calls fn for every live row with lo <= rid < hi, in RID order;
+// fn must not mutate the row. Returning false from fn stops the scan. The
+// range is clamped to the table, so ScanRange(0, Cap()) equals Scan. The
+// sharded graph and index builders use disjoint ranges to scan one table
+// from several goroutines; like Scan, this is only safe while no writer is
+// mutating the table (readers hold the database read lock).
+func (t *Table) ScanRange(lo, hi RID, fn func(rid RID, row []Value) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > RID(len(t.rows)) {
+		hi = RID(len(t.rows))
+	}
+	for i := lo; i < hi; i++ {
 		if t.live[i] {
-			if !fn(RID(i), row) {
+			if !fn(i, t.rows[i]) {
 				return
 			}
 		}

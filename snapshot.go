@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
 )
@@ -123,7 +122,7 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 	if opts != nil {
 		s.opts = *opts
 	}
-	s.eng.Store(&engine{g: g, ix: ix, searcher: core.NewSearcher(g, ix)})
+	s.eng.Store(newEngine(g, ix, s.opts))
 	return s, nil
 }
 
