@@ -27,11 +27,19 @@
 //
 // Query is the single entry point for keyword search: one request type
 // covers plain, qualified ("author:levy") and prefix matching, answer
-// grouping by tree shape, and per-search statistics, and every query
-// honours its context — cancellation or a deadline stops the backward
-// expanding search promptly. QueryStream delivers answers incrementally.
-// The pre-Query methods (Search, SearchStream, SearchQualified,
-// SearchGrouped) remain as deprecated wrappers.
+// grouping by tree shape, execution-strategy selection, and per-search
+// statistics, and every query honours its context — cancellation or a
+// deadline stops the backward expanding search promptly. QueryStream
+// delivers answers incrementally; QueryIter does the same as a
+// range-over-func sequence.
+//
+// Query execution is a staged pipeline behind a strategy registry:
+// StrategyBackward (the default) is the paper's backward expanding
+// search, and StrategyBatched single-flights keyword resolution across
+// concurrent queries and replays pooled, memoized per-term frontiers, so
+// bursts of queries sharing terms share work — with answers identical to
+// the backward strategy. Select per system (SystemOptions.Strategy) or
+// per query (Query.Strategy).
 //
 // A System serves queries from an immutable engine snapshot (graph +
 // index + searcher) held behind an atomic pointer. Refresh builds a new
@@ -210,7 +218,31 @@ type SystemOptions struct {
 	// cache belongs to the immutable engine snapshot, so Refresh
 	// invalidates it for free by swapping in a fresh one.
 	MatchCacheBytes int64
+	// Strategy selects the default query execution strategy for the
+	// system: StrategyBackward (also the "" default) runs the paper's
+	// per-query backward expanding search; StrategyBatched single-flights
+	// term resolution across concurrent queries and serves per-term
+	// frontiers from a shared pool of memoized iterators, so bursts of
+	// queries sharing terms share work. Individual queries can override
+	// with Query.Strategy. NewSystem rejects unknown names.
+	Strategy string
+	// FrontierPoolIters caps the shared frontier pool of the batched
+	// strategy: how many warm per-origin iterators (each holding dense
+	// node-indexed state plus its memoized trail — up to ~40 bytes/node
+	// when deeply expanded) a snapshot keeps between queries. 0 uses
+	// core's default (32); negative disables pooling.
+	FrontierPoolIters int
 }
+
+// Names of the built-in query execution strategies, threaded through
+// SystemOptions.Strategy and Query.Strategy.
+const (
+	StrategyBackward = core.StrategyBackward
+	StrategyBatched  = core.StrategyBatched
+)
+
+// Strategies returns the names of the registered execution strategies.
+func Strategies() []string { return core.Strategies() }
 
 // DefaultMatchCacheBytes is the match-set cache budget used when
 // SystemOptions.MatchCacheBytes is zero.
@@ -238,19 +270,30 @@ func (o SystemOptions) cacheBytes() int64 {
 type engine struct {
 	g        *graph.Graph
 	ix       *index.Index
-	cache    *index.MatchCache // nil when caching is disabled
+	cache    *index.MatchCache  // nil when caching is disabled
+	flight   *index.FlightGroup // single-flight admission (batched strategy)
 	searcher *core.Searcher
 }
 
 // newEngine assembles one immutable snapshot: graph, index, a fresh
-// match-set cache scoped to the pair, and the searcher over all three.
+// match-set cache and single-flight group scoped to the pair, and the
+// searcher (with its frontier pool) over all of them.
 func newEngine(g *graph.Graph, ix *index.Index, opts SystemOptions) *engine {
 	cache := index.NewMatchCache(opts.cacheBytes())
+	flight := index.NewFlightGroup()
+	poolIters := opts.FrontierPoolIters
+	if poolIters == 0 {
+		poolIters = core.DefaultFrontierPoolIters
+	}
 	return &engine{
-		g:        g,
-		ix:       ix,
-		cache:    cache,
-		searcher: core.NewSearcher(g, ix).WithMatchCache(cache),
+		g:      g,
+		ix:     ix,
+		cache:  cache,
+		flight: flight,
+		searcher: core.NewSearcher(g, ix).
+			WithMatchCache(cache).
+			WithFlightGroup(flight).
+			WithFrontierPool(poolIters),
 	}
 }
 
@@ -274,6 +317,9 @@ func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 	s := &System{db: db}
 	if opts != nil {
 		s.opts = *opts
+	}
+	if err := core.ValidateStrategy(s.opts.Strategy); err != nil {
+		return nil, fmt.Errorf("banks: %w", err)
 	}
 	if err := s.Refresh(); err != nil {
 		return nil, err
@@ -345,6 +391,15 @@ type CacheStats struct {
 	Entries  int   // resident match sets
 	Bytes    int64 // charged bytes (keys + postings + overhead)
 	MaxBytes int64 // configured budget (0 when caching is disabled)
+	// SingleFlight counts term lookups that piggybacked on another
+	// query's in-flight resolution instead of resolving themselves — the
+	// admission layer's contribution under concurrent shared-term bursts
+	// (batched strategy).
+	SingleFlight int64
+	// FrontierReuses counts query origins served warm from the shared
+	// frontier pool: expansions replayed from a memoized trail instead of
+	// re-running Dijkstra (batched strategy).
+	FrontierReuses int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -359,12 +414,15 @@ func (cs CacheStats) HitRate() float64 {
 // CacheStats returns the current snapshot's match-cache counters; all
 // zeros when caching is disabled.
 func (s *System) CacheStats() CacheStats {
-	st := s.engine().cache.Stats()
+	eng := s.engine()
+	st := eng.cache.Stats()
 	return CacheStats{
-		Hits:     st.Hits,
-		Misses:   st.Misses,
-		Entries:  st.Entries,
-		Bytes:    st.Bytes,
-		MaxBytes: st.MaxBytes,
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Entries:        st.Entries,
+		Bytes:          st.Bytes,
+		MaxBytes:       st.MaxBytes,
+		SingleFlight:   eng.flight.Coalesced(),
+		FrontierReuses: eng.searcher.FrontierReuses(),
 	}
 }

@@ -1,11 +1,23 @@
 package banks
 
 import (
+	"context"
 	"database/sql"
 	"strings"
 	"testing"
 	"unicode/utf8"
 )
+
+// searchAnswers is the test shorthand for the one-line keyword query the
+// dropped System.Search wrapper used to provide.
+func searchAnswers(t *testing.T, sys *System, text string, opts *SearchOptions) []*Answer {
+	t.Helper()
+	res, err := sys.Query(context.Background(), Query{Text: text, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Answers
+}
 
 // newQuickstartSystem builds the small bibliographic database from the
 // package doc through the public API only.
@@ -56,10 +68,7 @@ func TestExecBadArgType(t *testing.T) {
 
 func TestSearchQuickstart(t *testing.T) {
 	_, sys := newQuickstartSystem(t)
-	answers, err := sys.Search("sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	answers := searchAnswers(t, sys, "sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
 	if len(answers) == 0 {
 		t.Fatal("no answers")
 	}
@@ -93,7 +102,7 @@ func TestSearchQuickstart(t *testing.T) {
 
 func TestSearchEmptyQuery(t *testing.T) {
 	_, sys := newQuickstartSystem(t)
-	if _, err := sys.Search("  ,,  ", nil); err == nil {
+	if _, err := sys.Query(context.Background(), Query{Text: "  ,,  "}); err == nil {
 		t.Error("empty query should error")
 	}
 }
@@ -125,23 +134,20 @@ func TestSearchOptionMapping(t *testing.T) {
 
 func TestRefreshSeesNewData(t *testing.T) {
 	db, sys := newQuickstartSystem(t)
-	answers, err := sys.Search("newperson", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	answers := searchAnswers(t, sys, "newperson", nil)
 	if len(answers) != 0 {
 		t.Fatal("unexpected match before insert")
 	}
 	db.MustExec("INSERT INTO author VALUES ('np', 'Newperson Moon')")
 	// Stale system: still no match.
-	answers, _ = sys.Search("newperson", nil)
+	answers = searchAnswers(t, sys, "newperson", nil)
 	if len(answers) != 0 {
 		t.Error("stale system should not see new data")
 	}
 	if err := sys.Refresh(); err != nil {
 		t.Fatal(err)
 	}
-	answers, _ = sys.Search("newperson", nil)
+	answers = searchAnswers(t, sys, "newperson", nil)
 	if len(answers) != 1 {
 		t.Errorf("after refresh answers = %d", len(answers))
 	}
@@ -260,10 +266,7 @@ func TestSingleTermPublicSearch(t *testing.T) {
 	// "mining" matches the paper's title and the writes tuples' textual
 	// FK values (every textual attribute is indexed, per the paper);
 	// excluding the link table leaves just the paper.
-	answers, err := sys.Search("mining", &SearchOptions{ExcludedRootTables: []string{"writes"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	answers := searchAnswers(t, sys, "mining", &SearchOptions{ExcludedRootTables: []string{"writes"}})
 	if len(answers) != 1 || answers[0].Root.Table != "paper" {
 		t.Errorf("answers = %v", answers)
 	}

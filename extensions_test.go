@@ -1,62 +1,73 @@
 package banks
 
 import (
+	"context"
 	"testing"
 )
 
-func TestPublicSearchQualified(t *testing.T) {
+func TestQueryQualifiedForms(t *testing.T) {
 	_, sys := newQuickstartSystem(t)
-	answers, err := sys.SearchQualified("author:sunita author:soumen", false,
-		&SearchOptions{ExcludedRootTables: []string{"writes"}})
+	res, err := sys.Query(context.Background(), Query{
+		Text:      "author:sunita author:soumen",
+		Qualified: true,
+		Options:   &SearchOptions{ExcludedRootTables: []string{"writes"}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(answers) == 0 {
+	if len(res.Answers) == 0 {
 		t.Fatal("no answers")
 	}
-	if answers[0].Root.Table != "paper" {
-		t.Errorf("root = %s", answers[0].Root.Table)
+	if res.Answers[0].Root.Table != "paper" {
+		t.Errorf("root = %s", res.Answers[0].Root.Table)
 	}
 	// A qualifier that matches nothing.
-	answers, err = sys.SearchQualified("paper:sunita", false, nil)
+	res, err = sys.Query(context.Background(), Query{Text: "paper:sunita", Qualified: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(answers) != 0 {
-		t.Errorf("paper:sunita matched %d answers", len(answers))
+	if len(res.Answers) != 0 {
+		t.Errorf("paper:sunita matched %d answers", len(res.Answers))
 	}
-	if _, err := sys.SearchQualified("   ", false, nil); err == nil {
+	if _, err := sys.Query(context.Background(), Query{Text: "   ", Qualified: true}); err == nil {
 		t.Error("empty query should error")
 	}
 }
 
-func TestPublicSearchPrefix(t *testing.T) {
+func TestQueryPrefixFallback(t *testing.T) {
 	_, sys := newQuickstartSystem(t)
-	answers, err := sys.SearchQualified("sarawag", true,
-		&SearchOptions{ExcludedRootTables: []string{"writes"}})
+	res, err := sys.Query(context.Background(), Query{
+		Text:      "sarawag",
+		Qualified: true,
+		Prefix:    true,
+		Options:   &SearchOptions{ExcludedRootTables: []string{"writes"}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(answers) != 1 {
-		t.Fatalf("prefix answers = %d", len(answers))
+	if len(res.Answers) != 1 {
+		t.Fatalf("prefix answers = %d", len(res.Answers))
 	}
-	if answers[0].Root.Values[1] != "Sunita Sarawagi" {
-		t.Errorf("root = %+v", answers[0].Root)
+	if res.Answers[0].Root.Values[1] != "Sunita Sarawagi" {
+		t.Errorf("root = %+v", res.Answers[0].Root)
 	}
 }
 
-func TestPublicSearchGrouped(t *testing.T) {
+func TestQueryGroups(t *testing.T) {
 	_, sys := newQuickstartSystem(t)
-	groups, err := sys.SearchGrouped("sunita soumen",
-		&SearchOptions{ExcludedRootTables: []string{"writes"}, HeapSize: 100})
+	res, err := sys.Query(context.Background(), Query{
+		Text:         "sunita soumen",
+		GroupByShape: true,
+		Options:      &SearchOptions{ExcludedRootTables: []string{"writes"}, HeapSize: 100},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(groups) == 0 {
+	if len(res.Groups) == 0 {
 		t.Fatal("no groups")
 	}
 	total := 0
-	for _, g := range groups {
+	for _, g := range res.Groups {
 		if g.Shape == "" {
 			t.Error("empty shape")
 		}
@@ -65,7 +76,7 @@ func TestPublicSearchGrouped(t *testing.T) {
 	if total == 0 {
 		t.Error("no answers in groups")
 	}
-	if _, err := sys.SearchGrouped("", nil); err == nil {
+	if _, err := sys.Query(context.Background(), Query{Text: "", GroupByShape: true}); err == nil {
 		t.Error("empty query should error")
 	}
 }

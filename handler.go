@@ -17,7 +17,12 @@ import (
 // Each request pins the engine snapshot current at its start and each
 // search honours the request's context, so the handler is safe to serve
 // concurrently with Refresh. opts sets the default search parameters for
-// the /search endpoint.
+// the /search endpoint; the system's default execution strategy
+// (SystemOptions.Strategy) applies unless a request's strategy form field
+// overrides it, and the form's timeout field puts a per-query deadline on
+// the search.
 func (s *System) Handler(opts *SearchOptions) http.Handler {
-	return web.NewServer(s.db.inner, func() *core.Searcher { return s.engine().searcher }, opts.toCore())
+	copts := opts.toCore()
+	copts.Strategy = s.opts.Strategy
+	return web.NewServer(s.db.inner, func() *core.Searcher { return s.engine().searcher }, copts)
 }

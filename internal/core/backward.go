@@ -1,0 +1,260 @@
+package core
+
+// BackwardStrategy: the paper's Figure 3 backward expanding search, as the
+// default executor of the staged pipeline. The expansion loop itself
+// (runExpansion) is shared with BatchedStrategy — the strategies differ
+// only in where per-origin iterator state comes from (iterSource) and how
+// terms were resolved — which is what makes the two paths answer-identical
+// by construction.
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// BackwardStrategy is the §3 backward expanding search: one fresh
+// shortest-path iterator per keyword node, checked out of the query's
+// arena. It is the default when Options.Strategy is empty.
+type BackwardStrategy struct{}
+
+// Name implements Strategy.
+func (BackwardStrategy) Name() string { return StrategyBackward }
+
+func (BackwardStrategy) resolver(s *Searcher) termResolver { return cacheResolver{s} }
+
+func (BackwardStrategy) run(ctx context.Context, ex *exec) ([]*Answer, error) {
+	if len(ex.sets) == 1 {
+		return searchSingleTerm(ctx, ex)
+	}
+	return runExpansion(ctx, ex, arenaSource{ex.ar})
+}
+
+// iterSource hands the expansion loop its per-origin shortest-path
+// iterators. arenaSource builds them fresh from the arena's free list;
+// the batched strategy's frontierSource serves memoized iterators from
+// the shared pool.
+type iterSource interface {
+	acquire(g *graph.Graph, origin graph.NodeID) *sspIterator
+	// releaseAll returns strategy-owned iterators after the expansion;
+	// arena-owned iterators are reclaimed by the arena itself.
+	releaseAll(ar *searchArena)
+}
+
+// arenaSource is the per-query path: iterators live and die with the
+// arena.
+type arenaSource struct{ ar *searchArena }
+
+func (a arenaSource) acquire(g *graph.Graph, origin graph.NodeID) *sspIterator {
+	return a.ar.newIterator(g, origin)
+}
+
+func (arenaSource) releaseAll(*searchArena) {}
+
+// searchSingleTerm handles n=1 exactly: any tree with edges has a
+// single-child root and is discarded by the §3 rule, so the answers are
+// precisely the matching nodes, ranked by relevance (EScore of a node tree
+// is 1, so prestige separates them — the "Mohan" anecdote). Answers flow
+// through the same fixed-size output heap as the multi-term path, so the
+// emission contract (approximate relevance order, governed by HeapSize) is
+// identical for both.
+func searchSingleTerm(ctx context.Context, ex *exec) ([]*Answer, error) {
+	s, o, stats := ex.s, ex.o, ex.stats
+	em := newEmitter(ex.ar, o, stats, ex.cb)
+	for i, n := range ex.sets[0] {
+		if em.stopped || len(em.emitted) >= o.TopK {
+			break
+		}
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if ex.excluded[s.g.TableOf(n)] {
+			stats.ExcludedRoots++
+			continue
+		}
+		a := &Answer{Root: n, TermNodes: []graph.NodeID{n}}
+		scoreAnswer(a, s.g, o.Score)
+		stats.Generated++
+		em.offer(a)
+	}
+	em.drain()
+	return em.finish(), nil
+}
+
+// runExpansion is the backward expanding search of Figure 3, shared by
+// both built-in strategies. cb (via the emitter), when non-nil, observes
+// answers at emission time and may cancel the search. The expansion loop
+// polls ctx every cancelCheckMask+1 iterator pops so a canceled context or
+// an expired deadline stops a long-running expansion promptly; the
+// context's error is then returned and no answers are.
+func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, error) {
+	s, ar, o, stats := ex.s, ex.ar, ex.o, ex.stats
+	n := len(ex.sets)
+	defer src.releaseAll(ar)
+
+	// A node may match several terms; it gets one iterator and one origin
+	// slot whose bitmask records the terms it matched.
+	ar.beginOrigins(n)
+	for ti, set := range ex.sets {
+		for _, node := range set {
+			oi := ar.originIndex(node)
+			if oi < 0 {
+				oi = ar.addOrigin(node)
+			}
+			ar.originTerms(oi)[ti/64] |= 1 << uint(ti%64)
+		}
+	}
+	ih := ar.ih[:0]
+	for i := range ar.origins {
+		it := src.acquire(s.g, ar.origins[i].node)
+		ar.origins[i].it = it
+		if _, d, ok := it.Peek(); ok {
+			ih = append(ih, iterEntry{it: it, next: d})
+		}
+	}
+	ih.init()
+
+	// Per-visited-node term lists (v.L_i in the pseudocode) live in the
+	// arena's chunked dense storage.
+	ar.beginVisits()
+
+	em := newEmitter(ar, o, stats, ex.cb)
+
+	if cap(ar.comboBuf) < n {
+		ar.comboBuf = make([]graph.NodeID, n)
+	}
+	combo := ar.comboBuf[:n]
+
+	// generate builds all new connection trees rooted at v that use origin
+	// as the term-ti leaf (CrossProduct in the pseudocode).
+	generate := func(v graph.NodeID, origin graph.NodeID, ti int) {
+		l := ar.nodeLists(v, n)
+		rootExcluded := ex.excluded[s.g.TableOf(v)]
+		// Cross product of {origin} with the other term lists.
+		combo[ti] = origin
+		produced := 0
+		var rec func(term int) bool
+		rec = func(term int) bool {
+			if term == n {
+				if produced >= o.MaxCombosPerVisit {
+					stats.CombosTruncated = true
+					return false
+				}
+				produced++
+				stats.Generated++
+				if rootExcluded {
+					stats.ExcludedRoots++
+					return true
+				}
+				if a := s.buildAnswer(ar, v, combo, o, stats); a != nil {
+					em.offer(a)
+				}
+				return true
+			}
+			if term == ti {
+				return rec(term + 1)
+			}
+			if len(l[term]) == 0 {
+				return false
+			}
+			for _, other := range l[term] {
+				combo[term] = other
+				if !rec(term + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0)
+		l[ti] = append(l[ti], origin)
+	}
+
+	for len(ih) > 0 && len(em.emitted) < o.TopK && stats.Pops < o.MaxPops && !em.stopped {
+		if stats.Pops&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				ar.ih = ih
+				return nil, err
+			}
+		}
+		entry := &ih[0]
+		v, _, ok := entry.it.Next()
+		if !ok {
+			ih.popTop()
+			continue
+		}
+		stats.Pops++
+		originNode := entry.it.origin
+		if _, d, more := entry.it.Peek(); more {
+			entry.next = d
+			ih.siftDown(0)
+		} else {
+			ih.popTop()
+		}
+		oi := ar.originIndex(originNode)
+		for wi, word := range ar.originTerms(oi) {
+			for word != 0 {
+				ti := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				generate(v, originNode, ti)
+			}
+		}
+	}
+	em.drain()
+	ar.ih = ih
+	return em.finish(), nil
+}
+
+// buildAnswer materializes the connection tree rooted at v whose term-i
+// leaf is combo[i], as the union of the per-iterator shortest paths. The
+// paper's pseudocode treats this union as a tree, but two shortest paths
+// can diverge and reconverge, giving a node two parents; we splice instead:
+// once a path reaches a node already in the tree, the existing route from
+// the root is reused and the walk continues from that node. Every leaf
+// stays reachable from the root and the result is a genuine tree. Returns
+// nil for trees pruned by the single-child-root rule.
+func (s *Searcher) buildAnswer(ar *searchArena, v graph.NodeID, combo []graph.NodeID, o *Options, stats *Stats) *Answer {
+	gen := ar.bumpMark()
+	ar.mark[v] = gen
+	var edges []TreeEdge
+	scratch := ar.scratchEdges
+	for _, origin := range combo {
+		oi := ar.originIndex(origin)
+		if oi < 0 || ar.origins[oi].it == nil {
+			ar.scratchEdges = scratch[:0]
+			return nil
+		}
+		scratch = ar.origins[oi].it.PathEdges(v, scratch[:0])
+		for _, e := range scratch {
+			if ar.mark[e.To] == gen {
+				continue // reuse the existing root->e.To route
+			}
+			ar.mark[e.To] = gen
+			edges = append(edges, e)
+		}
+	}
+	ar.scratchEdges = scratch[:0]
+	a := &Answer{
+		Root:      v,
+		Edges:     edges,
+		TermNodes: append([]graph.NodeID(nil), combo...),
+	}
+	if len(edges) > 0 && a.rootChildren() == 1 {
+		stats.SingleChildRoots++
+		return nil
+	}
+	for _, e := range edges {
+		a.Weight += e.W
+	}
+	sort.Slice(a.Edges, func(i, j int) bool {
+		if a.Edges[i].From != a.Edges[j].From {
+			return a.Edges[i].From < a.Edges[j].From
+		}
+		return a.Edges[i].To < a.Edges[j].To
+	})
+	scoreAnswer(a, s.g, o.Score)
+	return a
+}

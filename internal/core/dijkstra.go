@@ -26,6 +26,19 @@ type sspIterator struct {
 	visit   []uint32       // visit state stamp; see gen
 	gen     uint32         // even; visit[n]==gen → tentative, ==gen+1 → settled, else untouched
 	pq      distHeap
+
+	// Memoized replay (the batched strategy's pooled per-term frontiers):
+	// with memo set, every settled (node, distance) pair is appended to
+	// trail, and rewind restarts the iterator for a later query by
+	// replaying trail from memory instead of re-running Dijkstra. The
+	// expansion from a fixed origin over an immutable graph is
+	// deterministic, so replay yields exactly the sequence (and, via the
+	// persistent parent array, exactly the paths) a fresh run would; when
+	// the trail runs out, live expansion resumes from the checkpoint the
+	// previous query left in dist/visit/pq.
+	memo   bool
+	trail  []distEntry
+	cursor int // replay position; == len(trail) once expanding live
 }
 
 type distEntry struct {
@@ -100,7 +113,15 @@ func (it *sspIterator) reset(g *graph.Graph, origin graph.NodeID) {
 	it.dist[origin] = 0
 	it.visit[origin] = it.gen
 	it.pq.push(distEntry{node: origin, d: 0})
+	it.memo = false
+	it.trail = it.trail[:0]
+	it.cursor = 0
 }
+
+// rewind restarts a memoized iterator for a new query over the same origin
+// and graph: the recorded settling order replays from memory, then live
+// expansion continues where the previous query stopped.
+func (it *sspIterator) rewind() { it.cursor = 0 }
 
 // newSSPIterator allocates a standalone iterator (tests use this; searches
 // go through searchArena.newIterator for pooling).
@@ -127,6 +148,10 @@ func (it *sspIterator) clean() {
 
 // Peek returns the next node and distance without consuming it.
 func (it *sspIterator) Peek() (graph.NodeID, float64, bool) {
+	if it.cursor < len(it.trail) {
+		e := it.trail[it.cursor]
+		return e.node, e.d, true
+	}
 	it.clean()
 	if len(it.pq) == 0 {
 		return graph.NoNode, 0, false
@@ -138,12 +163,21 @@ func (it *sspIterator) Peek() (graph.NodeID, float64, bool) {
 // relaxes the reverse edges into v: every forward arc u->v extends the
 // forward path u -> v -> ... -> origin.
 func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
+	if it.cursor < len(it.trail) {
+		e := it.trail[it.cursor]
+		it.cursor++
+		return e.node, e.d, true
+	}
 	it.clean()
 	if len(it.pq) == 0 {
 		return graph.NoNode, 0, false
 	}
 	top := it.pq.pop()
 	v, d := top.node, top.d
+	if it.memo {
+		it.trail = append(it.trail, top)
+		it.cursor = len(it.trail)
+	}
 	it.dist[v] = d
 	it.visit[v] = it.gen + 1
 	for _, e := range it.g.In(v) {

@@ -1,0 +1,424 @@
+package core
+
+// The staged query executor. A query runs as an explicit pipeline:
+//
+//	normalize -> resolve (term -> match set, via the strategy's
+//	admission path) -> seed origins -> expand -> emit
+//
+// The expansion stages live behind the Strategy interface, so the §3
+// backward expanding search (BackwardStrategy, the default) and the
+// concurrency-oriented batched path (BatchedStrategy: single-flight term
+// resolution plus pooled per-term frontiers) are interchangeable
+// executors over the same resolution and emission machinery — and
+// alternative executors (e.g. a disk-aware one, as EMBANKS motivates) can
+// register under new names without touching the pipeline.
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// Names of the built-in strategies.
+const (
+	// StrategyBackward is the paper's §3 backward expanding search: one
+	// fresh shortest-path iterator per keyword node, per query.
+	StrategyBackward = "backward"
+	// StrategyBatched is the concurrency-oriented executor: term
+	// resolution is single-flighted across concurrent queries (identical
+	// in-flight lookups coalesce on top of the match cache) and per-term
+	// frontiers come from a shared pool of memoized iterators, so a burst
+	// of queries sharing terms shares resolution and expansion work.
+	// Answers are identical to StrategyBackward.
+	StrategyBatched = "batched"
+)
+
+// Strategy is one pluggable execution path of the staged query pipeline.
+// A strategy contributes two stages: the term-resolution path (how a
+// keyword becomes a match set) and the expansion stage (how resolved
+// match sets become emitted connection trees). Implementations live in
+// this package and register through RegisterStrategy.
+type Strategy interface {
+	// Name is the registry key threaded through Options.Strategy.
+	Name() string
+	// resolver returns the term -> match-set resolution path.
+	resolver(s *Searcher) termResolver
+	// run executes the expansion stage over the resolved sets.
+	run(ctx context.Context, ex *exec) ([]*Answer, error)
+}
+
+// termResolver is the stage-2 resolution path from a normalized term to
+// its index match set. Strategies differ in admission: the direct path
+// consults the snapshot's match cache, the batched path additionally
+// coalesces concurrent identical lookups.
+type termResolver interface {
+	lookup(term string) index.Match
+	lookupPrefix(term string) []graph.NodeID
+}
+
+// cacheResolver is the direct path: match cache, then index.
+type cacheResolver struct{ s *Searcher }
+
+func (r cacheResolver) lookup(term string) index.Match {
+	return r.s.cache.Lookup(r.s.ix, term)
+}
+
+func (r cacheResolver) lookupPrefix(term string) []graph.NodeID {
+	return r.s.cache.LookupPrefix(r.s.ix, term)
+}
+
+// flightResolver is the admission path: cache, then single-flight, then
+// index — concurrent identical lookups share one resolution.
+type flightResolver struct{ s *Searcher }
+
+func (r flightResolver) lookup(term string) index.Match {
+	return r.s.flight.Lookup(r.s.cache, r.s.ix, term)
+}
+
+func (r flightResolver) lookupPrefix(term string) []graph.NodeID {
+	return r.s.flight.LookupPrefix(r.s.cache, r.s.ix, term)
+}
+
+// exec carries one query's state from the executor's resolution stage to
+// the strategy's expansion stage.
+type exec struct {
+	s        *Searcher
+	ar       *searchArena
+	o        *Options
+	stats    *Stats
+	sets     [][]graph.NodeID
+	excluded map[int32]bool
+	cb       func(*Answer) bool
+}
+
+// The strategy registry. Built-ins are always present; RegisterStrategy
+// adds more.
+var (
+	strategyMu sync.RWMutex
+	strategies = map[string]Strategy{
+		StrategyBackward: BackwardStrategy{},
+		StrategyBatched:  BatchedStrategy{},
+	}
+)
+
+// RegisterStrategy installs st under st.Name() for selection through
+// Options.Strategy, replacing any previous strategy of that name.
+func RegisterStrategy(st Strategy) {
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	strategies[st.Name()] = st
+}
+
+// Strategies returns the registered strategy names, sorted.
+func Strategies() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ValidateStrategy reports whether name selects a registered strategy
+// ("" selects the default).
+func ValidateStrategy(name string) error {
+	_, err := strategyFor(name)
+	return err
+}
+
+func strategyFor(name string) (Strategy, error) {
+	if name == "" {
+		name = StrategyBackward
+	}
+	strategyMu.RLock()
+	st, ok := strategies[name]
+	strategyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown strategy %q (have %s)", name, strings.Join(Strategies(), ", "))
+	}
+	return st, nil
+}
+
+// cancelCheckMask sets how often the expansion loops poll ctx.Done():
+// every cancelCheckMask+1 iterator pops. 256 pops is a few microseconds
+// of work, so cancellation latency stays far below any plausible
+// deadline while the steady-state cost of the check is noise.
+const cancelCheckMask = 256 - 1
+
+// Search runs the backward expanding search for the given terms.
+func (s *Searcher) Search(terms []string, opts *Options) ([]*Answer, error) {
+	answers, _, err := s.Query(context.Background(), Request{Terms: terms}, opts, nil)
+	return answers, err
+}
+
+// SearchStats is Search plus execution statistics.
+func (s *Searcher) SearchStats(terms []string, opts *Options) ([]*Answer, *Stats, error) {
+	return s.Query(context.Background(), Request{Terms: terms}, opts, nil)
+}
+
+// Query is the staged query executor: it resolves the request's terms to
+// node sets (plain, qualified or prefix matching per the request) through
+// the selected strategy's admission path, hands the resolved sets to the
+// strategy's expansion stage under ctx, and returns the emitted answers
+// with execution statistics. cb, when non-nil, sees every answer at
+// emission time and may cancel by returning false (the search then stops
+// cleanly with the answers emitted so far). When ctx is canceled or its
+// deadline passes, the expansion loop stops within a few hundred iterator
+// pops and Query returns ctx's error.
+func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb func(*Answer) bool) ([]*Answer, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := opts.withDefaults()
+	stats := &Stats{}
+
+	strat, err := strategyFor(o.Strategy)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Stage 1: normalize terms.
+	var clean []string
+	for _, t := range req.Terms {
+		t = strings.TrimSpace(strings.ToLower(t))
+		if t != "" {
+			clean = append(clean, t)
+		}
+	}
+	if len(clean) == 0 {
+		return nil, stats, errors.New("core: empty query")
+	}
+
+	ar := s.acquireArena()
+	defer s.releaseArena(ar)
+
+	// Stage 2: locate S_i for each term (§3 step 1) through the
+	// strategy's resolution path.
+	res := strat.resolver(s)
+	var sets [][]graph.NodeID
+	var active []string
+	for _, term := range clean {
+		var set []graph.NodeID
+		if qual, bare, ok := parseQualifiedTerm(term); req.Qualified && ok {
+			set = s.matchQualified(ar, res, req.DB, qual, bare, o, stats)
+		} else {
+			set = s.matchTerm(ar, res, term, o, stats)
+			if len(set) == 0 && req.Prefix {
+				set = res.lookupPrefix(term)
+			}
+		}
+		if len(set) == 0 {
+			if o.RequireAllTerms {
+				stats.Terms = active
+				return nil, stats, nil
+			}
+			stats.TermsDropped++
+			continue
+		}
+		sets = append(sets, set)
+		active = append(active, term)
+	}
+	stats.Terms = active
+	for _, set := range sets {
+		stats.MatchedNodes = append(stats.MatchedNodes, len(set))
+	}
+	if len(sets) == 0 {
+		return nil, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+
+	// Stages 3-5: seed origins, expand, emit — the strategy's province.
+	ex := &exec{
+		s:        s,
+		ar:       ar,
+		o:        o,
+		stats:    stats,
+		sets:     sets,
+		excluded: s.excludedTables(o),
+		cb:       cb,
+	}
+	answers, err := strat.run(ctx, ex)
+	if err != nil {
+		return nil, stats, err
+	}
+	return answers, stats, nil
+}
+
+// emitter drives the fixed-size output heap of §3 shared by the single-
+// and multi-term paths: candidate answers are offered, deduplicated by
+// hashed tree signature, buffered up to HeapSize, and emitted best-first
+// on overflow and during the final drain.
+type emitter struct {
+	o       *Options
+	stats   *Stats
+	cb      func(*Answer) bool
+	rh      resultHeap
+	inHeap  map[uint64]*resultItem
+	outSig  map[uint64]bool
+	seq     int
+	emitted []*Answer
+	stopped bool
+}
+
+func newEmitter(ar *searchArena, o *Options, stats *Stats, cb func(*Answer) bool) *emitter {
+	return &emitter{o: o, stats: stats, cb: cb, inHeap: ar.inHeap, outSig: ar.outSig}
+}
+
+func (em *emitter) emitBest() {
+	item := heap.Pop(&em.rh).(*resultItem)
+	delete(em.inHeap, item.sig)
+	em.outSig[item.sig] = true
+	em.emitted = append(em.emitted, item.ans)
+	item.ans.Rank = len(em.emitted)
+	if em.cb != nil && !em.cb(item.ans) {
+		em.stopped = true
+	}
+}
+
+func (em *emitter) offer(a *Answer) {
+	if em.stopped {
+		// The callback cancelled the search mid-visit: the expansion loop
+		// only notices at its next pop, so candidates from the rest of
+		// this visit still arrive here. Drop them — emitting would call
+		// the callback again after it returned false (for QueryIter that
+		// is a range-function panic), and buffering them would leak
+		// answers the caller never saw into the partial results.
+		return
+	}
+	sig := a.sigHash()
+	if em.outSig[sig] {
+		// A duplicate of an already-output answer is discarded even if its
+		// relevance is higher (§3).
+		em.stats.Duplicates++
+		return
+	}
+	if prev, ok := em.inHeap[sig]; ok {
+		em.stats.Duplicates++
+		if a.Score > prev.ans.Score {
+			prev.ans = a
+			heap.Fix(&em.rh, prev.idx)
+		}
+		return
+	}
+	item := &resultItem{ans: a, sig: sig, seq: em.seq}
+	em.seq++
+	if len(em.rh) >= em.o.HeapSize {
+		em.emitBest()
+	}
+	heap.Push(&em.rh, item)
+	em.inHeap[sig] = item
+}
+
+// drain emits buffered answers best-first until TopK is reached or the
+// heap empties.
+func (em *emitter) drain() {
+	for len(em.rh) > 0 && len(em.emitted) < em.o.TopK && !em.stopped {
+		em.emitBest()
+	}
+}
+
+// finish trims the overshoot (heap overflow during a single node visit can
+// emit a result or two beyond TopK) and fixes ranks.
+func (em *emitter) finish() []*Answer {
+	if len(em.emitted) > em.o.TopK {
+		em.emitted = em.emitted[:em.o.TopK]
+	}
+	for i, a := range em.emitted {
+		a.Rank = i + 1
+	}
+	return em.emitted
+}
+
+// iterEntry is one shortest-path iterator in the iterator heap, keyed by
+// the distance of the next node it will output.
+type iterEntry struct {
+	it   *sspIterator
+	next float64
+}
+
+// iterHeap is a hand-rolled binary min-heap of iterator entries, stored by
+// value to avoid per-entry allocations.
+type iterHeap []iterEntry
+
+func (h iterHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h iterHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].next < h[l].next {
+			m = r
+		}
+		if h[i].next <= h[m].next {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// popTop removes the root entry.
+func (h *iterHeap) popTop() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	if n > 1 {
+		s[:n].siftDown(0)
+	}
+}
+
+// resultItem is an answer in the fixed-size output heap (a max-heap on
+// relevance: overflow emits the best answer seen so far).
+type resultItem struct {
+	ans *Answer
+	idx int
+	seq int
+	sig uint64
+}
+
+type resultHeap []*resultItem
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].ans.Score != h[j].ans.Score {
+		return h[i].ans.Score > h[j].ans.Score
+	}
+	return h[i].seq < h[j].seq // deterministic: offer order breaks score ties
+}
+func (h resultHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *resultHeap) Push(x interface{}) {
+	it := x.(*resultItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

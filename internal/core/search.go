@@ -1,13 +1,8 @@
 package core
 
 import (
-	"container/heap"
-	"context"
-	"errors"
 	"fmt"
-	"math/bits"
 	"sort"
-	"strings"
 	"sync"
 
 	"github.com/banksdb/banks/internal/graph"
@@ -47,6 +42,10 @@ type Options struct {
 	// some term matches nothing. When false, unmatched terms are dropped
 	// (the relaxation the paper mentions after the answer model).
 	RequireAllTerms bool
+	// Strategy selects the execution strategy by registry name ("" uses
+	// StrategyBackward, the paper's backward expanding search). Unknown
+	// names make Query return an error.
+	Strategy string
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -97,6 +96,7 @@ type Stats struct {
 	MetadataTruncated bool     // a metadata match hit MetadataNodeLimit
 	CombosTruncated   bool     // a cross product hit MaxCombosPerVisit
 	TermsDropped      int      // unmatched terms dropped (RequireAllTerms=false)
+	FrontierReused    int      // origins served warm from the shared frontier pool (batched strategy)
 }
 
 // Searcher answers keyword queries over a graph + keyword index pair.
@@ -105,10 +105,12 @@ type Stats struct {
 // concurrent queries never share mutable state while steady-state searches
 // allocate almost nothing.
 type Searcher struct {
-	g      *graph.Graph
-	ix     *index.Index
-	cache  *index.MatchCache // optional; nil disables match-set caching
-	arenas sync.Pool         // of *searchArena sized to g.NumNodes()
+	g         *graph.Graph
+	ix        *index.Index
+	cache     *index.MatchCache  // optional; nil disables match-set caching
+	flight    *index.FlightGroup // optional; nil disables single-flight admission
+	frontiers *frontierPool      // optional; nil disables frontier pooling
+	arenas    sync.Pool          // of *searchArena sized to g.NumNodes()
 }
 
 // NewSearcher returns a Searcher over g and ix (built from the same
@@ -140,6 +142,34 @@ func (s *Searcher) WithMatchCache(c *index.MatchCache) *Searcher {
 // disabled.
 func (s *Searcher) MatchCache() *index.MatchCache { return s.cache }
 
+// WithFlightGroup attaches the single-flight admission layer used by the
+// batched strategy: concurrent queries resolving the same term share one
+// index lookup instead of repeating it. Like the cache, the group belongs
+// to one immutable snapshot and must be attached before the Searcher is
+// shared. Returns s for chaining.
+func (s *Searcher) WithFlightGroup(g *index.FlightGroup) *Searcher {
+	s.flight = g
+	return s
+}
+
+// FlightGroup returns the attached single-flight group, or nil when
+// admission coalescing is disabled.
+func (s *Searcher) FlightGroup() *index.FlightGroup { return s.flight }
+
+// WithFrontierPool attaches a pooled per-term frontier of maxIters warm
+// iterators: the batched strategy checks each origin's shortest-path
+// iterator out of the pool and replays its memoized expansion instead of
+// re-running Dijkstra, so a burst of queries sharing terms shares
+// expansion work. maxIters <= 0 disables pooling. Returns s for chaining.
+func (s *Searcher) WithFrontierPool(maxIters int) *Searcher {
+	s.frontiers = newFrontierPool(maxIters)
+	return s
+}
+
+// FrontierReuses reports how many origins (across all queries so far) were
+// served warm from the frontier pool; 0 when pooling is disabled.
+func (s *Searcher) FrontierReuses() int64 { return s.frontiers.reuses() }
+
 // acquireArena checks a per-query arena out of the pool; releaseArena puts
 // it back after wiping its per-query state.
 func (s *Searcher) acquireArena() *searchArena { return s.arenas.Get().(*searchArena) }
@@ -168,102 +198,6 @@ type Request struct {
 	DB *sqldb.Database
 }
 
-// cancelCheckMask sets how often the expansion loops poll ctx.Done():
-// every cancelCheckMask+1 iterator pops. 256 pops is a few microseconds
-// of work, so cancellation latency stays far below any plausible
-// deadline while the steady-state cost of the check is noise.
-const cancelCheckMask = 256 - 1
-
-// Search runs the backward expanding search for the given terms.
-func (s *Searcher) Search(terms []string, opts *Options) ([]*Answer, error) {
-	answers, _, err := s.Query(context.Background(), Request{Terms: terms}, opts, nil)
-	return answers, err
-}
-
-// SearchStats is Search plus execution statistics.
-func (s *Searcher) SearchStats(terms []string, opts *Options) ([]*Answer, *Stats, error) {
-	return s.Query(context.Background(), Request{Terms: terms}, opts, nil)
-}
-
-// Query is the unified search driver: it resolves the request's terms to
-// node sets (plain, qualified or prefix matching per the request), runs
-// the backward expanding search under ctx, and returns the emitted
-// answers with execution statistics. cb, when non-nil, sees every answer
-// at emission time and may cancel by returning false (the search then
-// stops cleanly with the answers emitted so far). When ctx is canceled or
-// its deadline passes, the expansion loop stops within a few hundred
-// iterator pops and Query returns ctx's error.
-func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb func(*Answer) bool) ([]*Answer, *Stats, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	o := opts.withDefaults()
-	stats := &Stats{}
-
-	var clean []string
-	for _, t := range req.Terms {
-		t = strings.TrimSpace(strings.ToLower(t))
-		if t != "" {
-			clean = append(clean, t)
-		}
-	}
-	if len(clean) == 0 {
-		return nil, stats, errors.New("core: empty query")
-	}
-
-	ar := s.acquireArena()
-	defer s.releaseArena(ar)
-
-	// Locate S_i for each term (§3 step 1).
-	var sets [][]graph.NodeID
-	var active []string
-	for _, term := range clean {
-		var set []graph.NodeID
-		if qual, bare, ok := parseQualifiedTerm(term); req.Qualified && ok {
-			set = s.matchQualified(ar, req.DB, qual, bare, o, stats)
-		} else {
-			set = s.matchTerm(ar, term, o, stats)
-			if len(set) == 0 && req.Prefix {
-				set = s.cache.LookupPrefix(s.ix, term)
-			}
-		}
-		if len(set) == 0 {
-			if o.RequireAllTerms {
-				stats.Terms = active
-				return nil, stats, nil
-			}
-			stats.TermsDropped++
-			continue
-		}
-		sets = append(sets, set)
-		active = append(active, term)
-	}
-	stats.Terms = active
-	for _, set := range sets {
-		stats.MatchedNodes = append(stats.MatchedNodes, len(set))
-	}
-	if len(sets) == 0 {
-		return nil, stats, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, stats, err
-	}
-
-	excluded := s.excludedTables(o)
-
-	var answers []*Answer
-	var err error
-	if len(sets) == 1 {
-		answers, err = s.searchSingleTerm(ctx, ar, sets[0], excluded, o, stats, cb)
-	} else {
-		answers, err = s.searchMultiTerm(ctx, ar, sets, excluded, o, stats, cb)
-	}
-	if err != nil {
-		return nil, stats, err
-	}
-	return answers, stats, nil
-}
-
 // excludedTables resolves ExcludedRootTables to a table-id set.
 func (s *Searcher) excludedTables(o *Options) map[int32]bool {
 	if len(o.ExcludedRootTables) == 0 {
@@ -278,12 +212,12 @@ func (s *Searcher) excludedTables(o *Options) map[int32]bool {
 	return excluded
 }
 
-// matchTerm resolves one term to its node set, expanding metadata matches
-// to whole tables subject to MetadataNodeLimit. The limit budgets actually
-// admitted metadata nodes, so duplicate index postings and data/metadata
-// overlap cannot inflate it.
-func (s *Searcher) matchTerm(ar *searchArena, term string, o *Options, stats *Stats) []graph.NodeID {
-	m := s.cache.Lookup(s.ix, term)
+// matchTerm resolves one term to its node set through the strategy's
+// resolver, expanding metadata matches to whole tables subject to
+// MetadataNodeLimit. The limit budgets actually admitted metadata nodes,
+// so duplicate index postings and data/metadata overlap cannot inflate it.
+func (s *Searcher) matchTerm(ar *searchArena, res termResolver, term string, o *Options, stats *Stats) []graph.NodeID {
+	m := res.lookup(term)
 	gen := ar.bumpMark()
 	set := make([]graph.NodeID, 0, len(m.Nodes))
 	for _, n := range m.Nodes {
@@ -309,367 +243,6 @@ func (s *Searcher) matchTerm(ar *searchArena, term string, o *Options, stats *St
 		}
 	}
 	return set
-}
-
-// emitter drives the fixed-size output heap of §3 shared by the single-
-// and multi-term paths: candidate answers are offered, deduplicated by
-// hashed tree signature, buffered up to HeapSize, and emitted best-first
-// on overflow and during the final drain.
-type emitter struct {
-	o       *Options
-	stats   *Stats
-	cb      func(*Answer) bool
-	rh      resultHeap
-	inHeap  map[uint64]*resultItem
-	outSig  map[uint64]bool
-	seq     int
-	emitted []*Answer
-	stopped bool
-}
-
-func newEmitter(ar *searchArena, o *Options, stats *Stats, cb func(*Answer) bool) *emitter {
-	return &emitter{o: o, stats: stats, cb: cb, inHeap: ar.inHeap, outSig: ar.outSig}
-}
-
-func (em *emitter) emitBest() {
-	item := heap.Pop(&em.rh).(*resultItem)
-	delete(em.inHeap, item.sig)
-	em.outSig[item.sig] = true
-	em.emitted = append(em.emitted, item.ans)
-	item.ans.Rank = len(em.emitted)
-	if em.cb != nil && !em.cb(item.ans) {
-		em.stopped = true
-	}
-}
-
-func (em *emitter) offer(a *Answer) {
-	sig := a.sigHash()
-	if em.outSig[sig] {
-		// A duplicate of an already-output answer is discarded even if its
-		// relevance is higher (§3).
-		em.stats.Duplicates++
-		return
-	}
-	if prev, ok := em.inHeap[sig]; ok {
-		em.stats.Duplicates++
-		if a.Score > prev.ans.Score {
-			prev.ans = a
-			heap.Fix(&em.rh, prev.idx)
-		}
-		return
-	}
-	item := &resultItem{ans: a, sig: sig, seq: em.seq}
-	em.seq++
-	if len(em.rh) >= em.o.HeapSize {
-		em.emitBest()
-	}
-	heap.Push(&em.rh, item)
-	em.inHeap[sig] = item
-}
-
-// drain emits buffered answers best-first until TopK is reached or the
-// heap empties.
-func (em *emitter) drain() {
-	for len(em.rh) > 0 && len(em.emitted) < em.o.TopK && !em.stopped {
-		em.emitBest()
-	}
-}
-
-// finish trims the overshoot (heap overflow during a single node visit can
-// emit a result or two beyond TopK) and fixes ranks.
-func (em *emitter) finish() []*Answer {
-	if len(em.emitted) > em.o.TopK {
-		em.emitted = em.emitted[:em.o.TopK]
-	}
-	for i, a := range em.emitted {
-		a.Rank = i + 1
-	}
-	return em.emitted
-}
-
-// searchSingleTerm handles n=1 exactly: any tree with edges has a
-// single-child root and is discarded by the §3 rule, so the answers are
-// precisely the matching nodes, ranked by relevance (EScore of a node tree
-// is 1, so prestige separates them — the "Mohan" anecdote). Answers flow
-// through the same fixed-size output heap as the multi-term path, so the
-// emission contract (approximate relevance order, governed by HeapSize) is
-// identical for both.
-func (s *Searcher) searchSingleTerm(ctx context.Context, ar *searchArena, set []graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) ([]*Answer, error) {
-	em := newEmitter(ar, o, stats, cb)
-	for i, n := range set {
-		if em.stopped || len(em.emitted) >= o.TopK {
-			break
-		}
-		if i&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if excluded[s.g.TableOf(n)] {
-			stats.ExcludedRoots++
-			continue
-		}
-		a := &Answer{Root: n, TermNodes: []graph.NodeID{n}}
-		scoreAnswer(a, s.g, o.Score)
-		stats.Generated++
-		em.offer(a)
-	}
-	em.drain()
-	return em.finish(), nil
-}
-
-// iterEntry is one shortest-path iterator in the iterator heap, keyed by
-// the distance of the next node it will output.
-type iterEntry struct {
-	it   *sspIterator
-	next float64
-}
-
-// iterHeap is a hand-rolled binary min-heap of iterator entries, stored by
-// value to avoid per-entry allocations.
-type iterHeap []iterEntry
-
-func (h iterHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}
-
-func (h iterHeap) siftDown(i int) {
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		m := l
-		if r := l + 1; r < n && h[r].next < h[l].next {
-			m = r
-		}
-		if h[i].next <= h[m].next {
-			return
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-}
-
-// popTop removes the root entry.
-func (h *iterHeap) popTop() {
-	s := *h
-	n := len(s) - 1
-	s[0] = s[n]
-	*h = s[:n]
-	if n > 1 {
-		s[:n].siftDown(0)
-	}
-}
-
-// resultItem is an answer in the fixed-size output heap (a max-heap on
-// relevance: overflow emits the best answer seen so far).
-type resultItem struct {
-	ans *Answer
-	idx int
-	seq int
-	sig uint64
-}
-
-type resultHeap []*resultItem
-
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].ans.Score != h[j].ans.Score {
-		return h[i].ans.Score > h[j].ans.Score
-	}
-	return h[i].seq < h[j].seq // deterministic: offer order breaks score ties
-}
-func (h resultHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *resultHeap) Push(x interface{}) {
-	it := x.(*resultItem)
-	it.idx = len(*h)
-	*h = append(*h, it)
-}
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// searchMultiTerm is the backward expanding search of Figure 3. cb, when
-// non-nil, observes answers at emission time and may cancel the search.
-// The expansion loop polls ctx every cancelCheckMask+1 iterator pops so a
-// canceled context or an expired deadline stops a long-running expansion
-// promptly; the context's error is then returned and no answers are.
-func (s *Searcher) searchMultiTerm(ctx context.Context, ar *searchArena, sets [][]graph.NodeID, excluded map[int32]bool, o *Options, stats *Stats, cb func(*Answer) bool) ([]*Answer, error) {
-	n := len(sets)
-
-	// A node may match several terms; it gets one iterator and one origin
-	// slot whose bitmask records the terms it matched.
-	ar.beginOrigins(n)
-	for ti, set := range sets {
-		for _, node := range set {
-			oi := ar.originIndex(node)
-			if oi < 0 {
-				oi = ar.addOrigin(node)
-			}
-			ar.originTerms(oi)[ti/64] |= 1 << uint(ti%64)
-		}
-	}
-	ih := ar.ih[:0]
-	for i := range ar.origins {
-		it := ar.newIterator(s.g, ar.origins[i].node)
-		ar.origins[i].it = it
-		if _, d, ok := it.Peek(); ok {
-			ih = append(ih, iterEntry{it: it, next: d})
-		}
-	}
-	ih.init()
-
-	// Per-visited-node term lists (v.L_i in the pseudocode) live in the
-	// arena's chunked dense storage.
-	ar.beginVisits()
-
-	em := newEmitter(ar, o, stats, cb)
-
-	if cap(ar.comboBuf) < n {
-		ar.comboBuf = make([]graph.NodeID, n)
-	}
-	combo := ar.comboBuf[:n]
-
-	// generate builds all new connection trees rooted at v that use origin
-	// as the term-ti leaf (CrossProduct in the pseudocode).
-	generate := func(v graph.NodeID, origin graph.NodeID, ti int) {
-		l := ar.nodeLists(v, n)
-		rootExcluded := excluded[s.g.TableOf(v)]
-		// Cross product of {origin} with the other term lists.
-		combo[ti] = origin
-		produced := 0
-		var rec func(term int) bool
-		rec = func(term int) bool {
-			if term == n {
-				if produced >= o.MaxCombosPerVisit {
-					stats.CombosTruncated = true
-					return false
-				}
-				produced++
-				stats.Generated++
-				if rootExcluded {
-					stats.ExcludedRoots++
-					return true
-				}
-				if a := s.buildAnswer(ar, v, combo, o, stats); a != nil {
-					em.offer(a)
-				}
-				return true
-			}
-			if term == ti {
-				return rec(term + 1)
-			}
-			if len(l[term]) == 0 {
-				return false
-			}
-			for _, other := range l[term] {
-				combo[term] = other
-				if !rec(term + 1) {
-					return false
-				}
-			}
-			return true
-		}
-		rec(0)
-		l[ti] = append(l[ti], origin)
-	}
-
-	for len(ih) > 0 && len(em.emitted) < o.TopK && stats.Pops < o.MaxPops && !em.stopped {
-		if stats.Pops&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				ar.ih = ih
-				return nil, err
-			}
-		}
-		entry := &ih[0]
-		v, _, ok := entry.it.Next()
-		if !ok {
-			ih.popTop()
-			continue
-		}
-		stats.Pops++
-		originNode := entry.it.origin
-		if _, d, more := entry.it.Peek(); more {
-			entry.next = d
-			ih.siftDown(0)
-		} else {
-			ih.popTop()
-		}
-		oi := ar.originIndex(originNode)
-		for wi, word := range ar.originTerms(oi) {
-			for word != 0 {
-				ti := wi*64 + bits.TrailingZeros64(word)
-				word &= word - 1
-				generate(v, originNode, ti)
-			}
-		}
-	}
-	em.drain()
-	ar.ih = ih
-	return em.finish(), nil
-}
-
-// buildAnswer materializes the connection tree rooted at v whose term-i
-// leaf is combo[i], as the union of the per-iterator shortest paths. The
-// paper's pseudocode treats this union as a tree, but two shortest paths
-// can diverge and reconverge, giving a node two parents; we splice instead:
-// once a path reaches a node already in the tree, the existing route from
-// the root is reused and the walk continues from that node. Every leaf
-// stays reachable from the root and the result is a genuine tree. Returns
-// nil for trees pruned by the single-child-root rule.
-func (s *Searcher) buildAnswer(ar *searchArena, v graph.NodeID, combo []graph.NodeID, o *Options, stats *Stats) *Answer {
-	gen := ar.bumpMark()
-	ar.mark[v] = gen
-	var edges []TreeEdge
-	scratch := ar.scratchEdges
-	for _, origin := range combo {
-		oi := ar.originIndex(origin)
-		if oi < 0 || ar.origins[oi].it == nil {
-			ar.scratchEdges = scratch[:0]
-			return nil
-		}
-		scratch = ar.origins[oi].it.PathEdges(v, scratch[:0])
-		for _, e := range scratch {
-			if ar.mark[e.To] == gen {
-				continue // reuse the existing root->e.To route
-			}
-			ar.mark[e.To] = gen
-			edges = append(edges, e)
-		}
-	}
-	ar.scratchEdges = scratch[:0]
-	a := &Answer{
-		Root:      v,
-		Edges:     edges,
-		TermNodes: append([]graph.NodeID(nil), combo...),
-	}
-	if len(edges) > 0 && a.rootChildren() == 1 {
-		stats.SingleChildRoots++
-		return nil
-	}
-	for _, e := range edges {
-		a.Weight += e.W
-	}
-	sort.Slice(a.Edges, func(i, j int) bool {
-		if a.Edges[i].From != a.Edges[j].From {
-			return a.Edges[i].From < a.Edges[j].From
-		}
-		return a.Edges[i].To < a.Edges[j].To
-	})
-	scoreAnswer(a, s.g, o.Score)
-	return a
 }
 
 // Rescore recomputes answer scores under different scoring options without

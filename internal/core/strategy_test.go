@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// batchedBibFixture wires the bibliography fixture with the full batched
+// stack: match cache, single-flight group, frontier pool.
+func batchedBibFixture(t *testing.T, poolIters int) *fixture {
+	t.Helper()
+	f := newBibFixture(t)
+	f.s.WithMatchCache(index.NewMatchCache(1 << 20)).
+		WithFlightGroup(index.NewFlightGroup()).
+		WithFrontierPool(poolIters)
+	return f
+}
+
+func batchedOptions() *Options {
+	o := defaultBibOptions()
+	o.Strategy = StrategyBatched
+	return o
+}
+
+// TestUnknownStrategyErrors pins the failure mode for a typo'd strategy
+// name: an error naming the registered strategies, not a silent default.
+func TestUnknownStrategyErrors(t *testing.T) {
+	f := newBibFixture(t)
+	o := DefaultOptions()
+	o.Strategy = "bogus"
+	_, _, err := f.s.Query(context.Background(), Request{Terms: []string{"mohan"}}, o, nil)
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), StrategyBackward) {
+		t.Errorf("err = %v, want the bad name and the known strategies", err)
+	}
+}
+
+// TestStrategiesRegistry checks both built-ins are registered and that
+// ValidateStrategy accepts them (and the empty default).
+func TestStrategiesRegistry(t *testing.T) {
+	names := Strategies()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	if !have[StrategyBackward] || !have[StrategyBatched] {
+		t.Fatalf("registered strategies = %v", names)
+	}
+	for _, n := range []string{"", StrategyBackward, StrategyBatched} {
+		if err := ValidateStrategy(n); err != nil {
+			t.Errorf("ValidateStrategy(%q) = %v", n, err)
+		}
+	}
+	if err := ValidateStrategy("nope"); err == nil {
+		t.Error("ValidateStrategy accepted an unknown name")
+	}
+}
+
+// TestBatchedMatchesBackwardSequential runs every bibliography query under
+// both strategies and requires identical answers and execution traces.
+func TestBatchedMatchesBackwardSequential(t *testing.T) {
+	back := newBibFixture(t)
+	// The batched searcher must share the backward one's graph/index
+	// snapshot (fixture builds are not node-id deterministic).
+	bat := &fixture{db: back.db, g: back.g, ix: back.ix,
+		s: NewSearcher(back.g, back.ix).
+			WithMatchCache(index.NewMatchCache(1 << 20)).
+			WithFlightGroup(index.NewFlightGroup()).
+			WithFrontierPool(DefaultFrontierPoolIters)}
+	queries := [][]string{
+		{"soumen", "sunita"},
+		{"soumen", "sunita", "byron"},
+		{"mohan"},
+		{"mohan", "aries"},
+		{"sunita", "mining"},
+	}
+	// Twice: the second pass replays warm frontiers.
+	for pass := 0; pass < 2; pass++ {
+		for _, terms := range queries {
+			want, wstats, err := back.s.SearchStats(terms, defaultBibOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gstats, err := bat.s.SearchStats(terms, batchedOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(got) {
+				t.Fatalf("pass %d %v: %d answers backward vs %d batched", pass, terms, len(want), len(got))
+			}
+			for i := range want {
+				if want[i].Signature() != got[i].Signature() || want[i].Score != got[i].Score {
+					t.Errorf("pass %d %v rank %d: %s/%.9f vs %s/%.9f",
+						pass, terms, i+1, want[i].Signature(), want[i].Score, got[i].Signature(), got[i].Score)
+				}
+			}
+			if wstats.Pops != gstats.Pops || wstats.Generated != gstats.Generated {
+				t.Errorf("pass %d %v: trace differs, pops %d vs %d, generated %d vs %d",
+					pass, terms, wstats.Pops, gstats.Pops, wstats.Generated, gstats.Generated)
+			}
+		}
+	}
+	if bat.s.FrontierReuses() == 0 {
+		t.Error("warm pass never reused a pooled frontier")
+	}
+}
+
+// TestBatchedConcurrentBurst hammers the batched strategy from many
+// goroutines sharing the same two terms — under -race this is the
+// concurrency contract of the frontier pool and the flight group — and
+// checks every burst result against the sequential backward answers.
+func TestBatchedConcurrentBurst(t *testing.T) {
+	f := batchedBibFixture(t, DefaultFrontierPoolIters)
+	want, err := f.s.Search([]string{"soumen", "sunita"}, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no baseline answers")
+	}
+
+	const workers, reps = 8, 40
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				got, err := f.s.Search([]string{"soumen", "sunita"}, batchedOptions())
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if len(got) != len(want) {
+					fail <- "answer count changed under concurrency"
+					return
+				}
+				for i := range want {
+					if want[i].Signature() != got[i].Signature() || want[i].Score != got[i].Score {
+						fail <- "answer " + want[i].Signature() + " changed under concurrency"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+	if f.s.FrontierReuses() == 0 {
+		t.Error("burst never reused a pooled frontier")
+	}
+}
+
+// TestFrontierPoolBounded: the pool never holds more than its capacity,
+// evicting oldest entries, and disabling it (<= 0) keeps everything on
+// the arena path.
+func TestFrontierPoolBounded(t *testing.T) {
+	f := batchedBibFixture(t, 2)
+	queries := [][]string{
+		{"soumen", "sunita"},
+		{"mohan", "aries"},
+		{"sunita", "mining"},
+		{"soumen", "sunita", "byron"},
+	}
+	for _, terms := range queries {
+		if _, err := f.s.Search(terms, batchedOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := f.s.frontiers.size(); n > 2 {
+		t.Errorf("pool holds %d iterators, cap 2", n)
+	}
+
+	off := newBibFixture(t)
+	off.s.WithFrontierPool(0)
+	if off.s.frontiers != nil {
+		t.Error("WithFrontierPool(0) should disable pooling")
+	}
+	answers, err := off.s.Search([]string{"soumen", "sunita"}, batchedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Error("pool-less batched search lost its answers")
+	}
+	if off.s.FrontierReuses() != 0 {
+		t.Error("disabled pool reports reuses")
+	}
+}
+
+// TestIteratorReplayMatchesFresh pins the memo/replay contract at the
+// iterator level: a memoized iterator replayed from its trail yields the
+// same (node, distance) sequence and the same paths as a fresh one.
+func TestIteratorReplayMatchesFresh(t *testing.T) {
+	f := newBibFixture(t)
+	origin := f.node(t, "Author", "SoumenC")
+
+	fresh := newSSPIterator(f.g, origin)
+	memo := newSSPIterator(f.g, origin)
+	memo.memo = true
+
+	type step struct {
+		n graph.NodeID
+		d float64
+	}
+	var want []step
+	for {
+		n, d, ok := fresh.Next()
+		if !ok {
+			break
+		}
+		want = append(want, step{n, d})
+	}
+	// First run records the trail (stop partway to exercise the
+	// checkpoint continuation on replay).
+	half := len(want) / 2
+	for i := 0; i < half; i++ {
+		if n, d, ok := memo.Next(); !ok || n != want[i].n || d != want[i].d {
+			t.Fatalf("memoized run diverged at %d: (%d, %v, %v)", i, n, d, ok)
+		}
+	}
+	// Replay the prefix, then continue live past the checkpoint.
+	memo.rewind()
+	for i, w := range want {
+		n, d, ok := memo.Next()
+		if !ok || n != w.n || d != w.d {
+			t.Fatalf("replay diverged at %d: got (%d, %v, %v), want (%d, %v)", i, n, d, ok, w.n, w.d)
+		}
+		var freshEdges, replayEdges []TreeEdge
+		freshEdges = fresh.PathEdges(n, freshEdges)
+		replayEdges = memo.PathEdges(n, replayEdges)
+		if len(freshEdges) != len(replayEdges) {
+			t.Fatalf("path lengths differ at %d", i)
+		}
+		for j := range freshEdges {
+			if freshEdges[j] != replayEdges[j] {
+				t.Fatalf("path edge %d differs at step %d", j, i)
+			}
+		}
+	}
+	if _, _, ok := memo.Next(); ok {
+		t.Error("replayed iterator outlived the fresh one")
+	}
+}

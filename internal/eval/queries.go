@@ -55,6 +55,23 @@ func isSingleNode(n graph.NodeID) func(*core.Answer, *graph.Graph) bool {
 	}
 }
 
+// TPCDSuite builds an evaluation query mix against a database produced by
+// datagen.BuildTPCD: part-name words, part-plus-metadata and single-term
+// queries over the order catalog. TPC-D has no hand-picked ideal answers
+// in the paper, so these queries carry none — they exist for cross-
+// strategy and cross-build parity checks, which compare full ranked
+// answer lists rather than error scores.
+func TPCDSuite() []Query {
+	return []Query{
+		{Name: "part-words", Terms: []string{"steel", "widget"}},
+		{Name: "part-words-three", Terms: []string{"premium", "steel", "widget"}},
+		{Name: "part-words-rare", Terms: []string{"economy", "widget"}},
+		{Name: "part-and-supplier", Terms: []string{"steel", "supplier"}},
+		{Name: "single-popular", Terms: []string{"widget"}},
+		{Name: "single-metadata", Terms: []string{"lineitem"}},
+	}
+}
+
 // DBLPSuite builds the seven evaluation queries of §5.3 against a database
 // produced by datagen.BuildDBLP. The query mix follows the paper's
 // description: coauthor pairs, authors with a common coauthor, author plus

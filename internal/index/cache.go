@@ -143,6 +143,38 @@ const (
 	prefixKeyPrefix = "~"
 )
 
+// normalizeTerm is the normalization every cached lookup applies before
+// keying; the FlightGroup's admission path shares it so coalescing keys
+// always match cache keys.
+func normalizeTerm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// peekExact probes the cache for an already-normalized token, counting a
+// hit. It is the single place the exact-lookup key scheme lives; Lookup
+// and the FlightGroup both go through it. Safe on nil (always a miss,
+// uncounted).
+func (c *MatchCache) peekExact(tok string) (Match, bool) {
+	if c == nil {
+		return Match{}, false
+	}
+	m, ok := c.get(exactKeyPrefix + tok)
+	if ok {
+		c.hits.Add(1)
+	}
+	return m, ok
+}
+
+// peekPrefix is peekExact for the prefix-lookup keys.
+func (c *MatchCache) peekPrefix(tok string) (Match, bool) {
+	if c == nil {
+		return Match{}, false
+	}
+	m, ok := c.get(prefixKeyPrefix + tok)
+	if ok {
+		c.hits.Add(1)
+	}
+	return m, ok
+}
+
 // Lookup is Index.Lookup through the cache: the match set for one search
 // term, cached under its normalized token. Empty matches are cached too —
 // skewed workloads repeat misses as much as hits. Callers must not mutate
@@ -151,15 +183,13 @@ func (c *MatchCache) Lookup(ix *Index, term string) Match {
 	if c == nil {
 		return ix.Lookup(term)
 	}
-	tok := strings.ToLower(strings.TrimSpace(term))
-	key := exactKeyPrefix + tok
-	if m, ok := c.get(key); ok {
-		c.hits.Add(1)
+	tok := normalizeTerm(term)
+	if m, ok := c.peekExact(tok); ok {
 		return m
 	}
 	c.misses.Add(1)
 	m := ix.Lookup(tok)
-	c.put(key, m)
+	c.put(exactKeyPrefix+tok, m)
 	return m
 }
 
@@ -171,15 +201,13 @@ func (c *MatchCache) LookupPrefix(ix *Index, prefix string) []graph.NodeID {
 	if c == nil {
 		return ix.LookupPrefix(prefix)
 	}
-	tok := strings.ToLower(strings.TrimSpace(prefix))
-	key := prefixKeyPrefix + tok
-	if m, ok := c.get(key); ok {
-		c.hits.Add(1)
+	tok := normalizeTerm(prefix)
+	if m, ok := c.peekPrefix(tok); ok {
 		return m.Nodes
 	}
 	c.misses.Add(1)
 	ns := ix.LookupPrefix(tok)
-	c.put(key, Match{Nodes: ns})
+	c.put(prefixKeyPrefix+tok, Match{Nodes: ns})
 	return ns
 }
 

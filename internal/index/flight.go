@@ -1,0 +1,115 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// FlightGroup is the single-flight admission layer for term resolution:
+// when several concurrent queries miss the match cache on the same term
+// at the same time, exactly one performs the index lookup (and fills the
+// cache) while the others wait for its result — the per-term work sharing
+// across concurrent requests that Mragyati-style keyword-search servers
+// rely on. On top of the MatchCache this closes the cache's one gap under
+// bursts: a popular term that is not yet cached is resolved once per
+// burst, not once per query.
+//
+// Like the MatchCache, a FlightGroup belongs to one immutable engine
+// snapshot (swap the snapshot, swap the group), so entries never need
+// invalidation. A nil *FlightGroup is valid and disables coalescing:
+// every lookup falls through to the cache/index pair.
+type FlightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	coalesced atomic.Int64
+	resolved  atomic.Int64
+}
+
+// flightCall is one in-flight resolution; done closes once m is set.
+type flightCall struct {
+	done chan struct{}
+	m    Match
+}
+
+// NewFlightGroup returns an empty admission group.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under key unless an identical call is already in flight, in
+// which case it waits for and shares that call's result.
+func (g *FlightGroup) do(key string, fn func() Match) Match {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		<-c.done
+		return c.m
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	g.resolved.Add(1)
+	c.m = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.m
+}
+
+// Lookup resolves one exact term through cache -> flight -> index: a
+// cache hit returns immediately; a miss joins (or leads) the single
+// in-flight resolution for that term, which fills the cache for everyone
+// arriving later. Callers must not mutate the returned slices.
+func (g *FlightGroup) Lookup(c *MatchCache, ix *Index, term string) Match {
+	if g == nil {
+		return c.Lookup(ix, term)
+	}
+	tok := normalizeTerm(term)
+	if m, ok := c.peekExact(tok); ok {
+		return m
+	}
+	return g.do(exactKeyPrefix+tok, func() Match {
+		return c.Lookup(ix, tok)
+	})
+}
+
+// LookupPrefix is Lookup for prefix resolution — the lookup most worth
+// admitting once per burst, since an uncached prefix expansion walks the
+// whole vocabulary. Callers must not mutate the returned slice.
+func (g *FlightGroup) LookupPrefix(c *MatchCache, ix *Index, prefix string) []graph.NodeID {
+	if g == nil {
+		return c.LookupPrefix(ix, prefix)
+	}
+	tok := normalizeTerm(prefix)
+	if m, ok := c.peekPrefix(tok); ok {
+		return m.Nodes
+	}
+	m := g.do(prefixKeyPrefix+tok, func() Match {
+		return Match{Nodes: c.LookupPrefix(ix, tok)}
+	})
+	return m.Nodes
+}
+
+// Coalesced returns how many lookups piggybacked on another query's
+// in-flight resolution instead of resolving themselves. Safe on nil.
+func (g *FlightGroup) Coalesced() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.coalesced.Load()
+}
+
+// Resolved returns how many resolutions this group actually led (cache
+// misses that went to the index). Safe on nil.
+func (g *FlightGroup) Resolved() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.resolved.Load()
+}

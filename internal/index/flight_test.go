@@ -1,0 +1,136 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// flightFixture reuses the small indexed database of the index tests.
+func flightFixture(t *testing.T) (*Index, *MatchCache) {
+	t.Helper()
+	_, _, ix := newIndexedDB(t)
+	return ix, NewMatchCache(1 << 20)
+}
+
+// TestFlightGroupCoalescesConcurrentMisses drives K goroutines into the
+// same uncached term resolution deterministically: the leader's resolve
+// function blocks until every follower has joined the flight, so exactly
+// one resolution happens and K-1 lookups coalesce.
+func TestFlightGroupCoalescesConcurrentMisses(t *testing.T) {
+	g := NewFlightGroup()
+	const k = 8
+
+	var mu sync.Mutex
+	resolves := 0
+	joined := make(chan struct{}, k)
+	release := make(chan struct{})
+
+	want := Match{Nodes: []graph.NodeID{1, 2, 3}}
+	var wg sync.WaitGroup
+	results := make([]Match, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			joined <- struct{}{}
+			results[i] = g.do("=term", func() Match {
+				mu.Lock()
+				resolves++
+				mu.Unlock()
+				// Hold the flight open until all K goroutines have at
+				// least started; followers that arrive while we block
+				// must coalesce rather than resolve.
+				for j := 0; j < k; j++ {
+					<-joined
+				}
+				close(release)
+				return want
+			})
+		}(i)
+	}
+	<-release
+	wg.Wait()
+
+	if resolves != 1 {
+		t.Fatalf("resolves = %d, want 1", resolves)
+	}
+	// Every goroutine saw the leader's result.
+	for i, m := range results {
+		if len(m.Nodes) != 3 {
+			t.Errorf("goroutine %d got %v", i, m.Nodes)
+		}
+	}
+	// The followers that arrived during the in-flight call coalesced.
+	// At least one must have (the leader blocked until all had joined);
+	// with the join barrier, all k-1 did.
+	if got := g.Coalesced(); got != k-1 {
+		t.Errorf("Coalesced = %d, want %d", got, k-1)
+	}
+	if got := g.Resolved(); got != 1 {
+		t.Errorf("Resolved = %d, want 1", got)
+	}
+}
+
+// TestFlightGroupLookupFillsCache checks the layered path: a miss resolves
+// through the flight and fills the cache, so the next lookup is a pure
+// cache hit that never enters the group.
+func TestFlightGroupLookupFillsCache(t *testing.T) {
+	ix, cache := flightFixture(t)
+	g := NewFlightGroup()
+
+	m1 := g.Lookup(cache, ix, "mohan")
+	if len(m1.Nodes) == 0 {
+		t.Fatal("no matches through the flight group")
+	}
+	if g.Resolved() != 1 {
+		t.Fatalf("Resolved = %d after first lookup", g.Resolved())
+	}
+	m2 := g.Lookup(cache, ix, "mohan")
+	if g.Resolved() != 1 {
+		t.Errorf("second lookup resolved again (Resolved = %d), cache not consulted", g.Resolved())
+	}
+	if fmt.Sprint(m1.Nodes) != fmt.Sprint(m2.Nodes) {
+		t.Errorf("cached result differs: %v vs %v", m1.Nodes, m2.Nodes)
+	}
+
+	// Prefix path, same layering.
+	p1 := g.LookupPrefix(cache, ix, "moh")
+	if len(p1) == 0 {
+		t.Fatal("no prefix matches through the flight group")
+	}
+	resolved := g.Resolved()
+	if g.LookupPrefix(cache, ix, "moh"); g.Resolved() != resolved {
+		t.Error("cached prefix lookup resolved again")
+	}
+}
+
+// TestFlightGroupNilSafe: a nil group degrades to the plain cache path.
+func TestFlightGroupNilSafe(t *testing.T) {
+	ix, cache := flightFixture(t)
+	var g *FlightGroup
+	if m := g.Lookup(cache, ix, "mohan"); len(m.Nodes) == 0 {
+		t.Error("nil group lost the match set")
+	}
+	if ns := g.LookupPrefix(cache, ix, "moh"); len(ns) == 0 {
+		t.Error("nil group lost the prefix matches")
+	}
+	if g.Coalesced() != 0 || g.Resolved() != 0 {
+		t.Error("nil group reports nonzero stats")
+	}
+}
+
+// TestFlightGroupNoCache: admission still coalesces when caching is
+// disabled entirely (nil cache).
+func TestFlightGroupNoCache(t *testing.T) {
+	ix, _ := flightFixture(t)
+	g := NewFlightGroup()
+	if m := g.Lookup(nil, ix, "mohan"); len(m.Nodes) == 0 {
+		t.Error("cacheless lookup lost the match set")
+	}
+	if g.Resolved() != 1 {
+		t.Errorf("Resolved = %d", g.Resolved())
+	}
+}

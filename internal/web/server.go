@@ -7,12 +7,15 @@
 package web
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"html/template"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/banksdb/banks/internal/browse"
 	"github.com/banksdb/banks/internal/core"
@@ -94,14 +97,35 @@ func (s *Server) renderError(w http.ResponseWriter, status int, err error) {
 	}{Title: "Error", Body: template.HTML("<p>" + template.HTMLEscapeString(err.Error()) + "</p>")})
 }
 
+// searchFormHTML renders the search form: keywords, an optional per-query
+// timeout (empty = none), and the execution strategy (empty = the
+// server's default).
+func (s *Server) searchFormHTML(q, timeout, strategy string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<form action="/search"><input name="q" size="40" placeholder="keywords..." value="%s"> `,
+		template.HTMLEscapeString(q))
+	fmt.Fprintf(&b, `timeout <input name="timeout" size="6" placeholder="none" value="%s"> `,
+		template.HTMLEscapeString(timeout))
+	b.WriteString(`strategy <select name="strategy"><option value="">default</option>`)
+	for _, name := range core.Strategies() {
+		sel := ""
+		if name == strategy {
+			sel = " selected"
+		}
+		fmt.Fprintf(&b, `<option value="%s"%s>%s</option>`,
+			template.HTMLEscapeString(name), sel, template.HTMLEscapeString(name))
+	}
+	b.WriteString(`</select> <input type="submit" value="Search"></form>`)
+	return b.String()
+}
+
 func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	var b strings.Builder
-	b.WriteString(`<form action="/search"><input name="q" size="40" placeholder="keywords...">` +
-		`<input type="submit" value="Search"></form>`)
+	b.WriteString(s.searchFormHTML("", "", ""))
 	b.WriteString("<h2>Relations</h2><ul>")
 	s.db.RLock()
 	for _, name := range s.db.TableNames() {
@@ -167,26 +191,52 @@ func (s *Server) tupleHTML(g *graph.Graph, n graph.NodeID, matched bool) string 
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
+	timeoutParam := r.URL.Query().Get("timeout")
+	strategyParam := r.URL.Query().Get("strategy")
 	terms := strings.Fields(q)
 	if len(terms) == 0 {
-		s.render(w, "Search", template.HTML(`<form action="/search"><input name="q" size="40">`+
-			`<input type="submit" value="Search"></form>`))
+		s.render(w, "Search", template.HTML(s.searchFormHTML("", timeoutParam, strategyParam)))
 		return
 	}
+	// The request context rides into the expansion loop, so a client that
+	// disconnects stops paying for its search; the optional timeout field
+	// (a Go duration, e.g. "500ms" or "2s"; empty = none) adds a
+	// per-query deadline on top.
+	ctx := r.Context()
+	if timeoutParam != "" {
+		d, err := time.ParseDuration(timeoutParam)
+		if err != nil || d <= 0 {
+			s.renderError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q (want a duration like 500ms)", timeoutParam))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	// The strategy field overrides the server's default execution
+	// strategy for this request.
+	opts := s.opts
+	if strategyParam != "" {
+		o := *s.opts
+		o.Strategy = strategyParam
+		opts = &o
+	}
 	// Pin one searcher (and therefore one graph snapshot) for the whole
-	// request; a concurrent Refresh cannot tear the result rendering. The
-	// request context rides into the expansion loop, so a client that
-	// disconnects stops paying for its search.
+	// request; a concurrent Refresh cannot tear the result rendering.
 	searcher := s.searcher()
 	g := searcher.Graph()
-	answers, _, err := searcher.Query(r.Context(), core.Request{Terms: terms}, s.opts, nil)
+	answers, _, err := searcher.Query(ctx, core.Request{Terms: terms}, opts, nil)
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.renderError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("search timed out after %s", timeoutParam))
+		return
+	}
 	if err != nil {
 		s.renderError(w, http.StatusBadRequest, err)
 		return
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, `<form action="/search"><input name="q" size="40" value="%s">`+
-		`<input type="submit" value="Search"></form>`, template.HTMLEscapeString(q))
+	b.WriteString(s.searchFormHTML(q, timeoutParam, strategyParam))
 	if len(answers) == 0 {
 		b.WriteString("<p>No results.</p>")
 	}

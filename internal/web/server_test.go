@@ -268,3 +268,61 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestSearchStrategyParam(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Both built-in strategies must serve identical result pages.
+	var bodies []string
+	for _, strat := range []string{core.StrategyBackward, core.StrategyBatched} {
+		code, body := get(t, ts, "/search?q="+url.QueryEscape("sudarshan aditya")+"&strategy="+strat)
+		if code != 200 {
+			t.Fatalf("strategy %s: status = %d", strat, code)
+		}
+		if !strings.Contains(body, "Sudarshan") {
+			t.Errorf("strategy %s: results missing matched entities", strat)
+		}
+		// Everything after the form (which echoes the selected strategy)
+		// must coincide.
+		if i := strings.Index(body, "</form>"); i >= 0 {
+			bodies = append(bodies, body[i:])
+		}
+	}
+	if len(bodies) == 2 && bodies[0] != bodies[1] {
+		t.Error("backward and batched strategies rendered different results")
+	}
+	// Unknown strategies are a client error, not a crash.
+	code, body := get(t, ts, "/search?q=aditya&strategy=bogus")
+	if code != http.StatusBadRequest {
+		t.Errorf("bogus strategy: status = %d, body = %s", code, body)
+	}
+}
+
+func TestSearchTimeoutParam(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A roomy timeout succeeds.
+	code, body := get(t, ts, "/search?q=aditya&timeout=30s")
+	if code != 200 || !strings.Contains(body, "Aditya") {
+		t.Errorf("timeout=30s: status %d", code)
+	}
+	// The form defaults to no timeout and echoes the field.
+	if !strings.Contains(body, `name="timeout"`) {
+		t.Error("search form has no timeout field")
+	}
+	// A malformed timeout is a client error.
+	code, _ = get(t, ts, "/search?q=aditya&timeout=banana")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad timeout: status = %d", code)
+	}
+	code, _ = get(t, ts, "/search?q=aditya&timeout=-5s")
+	if code != http.StatusBadRequest {
+		t.Errorf("negative timeout: status = %d", code)
+	}
+	// A 1ns deadline expires before the search can finish.
+	code, body = get(t, ts, "/search?q="+url.QueryEscape("sudarshan aditya")+"&timeout=1ns")
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("1ns timeout: status = %d, body = %s", code, body)
+	}
+	if !strings.Contains(body, "timed out") {
+		t.Error("timeout page does not say the search timed out")
+	}
+}

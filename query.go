@@ -2,12 +2,17 @@ package banks
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/index"
 )
+
+// ErrStopped is returned by QueryStream (and QueryIter internally) when
+// the callback cancels the search.
+var ErrStopped = errors.New("banks: search stopped by caller")
 
 // Query describes one keyword search. The zero value of every field but
 // Text is a sensible default, so the minimal request is
@@ -31,8 +36,20 @@ type Query struct {
 	// GroupByShape additionally populates Results.Groups, partitioning
 	// the answers by their tree structure over the schema.
 	GroupByShape bool
+	// Strategy overrides the system's default execution strategy for
+	// this query ("" keeps the system default; see StrategyBackward and
+	// StrategyBatched). Unknown names make Query return an error.
+	Strategy string
 	// Options tunes ranking and limits; nil uses the paper's defaults.
 	Options *SearchOptions
+}
+
+// AnswerGroup is a set of answers sharing one tree structure over the
+// schema, e.g. "Paper(Writes(Author),Writes(Author))" — the §7 "summarize
+// the output" extension, populated by Query when GroupByShape is set.
+type AnswerGroup struct {
+	Shape   string
+	Answers []*Answer
 }
 
 // Stats reports what one search did — the per-query execution statistics
@@ -135,6 +152,11 @@ func (s *System) run(ctx context.Context, q Query, fn func(*Answer) bool) (*Resu
 		Prefix:    q.Prefix,
 		DB:        s.db.inner,
 	}
+	copts := q.Options.toCore()
+	copts.Strategy = q.Strategy
+	if copts.Strategy == "" {
+		copts.Strategy = s.opts.Strategy
+	}
 
 	// Convert each answer exactly once, at emission time, against the
 	// pinned engine; byCore lets the final list and grouping reuse the
@@ -151,7 +173,7 @@ func (s *System) run(ctx context.Context, q Query, fn func(*Answer) bool) (*Resu
 		return true
 	}
 
-	answers, st, err := eng.searcher.Query(ctx, req, q.Options.toCore(), cb)
+	answers, st, err := eng.searcher.Query(ctx, req, copts, cb)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package banks
 
 import (
-	"context"
 	"fmt"
 	"strings"
 	"unicode/utf8"
@@ -156,20 +155,6 @@ func formatNode(b *strings.Builder, n *TreeNode, depth int) {
 	for _, c := range n.Children {
 		formatNode(b, c, depth+1)
 	}
-}
-
-// Search answers a keyword query. The query is tokenized on
-// non-alphanumeric boundaries, so "sunita soumen" and "sunita, soumen" are
-// the same two-term query.
-//
-// Deprecated: use Query, which takes a context and returns per-search
-// statistics: sys.Query(ctx, Query{Text: query, Options: opts}).
-func (s *System) Search(query string, opts *SearchOptions) ([]*Answer, error) {
-	res, err := s.Query(context.Background(), Query{Text: query, Options: opts})
-	if err != nil {
-		return nil, err
-	}
-	return res.Answers, nil
 }
 
 // convertAnswer materializes a core answer against the pinned engine

@@ -17,14 +17,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, err := sys.Search("sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	a2, err := sys2.Search("sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	a1 := searchAnswers(t, sys, "sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
+	a2 := searchAnswers(t, sys2, "sunita soumen", &SearchOptions{ExcludedRootTables: []string{"writes"}})
 	if len(a1) != len(a2) {
 		t.Fatalf("answer counts differ: %d vs %d", len(a1), len(a2))
 	}
@@ -114,10 +108,7 @@ func TestDumpSQLPlusSnapshotFullRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	answers, err := sys2.Search("byron", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	answers := searchAnswers(t, sys2, "byron", nil)
 	if len(answers) == 0 {
 		t.Fatal("restored system found nothing")
 	}

@@ -1,0 +1,203 @@
+package banks
+
+// Strategy parity and admission-layer tests at the System level: the
+// batched executor must be answer-identical to the backward one on the
+// evaluation suites of both generators, and the single-flight/frontier
+// machinery must hold up under a -race concurrent burst.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/eval"
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// renderAnswers flattens a result list into a comparison-stable string.
+func renderAnswers(answers []*Answer) string {
+	var b strings.Builder
+	for _, a := range answers {
+		b.WriteString(a.Format())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func queryStrategy(t *testing.T, sys *System, terms []string, strategy string, opts *SearchOptions) []*Answer {
+	t.Helper()
+	res, err := sys.Query(context.Background(), Query{
+		Text:     strings.Join(terms, " "),
+		Strategy: strategy,
+		Options:  opts,
+	})
+	if err != nil {
+		t.Fatalf("%v under %q: %v", terms, strategy, err)
+	}
+	return res.Answers
+}
+
+// TestStrategyParityDBLPSuite runs the §5.3 DBLP evaluation suite under
+// both strategies (twice, so the second batched pass replays warm
+// frontiers) and requires identical ranked answers and scores.
+func TestStrategyParityDBLPSuite(t *testing.T) {
+	inner, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(wrapDatabase(inner), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(inner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := eval.DBLPSuite(inner, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &SearchOptions{ExcludedRootTables: []string{"Writes", "Cites"}}
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range queries {
+			want := renderAnswers(queryStrategy(t, sys, q.Terms, StrategyBackward, opts))
+			got := renderAnswers(queryStrategy(t, sys, q.Terms, StrategyBatched, opts))
+			if want != got {
+				t.Errorf("pass %d query %s: strategies disagree\nbackward:\n%s\nbatched:\n%s", pass, q.Name, want, got)
+			}
+		}
+	}
+	if st := sys.CacheStats(); st.FrontierReuses == 0 {
+		t.Error("warm batched pass never reused a pooled frontier")
+	}
+}
+
+// TestStrategyParityTPCDSuite is the same contract on the TPC-D catalog.
+func TestStrategyParityTPCDSuite(t *testing.T) {
+	inner, err := datagen.BuildTPCD(datagen.SmallTPCD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(wrapDatabase(inner), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range eval.TPCDSuite() {
+			want := renderAnswers(queryStrategy(t, sys, q.Terms, StrategyBackward, nil))
+			got := renderAnswers(queryStrategy(t, sys, q.Terms, StrategyBatched, nil))
+			if want != got {
+				t.Errorf("pass %d query %s: strategies disagree\nbackward:\n%s\nbatched:\n%s", pass, q.Name, want, got)
+			}
+		}
+	}
+}
+
+// TestSystemDefaultStrategy wires SystemOptions.Strategy: a system built
+// batched answers exactly like a backward one, and NewSystem rejects
+// unknown names outright.
+func TestSystemDefaultStrategy(t *testing.T) {
+	_, backSys := newQuickstartSystem(t)
+	db2 := NewDatabase()
+	if err := db2.ExecScript(`
+		CREATE TABLE author (id TEXT PRIMARY KEY, name TEXT);
+		CREATE TABLE paper (id TEXT PRIMARY KEY, title TEXT);
+		CREATE TABLE writes (aid TEXT REFERENCES author, pid TEXT REFERENCES paper);
+		INSERT INTO author VALUES ('a1', 'Soumen Chakrabarti'),
+			('a2', 'Sunita Sarawagi'), ('a3', 'Byron Dom');
+		INSERT INTO paper VALUES ('p1', 'Mining Surprising Patterns');
+		INSERT INTO writes VALUES ('a1', 'p1'), ('a2', 'p1'), ('a3', 'p1');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	batSys, err := NewSystem(db2, &SystemOptions{Strategy: StrategyBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &SearchOptions{ExcludedRootTables: []string{"writes"}}
+	want := renderAnswers(searchAnswers(t, backSys, "sunita soumen", opts))
+	got := renderAnswers(searchAnswers(t, batSys, "sunita soumen", opts))
+	if want != got {
+		t.Errorf("batched-default system disagrees:\n%s\nvs\n%s", want, got)
+	}
+
+	if _, err := NewSystem(db2, &SystemOptions{Strategy: "warp-drive"}); err == nil {
+		t.Error("NewSystem accepted an unknown strategy")
+	}
+	if _, err := backSys.Query(context.Background(), Query{Text: "sunita", Strategy: "warp-drive"}); err == nil {
+		t.Error("Query accepted an unknown strategy")
+	}
+}
+
+// TestBatchedConcurrentBurstSystem is the -race admission-layer contract:
+// many goroutines fire the same queries (exact and prefix) through the
+// batched strategy while results are checked against the sequential
+// backward baseline, then the system's cache statistics must account for
+// the shared work (single-flight coalescing and frontier reuse counters
+// are wired and monotone).
+func TestBatchedConcurrentBurstSystem(t *testing.T) {
+	inner, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(wrapDatabase(inner), &SystemOptions{Strategy: StrategyBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &SearchOptions{ExcludedRootTables: []string{"Writes", "Cites"}}
+	baselines := map[string]string{}
+	burst := []Query{
+		{Text: "soumen sunita", Options: opts},
+		{Text: "seltzer sunita", Options: opts},
+		{Text: "surpris", Prefix: true, Options: opts},
+	}
+	for _, q := range burst {
+		bq := q
+		bq.Strategy = StrategyBackward
+		res, err := sys.Query(context.Background(), bq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baselines[q.Text] = renderAnswers(res.Answers)
+	}
+
+	const workers, reps = 8, 25
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				q := burst[(w+r)%len(burst)]
+				res, err := sys.Query(context.Background(), q)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if renderAnswers(res.Answers) != baselines[q.Text] {
+					fail <- "burst answers for " + q.Text + " diverged from baseline"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+
+	st := sys.CacheStats()
+	if st.FrontierReuses == 0 {
+		t.Error("burst of repeated queries never reused a pooled frontier")
+	}
+	if st.Hits == 0 {
+		t.Error("burst of repeated queries never hit the match cache")
+	}
+	if st.SingleFlight < 0 {
+		t.Errorf("SingleFlight = %d", st.SingleFlight)
+	}
+}

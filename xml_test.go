@@ -24,10 +24,7 @@ func TestPublicLoadXMLAndSearch(t *testing.T) {
 	}
 	// Two keywords from different children of the same <book> connect at
 	// the book element.
-	answers, err := sys.Search("graph byron", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	answers := searchAnswers(t, sys, "graph byron", nil)
 	if len(answers) == 0 {
 		t.Fatal("no XML answers")
 	}
