@@ -64,6 +64,7 @@ import (
 	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/sqlexec"
+	"github.com/banksdb/banks/internal/store"
 	"github.com/banksdb/banks/internal/xmlshred"
 )
 
@@ -232,6 +233,20 @@ type SystemOptions struct {
 	// when deeply expanded) a snapshot keeps between queries. 0 uses
 	// core's default (32); negative disables pooling.
 	FrontierPoolIters int
+	// StoreBudgetBytes bounds the resident posting blocks of a
+	// store-opened engine (OpenSystem/LoadSystem of a segmented store):
+	// decoded blocks beyond the budget are evicted LRU — the EMBANKS
+	// memory-bound serving mode. 0 keeps every touched block resident;
+	// negative disables block caching. Ignored by NewSystem (a built
+	// engine is fully resident by construction).
+	StoreBudgetBytes int64
+	// StorePath, when set, makes every Refresh (including the initial
+	// build in NewSystem) persist the freshly built engine to this path
+	// in the segmented store format before swapping it in —
+	// build-aside-then-persist, so the store on disk always matches the
+	// serving engine and the next process start can OpenSystem it
+	// instantly. A persist failure fails the Refresh without swapping.
+	StorePath string
 }
 
 // Names of the built-in query execution strategies, threaded through
@@ -273,6 +288,17 @@ type engine struct {
 	cache    *index.MatchCache  // nil when caching is disabled
 	flight   *index.FlightGroup // single-flight admission (batched strategy)
 	searcher *core.Searcher
+	st       *store.Store // non-nil when the engine serves from a disk store
+}
+
+// storeErr reports the first lazy-load failure of a store-backed engine;
+// always nil for built engines. Queries check it at their boundary so
+// disk corruption or I/O loss fails loudly instead of shrinking results.
+func (e *engine) storeErr() error {
+	if e.st == nil {
+		return nil
+	}
+	return e.st.Err()
 }
 
 // newEngine assembles one immutable snapshot: graph, index, a fresh
@@ -303,9 +329,10 @@ func newEngine(g *graph.Graph, ix *index.Index, opts SystemOptions) *engine {
 // tuples. A System is safe for concurrent use, including Refresh while
 // queries and Handler requests are in flight.
 type System struct {
-	db   *Database
-	eng  atomic.Pointer[engine]
-	opts SystemOptions
+	db    *Database
+	eng   atomic.Pointer[engine]
+	opts  SystemOptions
+	store *store.Store // the store backing OpenSystem/LoadSystem, for Close
 }
 
 // engine returns the current snapshot. Callers pin it once per operation
@@ -331,6 +358,12 @@ func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 // and atomically swaps the new snapshot in. Queries already in flight
 // finish against the snapshot they started on; queries that begin after
 // Refresh returns see the new data.
+//
+// When SystemOptions.StorePath is set, Refresh additionally persists the
+// freshly built engine there (segmented store format, atomic rename)
+// before swapping — build aside, persist, then serve. If the persist
+// fails, the previous snapshot keeps serving and Refresh returns the
+// error.
 func (s *System) Refresh() error {
 	bo := graph.DefaultBuildOptions()
 	bo.ScaleBackEdges = !s.opts.DisableBackEdgeScaling
@@ -344,7 +377,29 @@ func (s *System) Refresh() error {
 	if err != nil {
 		return err
 	}
+	if s.opts.StorePath != "" {
+		// Carry the current workload's hot terms into the persisted store
+		// so the next open warms the same set.
+		var warm []string
+		if old := s.eng.Load(); old != nil {
+			warm = old.cache.HotKeys(warmKeyLimit)
+		}
+		if err := store.WriteFile(s.opts.StorePath, store.Engine{Graph: g, Index: ix, WarmKeys: warm}); err != nil {
+			return fmt.Errorf("banks: persisting rebuilt engine: %w", err)
+		}
+	}
 	s.eng.Store(newEngine(g, ix, s.opts))
+	return nil
+}
+
+// Close releases the disk store backing a System returned by OpenSystem
+// (or LoadSystem of a segmented snapshot); it is a no-op for built
+// systems. Call it only after in-flight queries have finished — queries
+// pinned to the store's engine read from the store file lazily.
+func (s *System) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
 	return nil
 }
 

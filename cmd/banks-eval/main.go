@@ -10,12 +10,18 @@
 //	-ab          the strategy A/B bench: the latency classes and a
 //	             concurrent shared-term burst under both execution
 //	             strategies (the BENCH_query.json data)
+//	-save PATH   build the DBLP engine and persist it as a segmented
+//	             disk store (internal/store format)
+//	-load PATH   open a saved store and report cold-open vs rebuild
+//	             time plus query parity (the BENCH_store.json data);
+//	             -storebudget bounds resident posting blocks
 //
 // By default it runs everything at -scale small; -scale paper uses the
 // 100K-node / 300K-edge configuration of the paper. -shards caps the
 // build parallelism of the main experiments (0 = GOMAXPROCS), and
 // -strategy selects the execution strategy the experiments query with
-// (backward or batched).
+// (backward or batched). -buildbench and -ab report the process peak RSS
+// so memory-bounded serving shows up in recorded benchmarks.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
+	"github.com/banksdb/banks/internal/store"
 )
 
 func main() {
@@ -49,6 +56,9 @@ func main() {
 	shards := flag.Int("shards", 0, "build shard cap (0 = GOMAXPROCS, 1 = serial)")
 	strategy := flag.String("strategy", core.StrategyBackward,
 		"query execution strategy: "+strings.Join(core.Strategies(), " or "))
+	savePath := flag.String("save", "", "persist the built DBLP engine to this store path and exit")
+	loadPath := flag.String("load", "", "open a saved store: report cold-open vs rebuild time and parity")
+	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget for -load (bytes; 0 = unbounded)")
 	flag.Parse()
 	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency && !*buildbench && !*ab
 
@@ -59,6 +69,15 @@ func main() {
 	// Interrupt cancels the context; every query below stops promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *savePath != "" {
+		runSave(*scale, *shards, *savePath)
+		return
+	}
+	if *loadPath != "" {
+		runLoad(ctx, *scale, *shards, *loadPath, *storeBudget)
+		return
+	}
 
 	if *buildbench {
 		runBuildBench(ctx, *scale)
@@ -105,6 +124,104 @@ func main() {
 	}
 	if *full {
 		runFull(db, g, s, *strategy)
+	}
+}
+
+// buildDataset regenerates the DBLP database at the given scale.
+func buildDataset(scale string) *sqldb.Database {
+	cfg := datagen.SmallDBLP()
+	if scale == "paper" {
+		cfg = datagen.PaperScaleDBLP()
+	}
+	db, err := datagen.BuildDBLP(cfg)
+	check(err)
+	return db
+}
+
+// buildEngine derives graph + index from db, timed.
+func buildEngine(db *sqldb.Database, shards int) (*graph.Graph, *index.Index, time.Duration) {
+	bo := graph.DefaultBuildOptions()
+	bo.Shards = shards
+	start := time.Now()
+	g, err := graph.Build(db, bo)
+	check(err)
+	ix, err := index.BuildWithOptions(db, g, &index.BuildOptions{Shards: shards})
+	check(err)
+	return g, ix, time.Since(start)
+}
+
+// runSave builds the DBLP engine and persists it as a segmented store.
+func runSave(scale string, shards int, path string) {
+	fmt.Printf("== build + save DBLP engine (%s scale) ==\n", scale)
+	db := buildDataset(scale)
+	g, ix, buildTime := buildEngine(db, shards)
+	start := time.Now()
+	check(store.WriteFile(path, store.Engine{Graph: g, Index: ix}))
+	saveTime := time.Since(start)
+	fi, err := os.Stat(path)
+	check(err)
+	fmt.Printf("engine            %s, %d index terms\n", g, ix.NumTerms())
+	fmt.Printf("graph+index build %v\n", buildTime)
+	fmt.Printf("store save        %v (%.1f MB at %s)\n", saveTime, float64(fi.Size())/1e6, path)
+}
+
+// runLoad opens a saved store and reports the numbers behind
+// BENCH_store.json: cold-open time vs a fresh rebuild from SQL, query
+// parity between both engines, and the resident footprint of the lazy
+// segments (with -storebudget, the EMBANKS memory-bounded mode).
+func runLoad(ctx context.Context, scale string, shards int, path string, budget int64) {
+	fmt.Printf("== cold open vs rebuild (%s scale, budget %d bytes) ==\n", scale, budget)
+	db := buildDataset(scale)
+
+	openStart := time.Now()
+	st, err := store.Open(path, store.Options{BudgetBytes: budget})
+	check(err)
+	defer st.Close()
+	openTime := time.Since(openStart)
+
+	g, ix, rebuildTime := buildEngine(db, shards)
+	fmt.Printf("cold open         %v\n", openTime)
+	fmt.Printf("rebuild from SQL  %v  (%.1fx slower than open)\n",
+		rebuildTime, float64(rebuildTime)/float64(openTime))
+
+	// First-query cost (faults the arcs, node metadata and dictionary in)
+	// versus warm queries, and parity against the rebuilt engine.
+	stored := newStackedSearcher(st.Graph(), st.Index())
+	fresh := newStackedSearcher(g, ix)
+	opts := eval.DefaultDBLPOptions()
+	firstStart := time.Now()
+	_, _, err = stored.Query(ctx, core.Request{Terms: latencyClasses[0].terms}, opts, nil)
+	check(err)
+	check(st.Err()) // a lazy-load fault degrades to empty results; fail on it here
+	fmt.Printf("first query       %v (lazy segment faults included)\n", time.Since(firstStart))
+	for _, c := range latencyClasses {
+		a1, _, err := stored.Query(ctx, core.Request{Terms: c.terms}, opts, nil)
+		check(err)
+		check(st.Err())
+		a2, _, err := fresh.Query(ctx, core.Request{Terms: c.terms}, opts, nil)
+		check(err)
+		if len(a1) != len(a2) {
+			check(fmt.Errorf("parity failure on %q: %d vs %d answers", c.name, len(a1), len(a2)))
+		}
+		for i := range a1 {
+			if a1[i].Score != a2[i].Score || a1[i].Root != a2[i].Root {
+				check(fmt.Errorf("parity failure on %q at rank %d", c.name, i+1))
+			}
+		}
+	}
+	fmt.Printf("query parity      ok (%d classes, scores and roots identical)\n", len(latencyClasses))
+	stats := st.Stats()
+	fmt.Printf("resident          %.2f MB structural + %.2f MB posting blocks (%d entries, budget %d)\n",
+		float64(stats.StructuralBytes)/1e6, float64(stats.BlockBytes)/1e6, stats.BlockEntries, stats.BudgetBytes)
+	printPeakRSS()
+}
+
+// printPeakRSS reports the process high-water resident set size.
+func printPeakRSS() {
+	if rss := peakRSSBytes(); rss > 0 {
+		fmt.Printf("peak RSS          %.1f MB\n", float64(rss)/1e6)
+	} else {
+		fmt.Println("peak RSS          n/a on this platform")
 	}
 }
 
@@ -293,6 +410,7 @@ func runAB(ctx context.Context, g *graph.Graph, ix *index.Index, warm *core.Sear
 	}
 	fmt.Println("\n(single-flight coalescing needs true concurrency; on a 1-CPU host")
 	fmt.Println(" the herd window closes serially — compare GOMAXPROCS >= 4.)")
+	printPeakRSS()
 }
 
 func runFigure5(db *sqldb.Database, g *graph.Graph, s *core.Searcher, strategy string) {
@@ -403,6 +521,7 @@ func runBuildBench(ctx context.Context, scale string) {
 	fmt.Printf("prefix lookups  %d draws: uncached %v (%v/op), cached %v (%v/op), hit rate %.3f\n",
 		pfxDraws, pfxUncached, pfxUncached/pfxDraws, pfxCached, pfxCached/pfxDraws,
 		pfxCache.Stats().HitRate())
+	printPeakRSS()
 }
 
 func runFull(db *sqldb.Database, g *graph.Graph, s *core.Searcher, strategy string) {

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes is unavailable off Linux; benchmarks print "n/a" for 0.
+func peakRSSBytes() int64 { return 0 }

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	banks-web [-data dblp|thesis|tpcd] [-scale small|paper] [-addr :8080]
+//	          [-store PATH]
+//
+// With -store, the graph and keyword index are served from a segmented
+// disk store instead of being rebuilt at startup: an existing store opens
+// lazily in milliseconds (segments fault in on first query); a missing
+// one is built once, persisted, and used — so the next start is instant.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/sqlexec"
+	"github.com/banksdb/banks/internal/store"
 	"github.com/banksdb/banks/internal/web"
 )
 
@@ -28,6 +35,8 @@ func main() {
 	data := flag.String("data", "thesis", "dataset: dblp, thesis or tpcd")
 	scale := flag.String("scale", "small", "dataset scale: small or paper")
 	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "", "serve the engine from this disk store (built+saved on first run)")
+	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget with -store (bytes; 0 = unbounded)")
 	flag.Parse()
 
 	db, excluded, err := loadDataset(*data, *scale)
@@ -35,16 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	start := time.Now()
-	g, err := graph.Build(db, nil)
+	g, ix, cache, engineErr, err := openEngine(db, *data, *scale, *storePath, *storeBudget)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ix, err := index.Build(db, g)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("loaded %s/%s: %s, %d index terms in %v", *data, *scale, g, ix.NumTerms(), time.Since(start))
 
 	// Seed a few demo templates so /template has content.
 	if err := seedTemplates(db, *data); err != nil {
@@ -56,10 +59,67 @@ func main() {
 	// The dataset is static here, so the provider always hands back the
 	// same searcher; a live deployment would swap in rebuilt snapshots
 	// (each with its own fresh match cache, as System.Refresh does).
-	searcher := core.NewSearcher(g, ix).WithMatchCache(index.NewMatchCache(4 << 20))
+	searcher := core.NewSearcher(g, ix).WithMatchCache(cache)
 	srv := web.NewServer(db, func() *core.Searcher { return searcher }, opts)
+	if engineErr != nil {
+		// Disk faults in the lazy store must 500 a search, not silently
+		// shrink its results.
+		srv.SetEngineErr(engineErr)
+	}
 	log.Printf("BANKS web UI on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// openEngine produces the serving graph + index: a fresh build by
+// default; with a store path, a lazy zero-rebuild open of the saved store
+// (building and persisting it first if absent), with recorded warmup
+// terms resolved into the match cache in the background.
+func openEngine(db *sqldb.Database, data, scale, storePath string, budget int64) (*graph.Graph, *index.Index, *index.MatchCache, func() error, error) {
+	cache := index.NewMatchCache(4 << 20)
+	if storePath == "" {
+		start := time.Now()
+		g, ix, err := buildEngine(db)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		log.Printf("built %s/%s: %s, %d index terms in %v", data, scale, g, ix.NumTerms(), time.Since(start))
+		return g, ix, cache, nil, nil
+	}
+	if _, err := os.Stat(storePath); os.IsNotExist(err) {
+		start := time.Now()
+		g, ix, err := buildEngine(db)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if err := store.WriteFile(storePath, store.Engine{Graph: g, Index: ix}); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		log.Printf("no store at %s: built and saved in %v (next start opens instantly)", storePath, time.Since(start))
+		return g, ix, cache, nil, nil
+	}
+	start := time.Now()
+	st, err := store.Open(storePath, store.Options{BudgetBytes: budget})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	log.Printf("opened store %s in %v (%s/%s, zero rebuild; segments load on first query)",
+		storePath, time.Since(start), data, scale)
+	if keys, err := st.WarmKeys(); err == nil && len(keys) > 0 {
+		go cache.Warm(st.Index(), keys)
+	}
+	return st.Graph(), st.Index(), cache, st.Err, nil
+}
+
+func buildEngine(db *sqldb.Database) (*graph.Graph, *index.Index, error) {
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := index.Build(db, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ix, nil
 }
 
 func loadDataset(name, scale string) (*sqldb.Database, []string, error) {

@@ -56,6 +56,12 @@ type Graph struct {
 	minEdge float64 // minimum arc weight (w_min in §2.3), 1 if no arcs
 	maxNode float64 // maximum node weight (w_max in §2.3), 0 if no references
 	numArcs int
+
+	// lazy is non-nil for store-opened graphs (OpenLazy): the adjacency
+	// and node-metadata arrays above are loaded from their segments on
+	// first touch. nil for built graphs, making the ensure hooks in the
+	// accessors a single predictable branch.
+	lazy *lazyGraph
 }
 
 // NumNodes returns the node count.
@@ -85,10 +91,14 @@ func (g *Graph) TableOf(n NodeID) int32 { return g.tableOf[n] }
 func (g *Graph) TableNameOf(n NodeID) string { return g.tableNames[g.tableOf[n]] }
 
 // RIDOf returns the row id of node n within its table.
-func (g *Graph) RIDOf(n NodeID) sqldb.RID { return g.ridOf[n] }
+func (g *Graph) RIDOf(n NodeID) sqldb.RID {
+	g.ensureNodeMeta()
+	return g.ridOf[n]
+}
 
 // NodeOf returns the node for (table, rid), or NoNode.
 func (g *Graph) NodeOf(table string, rid sqldb.RID) NodeID {
+	g.ensureNodeMeta()
 	t := g.TableID(table)
 	if t < 0 {
 		return NoNode
@@ -106,11 +116,17 @@ func (g *Graph) NodesOfTable(t int32) (lo, hi NodeID) {
 }
 
 // Out returns the out-edges of n. Callers must not mutate the slice.
-func (g *Graph) Out(n NodeID) []Edge { return g.fwdEdges[g.fwdOff[n]:g.fwdOff[n+1]] }
+func (g *Graph) Out(n NodeID) []Edge {
+	g.ensureArcs()
+	return g.fwdEdges[g.fwdOff[n]:g.fwdOff[n+1]]
+}
 
 // In returns the in-edges of n as (source, weight-of-arc-into-n) pairs.
 // Callers must not mutate the slice.
-func (g *Graph) In(n NodeID) []Edge { return g.revEdges[g.revOff[n]:g.revOff[n+1]] }
+func (g *Graph) In(n NodeID) []Edge {
+	g.ensureArcs()
+	return g.revEdges[g.revOff[n]:g.revOff[n+1]]
+}
 
 // ArcWeight returns the weight of arc u->v, or -1 when absent.
 func (g *Graph) ArcWeight(u, v NodeID) float64 {
@@ -123,7 +139,10 @@ func (g *Graph) ArcWeight(u, v NodeID) float64 {
 }
 
 // Prestige returns the node weight (reference indegree) of n.
-func (g *Graph) Prestige(n NodeID) float64 { return g.prestige[n] }
+func (g *Graph) Prestige(n NodeID) float64 {
+	g.ensureNodeMeta()
+	return g.prestige[n]
+}
 
 // MinEdgeWeight returns w_min, the normalizer for edge scores (§2.3).
 func (g *Graph) MinEdgeWeight() float64 { return g.minEdge }

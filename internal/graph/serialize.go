@@ -18,8 +18,14 @@ import (
 
 const graphMagic = "BANKSGR1"
 
-// WriteTo serializes the graph.
+// WriteTo serializes the graph. A lazily-opened graph is fully
+// materialized first (WriteTo walks every arc and node).
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	g.ensureArcs()
+	g.ensureNodeMeta()
+	if err := g.LazyErr(); err != nil {
+		return 0, err
+	}
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 	if _, err := io.WriteString(cw, graphMagic); err != nil {

@@ -211,6 +211,64 @@ func (c *MatchCache) LookupPrefix(ix *Index, prefix string) []graph.NodeID {
 	return ns
 }
 
+// HotKeys returns up to max resident cache keys in roughly most-recently-
+// used order (each shard's LRU walked front to back, shards interleaved).
+// Keys keep their kind prefix, so they round-trip through Warm; the store
+// records them at save time as the match-cache warmup segment. Safe on a
+// nil cache (nil result).
+func (c *MatchCache) HotKeys(max int) []string {
+	if c == nil || max <= 0 {
+		return nil
+	}
+	perShard := make([][]string, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil && len(perShard[i]) < max; el = el.Next() {
+			perShard[i] = append(perShard[i], el.Value.(*matchCacheEntry).key)
+		}
+		s.mu.Unlock()
+	}
+	var out []string
+	for round := 0; len(out) < max; round++ {
+		progressed := false
+		for _, keys := range perShard {
+			if round < len(keys) {
+				out = append(out, keys[round])
+				progressed = true
+				if len(out) == max {
+					return out
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// Warm replays recorded cache keys (from HotKeys) against ix, populating
+// the cache with the match sets a previous process ran hot on. Unknown key
+// kinds are skipped, so warm segments from newer formats degrade
+// gracefully. Safe on a nil cache (no-op).
+func (c *MatchCache) Warm(ix *Index, keys []string) {
+	if c == nil {
+		return
+	}
+	for _, k := range keys {
+		if len(k) < 2 {
+			continue
+		}
+		switch k[:1] {
+		case exactKeyPrefix:
+			c.Lookup(ix, k[1:])
+		case prefixKeyPrefix:
+			c.LookupPrefix(ix, k[1:])
+		}
+	}
+}
+
 // CacheStats is a point-in-time summary of a MatchCache.
 type CacheStats struct {
 	Hits     int64 // lookups served from the cache

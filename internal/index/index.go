@@ -61,12 +61,17 @@ type Match struct {
 // Empty reports whether the term matched nothing at all.
 func (m Match) Empty() bool { return len(m.Nodes) == 0 && len(m.Tables) == 0 }
 
-// Index is the inverted keyword index over a data graph.
+// Index is the inverted keyword index over a data graph. An Index is
+// either eager (Build / NewFromPostings / ReadFrom: every posting list
+// resident in terms) or lazy (OpenLazy: only the term dictionary resident,
+// postings fetched from a LazySource on first lookup); both serve the same
+// read interface with identical results.
 type Index struct {
 	terms map[string][]graph.NodeID
 	meta  map[string][]int32
 	nodes int
 	posts int
+	lazy  *lazyIndex // non-nil for store-opened indexes
 }
 
 // BuildOptions tune index construction.
@@ -223,6 +228,9 @@ func appendUniqueTable(s []int32, t int32) []int32 {
 // token match, as in the paper's prototype).
 func (ix *Index) Lookup(term string) Match {
 	tok := strings.ToLower(strings.TrimSpace(term))
+	if ix.lazy != nil {
+		return ix.lazyLookup(tok)
+	}
 	return Match{Nodes: ix.terms[tok], Tables: ix.meta[tok]}
 }
 
@@ -233,6 +241,9 @@ func (ix *Index) LookupPrefix(prefix string) []graph.NodeID {
 	prefix = strings.ToLower(strings.TrimSpace(prefix))
 	if prefix == "" {
 		return nil
+	}
+	if ix.lazy != nil {
+		return ix.lazyLookupPrefix(prefix)
 	}
 	var out []graph.NodeID
 	for tok, ns := range ix.terms {
@@ -272,17 +283,29 @@ func NewFromPostings(numNodes int, terms map[string][]graph.NodeID, meta map[str
 }
 
 // NumTerms returns the number of distinct indexed tokens.
-func (ix *Index) NumTerms() int { return len(ix.terms) }
+func (ix *Index) NumTerms() int {
+	if ix.lazy != nil {
+		return len(ix.ensureDict().Toks)
+	}
+	return len(ix.terms)
+}
 
 // NumPostings returns the total posting count.
-func (ix *Index) NumPostings() int { return ix.posts }
+func (ix *Index) NumPostings() int {
+	if ix.lazy != nil {
+		return ix.ensureDict().Posts
+	}
+	return ix.posts
+}
 
 // NumNodes returns the node count of the graph the index was built for.
 func (ix *Index) NumNodes() int { return ix.nodes }
 
 const magic = "BANKSIX1"
 
-// WriteTo serializes the index (the paper's "disk resident" mode).
+// WriteTo serializes the index (the paper's "disk resident" mode). A lazy
+// index streams every posting list through its source, so re-saving a
+// store-opened engine works without materializing the whole index at once.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
@@ -290,31 +313,28 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	writeUvarint(cw, uint64(ix.nodes))
-	writeUvarint(cw, uint64(len(ix.terms)))
-	toks := make([]string, 0, len(ix.terms))
-	for tok := range ix.terms {
-		toks = append(toks, tok)
-	}
-	sort.Strings(toks)
-	for _, tok := range toks {
+	writeUvarint(cw, uint64(ix.NumTerms()))
+	if err := ix.ForEachTermSorted(func(tok string, ns []graph.NodeID) {
 		writeString(cw, tok)
-		ns := ix.terms[tok]
 		writeUvarint(cw, uint64(len(ns)))
 		prev := graph.NodeID(0)
 		for _, n := range ns {
 			writeUvarint(cw, uint64(n-prev)) // delta coding: postings are sorted
 			prev = n
 		}
+	}); err != nil {
+		return cw.n, err
 	}
-	writeUvarint(cw, uint64(len(ix.meta)))
-	mtoks := make([]string, 0, len(ix.meta))
-	for tok := range ix.meta {
+	meta := ix.MetaTables()
+	writeUvarint(cw, uint64(len(meta)))
+	mtoks := make([]string, 0, len(meta))
+	for tok := range meta {
 		mtoks = append(mtoks, tok)
 	}
 	sort.Strings(mtoks)
 	for _, tok := range mtoks {
 		writeString(cw, tok)
-		ts := ix.meta[tok]
+		ts := meta[tok]
 		writeUvarint(cw, uint64(len(ts)))
 		for _, t := range ts {
 			writeUvarint(cw, uint64(t))
@@ -324,6 +344,54 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, cw.err
 	}
 	return cw.n, bw.Flush()
+}
+
+// ForEachTermSorted visits every indexed token in ascending order with
+// its posting list — the iteration order WriteTo and the store”s postings
+// segment share. Lazy indexes fetch each list through their source and
+// return the first fetch error. Visited slices must not be mutated.
+func (ix *Index) ForEachTermSorted(fn func(tok string, ns []graph.NodeID)) error {
+	if ix.lazy != nil {
+		d := ix.ensureDict()
+		if err := ix.LazyErr(); err != nil {
+			return err
+		}
+		// Prefer the source's sequential path when it has one: a full
+		// sweep must stream blocks through, not admit every decoded
+		// block into the source's cache (which would pin the whole
+		// postings set resident on an unbounded budget).
+		fetch := ix.lazy.src.Postings
+		if seq, ok := ix.lazy.src.(sequentialSource); ok {
+			fetch = seq.PostingsSequential
+		}
+		for i, tok := range d.Toks {
+			ns, err := fetch(i, tok)
+			if err != nil {
+				return fmt.Errorf("index: loading postings for %q: %w", tok, err)
+			}
+			fn(tok, ns)
+		}
+		return nil
+	}
+	toks := make([]string, 0, len(ix.terms))
+	for tok := range ix.terms {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		fn(tok, ix.terms[tok])
+	}
+	return nil
+}
+
+// MetaTables returns the metadata (relation/column name token -> table
+// ids) map, loading the dictionary for lazy indexes. The map and its
+// slices are shared — callers must not mutate them.
+func (ix *Index) MetaTables() map[string][]int32 {
+	if ix.lazy != nil {
+		return ix.ensureDict().Meta
+	}
+	return ix.meta
 }
 
 // readPrealloc caps the slice capacity trusted from a length prefix: a

@@ -1,0 +1,608 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// Options tune an opened store's serving mode.
+type Options struct {
+	// BudgetBytes caps the resident bytes of lazily-loaded posting blocks
+	// (decoded match sets), evicted LRU — the EMBANKS memory-bound serving
+	// mode. 0 keeps every touched block resident (no bound); negative
+	// disables block caching entirely (every lookup re-reads its block).
+	// Structural segments (arcs, node metadata, term dictionary) are
+	// loaded at most once each and are reported, not evicted; see
+	// Stats.StructuralBytes.
+	BudgetBytes int64
+}
+
+// Store is an opened disk-resident engine. Graph and Index return lazy
+// views that fault their segments in on first touch; all methods are safe
+// for concurrent use. Close releases the underlying file — only after all
+// queries against the store's engine have finished.
+type Store struct {
+	r      io.ReaderAt
+	closer io.Closer
+	size   int64
+	segs   map[kind]dirEntry
+	opts   Options
+
+	g  *graph.Graph
+	ix *index.Index
+
+	blocksMu sync.Mutex
+	blocks   []blockRef // per-term postings refs, set when the dict loads
+	cache    *blockCache
+
+	structural atomic.Int64 // bytes of structural segments made resident
+	hits       atomic.Int64
+	misses     atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// blockRef locates one term's postings block inside the postings segment.
+type blockRef struct {
+	off, length uint64
+	crc         uint32
+	count       int
+}
+
+// Open opens the store file at path. Work is directory-read plus
+// header/footer/checksum verification — segments stay on disk until a
+// query touches them, which is what makes cold open rebuild-free.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s, err := OpenReaderAt(f, fi.Size(), opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// OpenReaderAt is Open over any random-access byte source (an os.File, a
+// bytes.Reader over an in-memory snapshot, an mmap). size is the total
+// store length in bytes.
+func OpenReaderAt(r io.ReaderAt, size int64, opts Options) (*Store, error) {
+	s := &Store{r: r, size: size, opts: opts, cache: newBlockCache(opts.BudgetBytes)}
+	if err := s.readLayout(); err != nil {
+		return nil, err
+	}
+	metaSeg, err := s.readSegment(kindGraphMeta)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.OpenLazy(metaSeg, s)
+	if err != nil {
+		return nil, err
+	}
+	s.g = g
+	s.ix = index.OpenLazy(g.NumNodes(), s)
+	return s, nil
+}
+
+// readLayout verifies the header, footer and directory and indexes the
+// segments.
+func (s *Store) readLayout() error {
+	if s.size < headerSize+footerSize {
+		return fmt.Errorf("store: file is %d bytes; not a BANKS store", s.size)
+	}
+	var hdr [headerSize]byte
+	if _, err := s.r.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("store: reading header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return fmt.Errorf("store: not a BANKS store (bad magic %q)", hdr[:8])
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != Version {
+		return fmt.Errorf("store: unsupported store version %d (want %d)", v, Version)
+	}
+	var foot [footerSize]byte
+	if _, err := s.r.ReadAt(foot[:], s.size-footerSize); err != nil {
+		return fmt.Errorf("store: reading footer: %w", err)
+	}
+	if string(foot[20:]) != footerMagic {
+		return fmt.Errorf("store: truncated or torn store (bad footer magic %q)", foot[20:])
+	}
+	dirOff := binary.BigEndian.Uint64(foot[0:])
+	dirLen := binary.BigEndian.Uint64(foot[8:])
+	dirCRC := binary.BigEndian.Uint32(foot[16:])
+	if dirOff < headerSize || dirLen > uint64(s.size) || dirOff+dirLen != uint64(s.size-footerSize) {
+		return fmt.Errorf("store: directory [%d, %d) does not fit the file", dirOff, dirOff+dirLen)
+	}
+	dir := make([]byte, dirLen)
+	if _, err := s.r.ReadAt(dir, int64(dirOff)); err != nil {
+		return fmt.Errorf("store: reading directory: %w", err)
+	}
+	if checksum(dir) != dirCRC {
+		return errors.New("store: directory checksum mismatch")
+	}
+	entries, err := decodeDirectory(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = make(map[kind]dirEntry, len(entries))
+	for _, e := range entries {
+		if e.off < headerSize || e.length > uint64(s.size) || e.off+e.length > dirOff {
+			return fmt.Errorf("store: %s segment [%d, %d) overruns the directory", e.kind, e.off, e.off+e.length)
+		}
+		if _, dup := s.segs[e.kind]; dup {
+			return fmt.Errorf("store: duplicate %s segment", e.kind)
+		}
+		s.segs[e.kind] = e
+	}
+	for _, k := range requiredKinds {
+		if _, ok := s.segs[k]; !ok {
+			return fmt.Errorf("store: missing %s segment", k)
+		}
+	}
+	return nil
+}
+
+// readSegment fetches and checksums one whole segment.
+func (s *Store) readSegment(k kind) ([]byte, error) {
+	e, ok := s.segs[k]
+	if !ok {
+		return nil, fmt.Errorf("store: missing %s segment", k)
+	}
+	data := make([]byte, e.length)
+	if _, err := s.r.ReadAt(data, int64(e.off)); err != nil {
+		return nil, fmt.Errorf("store: reading %s segment: %w", k, err)
+	}
+	if checksum(data) != e.crc {
+		return nil, fmt.Errorf("store: %s segment checksum mismatch", k)
+	}
+	return data, nil
+}
+
+// Graph returns the lazily-loading data graph.
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+// Index returns the lazily-loading keyword index.
+func (s *Store) Index() *index.Index { return s.ix }
+
+// Close releases the underlying file (a no-op for in-memory stores).
+func (s *Store) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// Err reports the first I/O, checksum or decode failure hit by any lazy
+// load since Open — the graph's, the index's or the store's own. Lazy
+// reads degrade to empty results on failure, so callers that must fail
+// loudly (banks.System does, after every query) check Err at their
+// operation boundary.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	err := s.err
+	s.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.g.LazyErr(); err != nil {
+		return err
+	}
+	return s.ix.LazyErr()
+}
+
+func (s *Store) setErr(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// WarmKeys returns the match-cache warmup keys recorded at save time
+// (MatchCache.HotKeys order), or nil when the segment is absent.
+func (s *Store) WarmKeys() ([]string, error) {
+	if _, ok := s.segs[kindWarmTerms]; !ok {
+		return nil, nil
+	}
+	data, err := s.readSegment(kindWarmTerms)
+	if err != nil {
+		return nil, err
+	}
+	d := cursor{buf: data}
+	n := d.uvarint()
+	if n > maxWarmKeys {
+		return nil, fmt.Errorf("store: warm segment claims %d keys", n)
+	}
+	keys := make([]string, 0, min(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		keys = append(keys, d.str())
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("store: warm segment: %w", d.err)
+	}
+	return keys, nil
+}
+
+const maxWarmKeys = 1 << 20
+
+// ArcsSegment implements graph.SegmentSource.
+func (s *Store) ArcsSegment() ([]byte, error) {
+	data, err := s.readSegment(kindGraphArcs)
+	if err != nil {
+		s.setErr(err)
+		return nil, err
+	}
+	s.structural.Add(int64(len(data)))
+	return data, nil
+}
+
+// NodeMetaSegment implements graph.SegmentSource.
+func (s *Store) NodeMetaSegment() ([]byte, error) {
+	data, err := s.readSegment(kindNodeMeta)
+	if err != nil {
+		s.setErr(err)
+		return nil, err
+	}
+	s.structural.Add(int64(len(data)))
+	return data, nil
+}
+
+// Dict implements index.LazySource: it parses the term dictionary segment
+// into the index-facing LazyDict and the store-private block refs.
+func (s *Store) Dict() (*index.LazyDict, error) {
+	data, err := s.readSegment(kindTermDict)
+	if err != nil {
+		s.setErr(err)
+		return nil, err
+	}
+	postingsLen := s.segs[kindPostings].length
+	d := cursor{buf: data}
+	nodes := d.uvarint()
+	posts := d.uvarint()
+	nterms := d.uvarint()
+	if d.err == nil && nodes != uint64(s.g.NumNodes()) {
+		d.err = fmt.Errorf("dictionary built for %d nodes, graph has %d", nodes, s.g.NumNodes())
+	}
+	if d.err == nil && (nterms > math.MaxInt32 || posts > math.MaxInt32) {
+		d.err = fmt.Errorf("dictionary claims %d terms, %d postings", nterms, posts)
+	}
+	dict := &index.LazyDict{Posts: int(posts)}
+	var blocks []blockRef
+	for i := uint64(0); i < nterms && d.err == nil; i++ {
+		tok := d.str()
+		count := d.uvarint()
+		off := d.uvarint()
+		ln := d.uvarint()
+		crc := d.u32()
+		if d.err != nil {
+			break
+		}
+		if count > posts {
+			d.err = fmt.Errorf("term %q claims %d of %d postings", tok, count, posts)
+			break
+		}
+		if off+ln < off || off+ln > postingsLen {
+			d.err = fmt.Errorf("term %q block [%d, %d) overruns the postings segment (%d bytes)", tok, off, off+ln, postingsLen)
+			break
+		}
+		dict.Toks = append(dict.Toks, tok)
+		dict.Counts = append(dict.Counts, int(count))
+		blocks = append(blocks, blockRef{off: off, length: ln, crc: crc, count: int(count)})
+	}
+	nmeta := d.uvarint()
+	if d.err == nil && nmeta > math.MaxInt32 {
+		d.err = fmt.Errorf("dictionary claims %d metadata terms", nmeta)
+	}
+	dict.Meta = make(map[string][]int32, min(nmeta, 1024))
+	for i := uint64(0); i < nmeta && d.err == nil; i++ {
+		tok := d.str()
+		nt := d.uvarint()
+		if nt > uint64(len(data)) {
+			d.err = fmt.Errorf("metadata term %q claims %d tables", tok, nt)
+			break
+		}
+		ts := make([]int32, 0, min(nt, 1024))
+		for j := uint64(0); j < nt; j++ {
+			v := d.uvarint()
+			if v > math.MaxInt32 {
+				d.err = fmt.Errorf("metadata term %q references table %d", tok, v)
+				break
+			}
+			ts = append(ts, int32(v))
+		}
+		dict.Meta[tok] = ts
+	}
+	if d.err != nil {
+		err := fmt.Errorf("store: term dictionary: %w", d.err)
+		s.setErr(err)
+		return nil, err
+	}
+	s.structural.Add(int64(len(data)))
+	s.blocksMu.Lock()
+	s.blocks = blocks
+	s.blocksMu.Unlock()
+	return dict, nil
+}
+
+// Postings implements index.LazySource: resolve dictionary entry i through
+// the block cache, reading and checksumming exactly one posting block on a
+// miss.
+func (s *Store) Postings(i int, tok string) ([]graph.NodeID, error) {
+	if ns, ok := s.cache.get(i); ok {
+		s.hits.Add(1)
+		return ns, nil
+	}
+	s.misses.Add(1)
+	return s.readPostings(i, tok, true)
+}
+
+// PostingsSequential implements index's sequential-scan source: the same
+// block read, but bypassing cache admission (and the hit/miss counters)
+// so a full-index sweep — WriteTo, re-Save — streams through without
+// pinning every decoded block resident.
+func (s *Store) PostingsSequential(i int, tok string) ([]graph.NodeID, error) {
+	if ns, ok := s.cache.get(i); ok {
+		return ns, nil
+	}
+	return s.readPostings(i, tok, false)
+}
+
+// readPostings fetches, checksums and decodes dictionary entry i's block,
+// optionally admitting the result to the block cache.
+func (s *Store) readPostings(i int, tok string, admit bool) ([]graph.NodeID, error) {
+	s.blocksMu.Lock()
+	var ref blockRef
+	ok := i >= 0 && i < len(s.blocks)
+	if ok {
+		ref = s.blocks[i]
+	}
+	s.blocksMu.Unlock()
+	if !ok {
+		err := fmt.Errorf("store: postings request %d outside the dictionary", i)
+		s.setErr(err)
+		return nil, err
+	}
+	block := make([]byte, ref.length)
+	e := s.segs[kindPostings]
+	if _, err := s.r.ReadAt(block, int64(e.off+ref.off)); err != nil {
+		err = fmt.Errorf("store: reading postings block for %q: %w", tok, err)
+		s.setErr(err)
+		return nil, err
+	}
+	if checksum(block) != ref.crc {
+		err := fmt.Errorf("store: postings block for %q fails its checksum", tok)
+		s.setErr(err)
+		return nil, err
+	}
+	ns, err := decodePostingsBlock(block, ref.count, s.g.NumNodes())
+	if err != nil {
+		err = fmt.Errorf("store: postings block for %q: %w", tok, err)
+		s.setErr(err)
+		return nil, err
+	}
+	if admit {
+		s.cache.put(i, ns)
+	}
+	return ns, nil
+}
+
+// decodePostingsBlock decodes one delta-varint posting block, validating
+// node ids against the graph. Each posting is at least one byte, so a
+// count exceeding the block length is corruption — checked before the
+// count is trusted for allocation.
+func decodePostingsBlock(block []byte, count, numNodes int) ([]graph.NodeID, error) {
+	if count > len(block) {
+		return nil, fmt.Errorf("%d postings cannot fit in a %d-byte block", count, len(block))
+	}
+	ns := make([]graph.NodeID, 0, count)
+	prev := uint64(0)
+	for i := 0; i < count; i++ {
+		d, n := binary.Uvarint(block)
+		if n <= 0 {
+			return nil, fmt.Errorf("truncated at posting %d of %d", i, count)
+		}
+		block = block[n:]
+		prev += d
+		if prev >= uint64(numNodes) {
+			return nil, fmt.Errorf("posting %d references node %d of %d", i, prev, numNodes)
+		}
+		ns = append(ns, graph.NodeID(prev))
+	}
+	if len(block) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after %d postings", len(block), count)
+	}
+	return ns, nil
+}
+
+// Verify reads every segment end to end and checks all checksums — the
+// eager integrity pass lazy opening deliberately skips. It does not
+// populate caches.
+func (s *Store) Verify() error {
+	for k := range s.segs {
+		if _, err := s.readSegment(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats is a point-in-time summary of an opened store's residency.
+type Stats struct {
+	// StructuralBytes counts bytes of structural segments (arcs, node
+	// metadata, term dictionary) made resident so far; they load at most
+	// once each and are never evicted.
+	StructuralBytes int64
+	// BlockBytes / BlockEntries describe the decoded posting-block cache,
+	// the part BudgetBytes bounds.
+	BlockBytes   int64
+	BlockEntries int
+	// BudgetBytes echoes Options.BudgetBytes.
+	BudgetBytes int64
+	// Hits / Misses count posting-block cache probes.
+	Hits, Misses int64
+}
+
+// Stats returns current residency counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		StructuralBytes: s.structural.Load(),
+		BudgetBytes:     s.opts.BudgetBytes,
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+	}
+	st.BlockBytes, st.BlockEntries = s.cache.usage()
+	return st
+}
+
+// ResidentBytes returns the total lazily-loaded bytes currently resident.
+func (s *Store) ResidentBytes() int64 {
+	b, _ := s.cache.usage()
+	return s.structural.Load() + b
+}
+
+// blockCache is the LRU over decoded posting blocks. max == 0 means
+// unbounded; max < 0 disables caching.
+type blockCache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	items map[int]*list.Element
+	lru   list.List
+}
+
+// blockOverhead approximates the fixed per-entry cost charged on top of
+// the decoded postings payload.
+const blockOverhead = 64
+
+type blockCacheEntry struct {
+	key  int
+	ns   []graph.NodeID
+	size int64
+}
+
+func newBlockCache(max int64) *blockCache {
+	c := &blockCache{max: max}
+	if max >= 0 {
+		c.items = make(map[int]*list.Element)
+	}
+	return c
+}
+
+func (c *blockCache) get(key int) ([]graph.NodeID, bool) {
+	if c.max < 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*blockCacheEntry).ns, true
+}
+
+func (c *blockCache) put(key int, ns []graph.NodeID) {
+	if c.max < 0 {
+		return
+	}
+	size := 4*int64(len(ns)) + blockOverhead
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && size > c.max {
+		return // larger than the whole budget: serve uncached
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*blockCacheEntry)
+		c.bytes += size - e.size
+		e.ns, e.size = ns, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.items[key] = c.lru.PushFront(&blockCacheEntry{key: key, ns: ns, size: size})
+		c.bytes += size
+	}
+	if c.max == 0 {
+		return
+	}
+	for c.bytes > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := c.lru.Remove(back).(*blockCacheEntry)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+	}
+}
+
+func (c *blockCache) usage() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, len(c.items)
+}
+
+// cursor is a varint decoder with sticky errors, shared by the dictionary
+// and warm-segment parsers.
+type cursor struct {
+	buf []byte
+	err error
+}
+
+func (d *cursor) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *cursor) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 || n > uint64(len(d.buf)) {
+		d.err = errors.New("string too long")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *cursor) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.err = errors.New("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}

@@ -1,0 +1,518 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/eval"
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// The shared DBLP fixture: one built engine reused across tests (building
+// it is the expensive part of this suite).
+var fixture struct {
+	once sync.Once
+	db   *sqldb.Database
+	g    *graph.Graph
+	ix   *index.Index
+	err  error
+}
+
+func dblpEngine(t *testing.T) (*sqldb.Database, *graph.Graph, *index.Index) {
+	t.Helper()
+	fixture.once.Do(func() {
+		cfg := datagen.SmallDBLP()
+		fixture.db, fixture.err = datagen.BuildDBLP(cfg)
+		if fixture.err != nil {
+			return
+		}
+		if fixture.g, fixture.err = graph.Build(fixture.db, nil); fixture.err != nil {
+			return
+		}
+		fixture.ix, fixture.err = index.Build(fixture.db, fixture.g)
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.db, fixture.g, fixture.ix
+}
+
+// saveFixture writes the fixture engine to a fresh store file.
+func saveFixture(t *testing.T, warm []string) string {
+	t.Helper()
+	_, g, ix := dblpEngine(t)
+	path := filepath.Join(t.TempDir(), "dblp.bstore")
+	if err := WriteFile(path, Engine{Graph: g, Index: ix, WarmKeys: warm}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var parityQueries = [][]string{
+	{"mohan"},
+	{"transaction"},
+	{"soumen", "sunita"},
+	{"seltzer", "sunita"},
+	{"mining", "surprising", "patterns"},
+}
+
+// queryTrace runs the parity queries and captures everything observable:
+// roots, scores, edges and iterator pop counts.
+func queryTrace(t *testing.T, g *graph.Graph, ix *index.Index) string {
+	t.Helper()
+	s := core.NewSearcher(g, ix)
+	var b strings.Builder
+	for _, terms := range parityQueries {
+		answers, stats, err := s.Query(context.Background(), core.Request{Terms: terms}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(strings.Join(terms, " "))
+		for _, a := range answers {
+			b.WriteString(" |")
+			b.WriteString(a.Describe(g))
+		}
+		b.WriteString(" pops=")
+		b.WriteString(strings.Repeat("I", stats.Pops%97)) // cheap pop fingerprint
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestStoreRoundTripQueryParity(t *testing.T) {
+	_, g, ix := dblpEngine(t)
+	path := saveFixture(t, nil)
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want := queryTrace(t, g, ix)
+	// Cold: first queries fault the segments in. Warm: everything resident.
+	if got := queryTrace(t, st.Graph(), st.Index()); got != want {
+		t.Fatalf("cold store queries diverge:\n got %q\nwant %q", got, want)
+	}
+	if got := queryTrace(t, st.Graph(), st.Index()); got != want {
+		t.Fatalf("warm store queries diverge:\n got %q\nwant %q", got, want)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The opened engine serializes byte-identically to the built one —
+	// graph and index are equivalent in full, not just on these queries.
+	var wantG, gotG, wantIx, gotIx bytes.Buffer
+	if _, err := g.WriteTo(&wantG); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Graph().WriteTo(&gotG); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantG.Bytes(), gotG.Bytes()) {
+		t.Error("store graph serializes differently from the built graph")
+	}
+	if _, err := ix.WriteTo(&wantIx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Index().WriteTo(&gotIx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantIx.Bytes(), gotIx.Bytes()) {
+		t.Error("store index serializes differently from the built index")
+	}
+}
+
+func TestOpenIsLazy(t *testing.T) {
+	path := saveFixture(t, nil)
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.ResidentBytes(); got != 0 {
+		t.Fatalf("open made %d bytes resident before any query", got)
+	}
+	_, g, _ := dblpEngine(t)
+	if st.Graph().NumNodes() != g.NumNodes() || st.Graph().NumArcs() != g.NumArcs() {
+		t.Fatal("meta facts wrong before segment loads")
+	}
+	if got := st.ResidentBytes(); got != 0 {
+		t.Fatalf("meta queries loaded %d bytes", got)
+	}
+	st.Index().Lookup("transaction")
+	if st.Stats().StructuralBytes == 0 {
+		t.Fatal("a lookup should have loaded the term dictionary")
+	}
+}
+
+func TestResaveOpenedStoreIsByteIdentical(t *testing.T) {
+	path := saveFixture(t, []string{"=transaction", "~sur"})
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	warm, err := st.WarmKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resaved bytes.Buffer
+	if err := Write(&resaved, Engine{Graph: st.Graph(), Index: st.Index(), WarmKeys: warm}); err != nil {
+		t.Fatal(err)
+	}
+	original, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(original, resaved.Bytes()) {
+		t.Fatal("re-saving an opened store changed its bytes")
+	}
+}
+
+func TestWarmKeysRoundTrip(t *testing.T) {
+	keys := []string{"=transaction", "=mohan", "~sur"}
+	path := saveFixture(t, keys)
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.WarmKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(keys, ",") {
+		t.Fatalf("WarmKeys = %v, want %v", got, keys)
+	}
+
+	// And a store saved without warm keys has none.
+	st2, err := Open(saveFixture(t, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got, err := st2.WarmKeys(); err != nil || got != nil {
+		t.Fatalf("WarmKeys = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestOverwriteGuard(t *testing.T) {
+	_, g, ix := dblpEngine(t)
+	eng := Engine{Graph: g, Index: ix}
+	dir := t.TempDir()
+
+	// A foreign file must not be clobbered.
+	foreign := filepath.Join(dir, "precious.db")
+	if err := os.WriteFile(foreign, []byte("this is someone's data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(foreign, eng)
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("WriteFile over a foreign file: err = %v, want a refusal", err)
+	}
+	if data, _ := os.ReadFile(foreign); string(data) != "this is someone's data" {
+		t.Fatal("foreign file was modified")
+	}
+
+	// Overwriting a previous store, a legacy snapshot, an empty file or a
+	// missing path is allowed.
+	ours := filepath.Join(dir, "engine.bstore")
+	for _, setup := range []func() error{
+		func() error { return nil }, // missing
+		func() error { return os.WriteFile(ours, nil, 0o644) },
+		func() error { return os.WriteFile(ours, []byte(legacySnapshotMagic+"rest"), 0o644) },
+		func() error { return WriteFile(ours, eng) },
+	} {
+		if err := setup(); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(ours, eng); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCorruptStoresRejected(t *testing.T) {
+	path := saveFixture(t, []string{"=transaction"})
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// openAndTouch opens corrupted bytes and, if Open succeeds, forces
+	// every lazy load — WriteTo streams every arc, node and posting block —
+	// so either stage must surface an error, never a panic.
+	openAndTouch := func(data []byte) error {
+		st, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)), Options{})
+		if err != nil {
+			return err
+		}
+		if _, err := st.Graph().WriteTo(io.Discard); err != nil {
+			return err
+		}
+		if _, err := st.Index().WriteTo(io.Discard); err != nil {
+			return err
+		}
+		st.Index().Lookup("transaction")
+		st.Index().LookupPrefix("tr")
+		if _, err := st.WarmKeys(); err != nil {
+			return err
+		}
+		return st.Err()
+	}
+
+	if err := openAndTouch(pristine); err != nil {
+		t.Fatalf("pristine store failed: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad header magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"bad version", func(b []byte) []byte { b[11] = 0xEE; return b }},
+		{"truncated footer", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"truncated mid-file", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad directory crc", func(b []byte) []byte { b[len(b)-10] ^= 1; return b }},
+	}
+	for _, c := range cases {
+		data := c.mutate(append([]byte(nil), pristine...))
+		if _, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)), Options{}); err == nil {
+			t.Errorf("%s: Open accepted corrupt store", c.name)
+		}
+	}
+
+	// Flipping any single payload byte must be caught by a checksum at
+	// open, on first touch, or by Verify. Sample positions across the file.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		data := append([]byte(nil), pristine...)
+		pos := headerSize + rng.Intn(len(data)-headerSize-footerSize)
+		data[pos] ^= 0x40
+		st, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)), Options{})
+		if err != nil {
+			continue // caught at open
+		}
+		if err := st.Verify(); err == nil {
+			t.Errorf("flipped byte at %d survived Verify", pos)
+		}
+		if err := openAndTouch(data); err == nil {
+			t.Errorf("flipped byte at %d survived a full touch", pos)
+		}
+	}
+}
+
+// TestBudgetBoundsResidentBlocks is the EMBANKS memory-bound mode under a
+// skewed workload: a Zipf term stream over a budgeted store must stay
+// under the block budget at all times while still serving mostly from
+// cache.
+func TestBudgetBoundsResidentBlocks(t *testing.T) {
+	path := saveFixture(t, nil)
+	const budget = 16 << 10
+	st, err := Open(path, Options{BudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	stream := datagen.ZipfTerms(20000, 99)
+	for i, term := range stream {
+		st.Index().Lookup(term)
+		if i%512 == 0 {
+			if b := st.Stats().BlockBytes; b > budget {
+				t.Fatalf("after %d lookups resident blocks = %d bytes, budget %d", i+1, b, budget)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.BlockBytes > budget {
+		t.Fatalf("final resident blocks = %d bytes, budget %d", stats.BlockBytes, budget)
+	}
+	if stats.BlockEntries == 0 {
+		t.Fatal("budgeted cache held nothing")
+	}
+	if stats.Hits == 0 {
+		t.Fatal("skewed workload never hit the block cache")
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbounded and uncached modes behave as documented.
+	stU, err := Open(path, Options{BudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stU.Close()
+	stU.Index().Lookup("transaction")
+	stU.Index().Lookup("transaction")
+	us := stU.Stats()
+	if us.BlockBytes != 0 || us.Hits != 0 || us.Misses != 2 {
+		t.Fatalf("uncached mode stats = %+v", us)
+	}
+}
+
+func TestVerifyPassesOnPristineStore(t *testing.T) {
+	path := saveFixture(t, []string{"=mohan"})
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalSuiteParityTPCD is the second-dataset leg of the golden parity
+// requirement: the full eval-suite answer lists of a store-opened TPC-D
+// engine match the freshly built engine's exactly, cold and warm.
+func TestEvalSuiteParityTPCD(t *testing.T) {
+	db, err := datagen.BuildTPCD(datagen.SmallTPCD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Build(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tpcd.bstore")
+	if err := WriteFile(path, Engine{Graph: g, Index: ix}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, Options{BudgetBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	suiteTrace := func(g *graph.Graph, ix *index.Index) string {
+		s := core.NewSearcher(g, ix)
+		var b strings.Builder
+		for _, q := range eval.TPCDSuite() {
+			answers, stats, err := s.Query(context.Background(), core.Request{Terms: q.Terms}, eval.DefaultDBLPOptions(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "%s pops=%d", q.Name, stats.Pops)
+			for _, a := range answers {
+				fmt.Fprintf(&b, " |%.8f %s", a.Score, a.Describe(g))
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	want := suiteTrace(g, ix)
+	if got := suiteTrace(st.Graph(), st.Index()); got != want {
+		t.Fatal("cold TPC-D store eval suite diverges from the built engine")
+	}
+	if got := suiteTrace(st.Graph(), st.Index()); got != want {
+		t.Fatal("warm TPC-D store eval suite diverges from the built engine")
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentColdQueries hammers a freshly opened store from many
+// goroutines at once: the first touches of the arcs, node-metadata and
+// dictionary segments race here, so the lazy single-load guards and the
+// block cache must hold under -race with answers identical to the built
+// engine.
+func TestConcurrentColdQueries(t *testing.T) {
+	_, g, ix := dblpEngine(t)
+	st, err := Open(saveFixture(t, nil), Options{BudgetBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want := make([]string, len(parityQueries))
+	ref := core.NewSearcher(g, ix)
+	for i, terms := range parityQueries {
+		answers, _, err := ref.Query(context.Background(), core.Request{Terms: terms}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, a := range answers {
+			fmt.Fprintf(&b, "|%.8f %s", a.Score, a.Describe(g))
+		}
+		want[i] = b.String()
+	}
+
+	s := core.NewSearcher(st.Graph(), st.Index())
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, terms := range parityQueries {
+				answers, _, err := s.Query(context.Background(), core.Request{Terms: terms}, nil, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var b strings.Builder
+				for _, a := range answers {
+					fmt.Fprintf(&b, "|%.8f %s", a.Score, a.Describe(st.Graph()))
+				}
+				if b.String() != want[i] {
+					errs <- fmt.Errorf("worker %d query %v diverged", w, terms)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullSweepDoesNotPinBlocks: WriteTo / re-save stream every posting
+// block through the sequential path, so a full sweep must not populate
+// the block cache (which would pin the whole postings set resident on an
+// unbounded budget).
+func TestFullSweepDoesNotPinBlocks(t *testing.T) {
+	st, err := Open(saveFixture(t, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Index().WriteTo(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Stats(); stats.BlockBytes != 0 || stats.BlockEntries != 0 {
+		t.Fatalf("full index sweep left %d bytes / %d entries resident", stats.BlockBytes, stats.BlockEntries)
+	}
+	// A point lookup afterwards still caches normally.
+	st.Index().Lookup("transaction")
+	if stats := st.Stats(); stats.BlockEntries != 1 {
+		t.Fatalf("point lookup cached %d entries, want 1", stats.BlockEntries)
+	}
+}

@@ -26,12 +26,20 @@ import (
 
 // Server is the BANKS web UI.
 type Server struct {
-	db       *sqldb.Database
-	engine   *sqlexec.Engine
-	searcher func() *core.Searcher
-	opts     *core.Options
-	mux      *http.ServeMux
+	db        *sqldb.Database
+	engine    *sqlexec.Engine
+	searcher  func() *core.Searcher
+	opts      *core.Options
+	mux       *http.ServeMux
+	engineErr func() error // optional post-query health check (disk stores)
 }
+
+// SetEngineErr installs a health check consulted after every search. A
+// disk-resident engine (internal/store) degrades lazy-load failures to
+// empty match sets so the expansion loop never panics; without this hook
+// a corrupt segment would silently shrink results to nothing. When fn
+// reports an error the request fails with 500 instead.
+func (s *Server) SetEngineErr(fn func() error) { s.engineErr = fn }
 
 // NewServer builds a server over the database and a searcher provider.
 // searcher is called once per request needing search structures, so a
@@ -234,6 +242,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.renderError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.engineErr != nil {
+		if eerr := s.engineErr(); eerr != nil {
+			s.renderError(w, http.StatusInternalServerError,
+				fmt.Errorf("disk-resident engine: %w", eerr))
+			return
+		}
 	}
 	var b strings.Builder
 	b.WriteString(s.searchFormHTML(q, timeoutParam, strategyParam))

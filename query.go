@@ -177,6 +177,12 @@ func (s *System) run(ctx context.Context, q Query, fn func(*Answer) bool) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	// A store-backed engine degrades lazy-load failures to empty match
+	// sets so the search machinery never panics mid-expansion; surface
+	// them here so a disk fault fails the query instead of shrinking it.
+	if serr := eng.storeErr(); serr != nil {
+		return nil, fmt.Errorf("banks: disk-resident engine: %w", serr)
+	}
 
 	// The core trims heap-overflow overshoot (a visit can emit an answer
 	// or two beyond TopK) after emission, so the returned list — not the

@@ -6,99 +6,170 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/store"
 )
 
-// Snapshot framing: an 8-byte magic, a 4-byte big-endian format version,
-// then the length-prefixed graph and index sections. The magic lets
-// LoadSystem reject arbitrary files with a clear error instead of
-// misreading their first bytes as a section length; the version gates
-// future format changes.
+// Engine persistence. Two formats exist:
+//
+//   - The segmented store format (internal/store, magic "BANKSST1"): a
+//     versioned, checksummed file of independent segments behind a
+//     directory. Save and SaveSnapshot always write it, Open/OpenSystem
+//     open it lazily — cold start reads the directory and one small
+//     metadata segment; arcs, node metadata and postings fault in on
+//     first touch, optionally under a memory budget (the EMBANKS
+//     disk-based serving mode).
+//
+//   - The legacy monolithic snapshot (magic "BANKSNAP"): the superseded
+//     PR 2 format — magic, version, then length-prefixed graph and index
+//     streams. LoadSystem still reads it (one-way migration: load, then
+//     Save to convert), but nothing writes it anymore.
 const (
-	snapshotMagic   = "BANKSNAP"
-	snapshotVersion = 1
-	// maxSnapshotSection bounds a section's declared length (64 GiB —
-	// far beyond any graph this process could hold) so a corrupted
+	legacySnapshotMagic   = "BANKSNAP"
+	legacySnapshotVersion = 1
+	// maxSnapshotSection bounds a legacy section's declared length (64 GiB
+	// — far beyond any graph this process could hold) so a corrupted
 	// length prefix fails fast instead of driving huge allocations.
 	maxSnapshotSection = int64(1) << 36
 )
 
-// SaveSnapshot persists the built data graph and keyword index so a later
-// process can serve queries without re-deriving them from the database —
-// the disk-resident mode the paper describes for its keyword index,
-// extended to the graph. The row data itself is not included; pair the
-// snapshot with the same database contents (for example via
-// Database.DumpSQL replayed through ExecScript).
+// warmKeyLimit caps how many hot match-cache keys Save records for warmup.
+const warmKeyLimit = 512
+
+// storeEngine snapshots the current engine as a store.Engine, recording
+// the match cache's hot keys so the saved store can pre-warm a later
+// process with this workload's favourite terms.
+func (e *engine) storeEngine() store.Engine {
+	return store.Engine{
+		Graph:    e.g,
+		Index:    e.ix,
+		WarmKeys: e.cache.HotKeys(warmKeyLimit),
+	}
+}
+
+// Save persists the current engine snapshot to path in the segmented
+// store format, atomically (temp file + rename): a crash mid-save never
+// leaves a torn file, and a reader holding the old store is undisturbed.
+// If path already holds a file that is neither a BANKS store nor a legacy
+// snapshot, Save refuses rather than destroy it.
 //
-// The stream starts with a magic number and format version; each section
-// is then length-prefixed (8 bytes big-endian) so the two readers cannot
-// run into each other's bytes.
-func (s *System) SaveSnapshot(w io.Writer) error {
-	eng := s.engine()
-	var hdr [12]byte
-	copy(hdr[:8], snapshotMagic)
-	binary.BigEndian.PutUint32(hdr[8:], snapshotVersion)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("banks: writing snapshot header: %w", err)
-	}
-	writeSection := func(fill func(io.Writer) error) error {
-		var buf bytes.Buffer
-		if err := fill(&buf); err != nil {
-			return err
-		}
-		var pfx [8]byte
-		binary.BigEndian.PutUint64(pfx[:], uint64(buf.Len()))
-		if _, err := w.Write(pfx[:]); err != nil {
-			return err
-		}
-		_, err := w.Write(buf.Bytes())
-		return err
-	}
-	if err := writeSection(func(w io.Writer) error {
-		_, err := eng.g.WriteTo(w)
-		return err
-	}); err != nil {
-		return fmt.Errorf("banks: writing graph snapshot: %w", err)
-	}
-	if err := writeSection(func(w io.Writer) error {
-		_, err := eng.ix.WriteTo(w)
-		return err
-	}); err != nil {
-		return fmt.Errorf("banks: writing index snapshot: %w", err)
+// The row data itself is not included; pair the store with the same
+// database contents (for example via Database.DumpSQL replayed through
+// ExecScript), then reopen with OpenSystem.
+func (s *System) Save(path string) error {
+	if err := store.WriteFile(path, s.engine().storeEngine()); err != nil {
+		return fmt.Errorf("banks: %w", err)
 	}
 	return nil
 }
 
-func readSection(r io.Reader) (io.Reader, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// OpenSystem opens a store written by Save (or SaveSnapshot) over db with
+// zero rebuild work: the open reads the store's directory and graph
+// metadata, and every other segment — CSR arcs, node metadata, index
+// postings — loads lazily on first touch, so cold start takes
+// milliseconds where NewSystem pays the full SQL→graph→index build.
+//
+// db must hold the same rows the store was built from (tuple rendering
+// reads rows by the RIDs recorded in the store). opts.StoreBudgetBytes
+// bounds the resident posting blocks (the EMBANKS memory-bound mode); if
+// the store records match-cache warmup terms, they are re-resolved in the
+// background so the hot set is cached without delaying the open.
+//
+// Close the returned System to release the store file — after in-flight
+// queries have finished.
+func OpenSystem(path string, db *Database, opts *SystemOptions) (*System, error) {
+	if db == nil {
+		return nil, fmt.Errorf("banks: OpenSystem requires a database")
 	}
-	n := int64(binary.BigEndian.Uint64(hdr[:]))
-	if n < 0 || n > maxSnapshotSection {
-		return nil, fmt.Errorf("banks: snapshot section claims %d bytes; snapshot corrupt", n)
+	s := &System{db: db}
+	if opts != nil {
+		s.opts = *opts
 	}
-	return io.LimitReader(r, n), nil
+	if err := core.ValidateStrategy(s.opts.Strategy); err != nil {
+		return nil, fmt.Errorf("banks: %w", err)
+	}
+	st, err := store.Open(path, store.Options{BudgetBytes: s.opts.StoreBudgetBytes})
+	if err != nil {
+		return nil, fmt.Errorf("banks: %w", err)
+	}
+	s.installStoreEngine(st)
+	return s, nil
 }
 
-// LoadSystem reconstructs a System from a snapshot written by SaveSnapshot
-// over the given database. The database must hold the same rows the
-// snapshot was built from; tuple rendering reads rows by the RIDs recorded
-// in the snapshot. A stream that does not begin with the snapshot magic is
-// rejected outright.
+// installStoreEngine wires an opened store into s and kicks off the
+// asynchronous match-cache warmup.
+func (s *System) installStoreEngine(st *store.Store) {
+	eng := newEngine(st.Graph(), st.Index(), s.opts)
+	eng.st = st
+	s.store = st
+	s.eng.Store(eng)
+	if keys, err := st.WarmKeys(); err == nil && len(keys) > 0 {
+		go eng.cache.Warm(eng.ix, keys)
+	}
+}
+
+// SaveSnapshot writes the engine in the segmented store format to an
+// arbitrary io.Writer — the streaming counterpart of Save for callers
+// that persist somewhere other than a local path. (The name survives from
+// the legacy monolithic snapshot this format supersedes.)
+func (s *System) SaveSnapshot(w io.Writer) error {
+	if err := store.Write(w, s.engine().storeEngine()); err != nil {
+		return fmt.Errorf("banks: %w", err)
+	}
+	return nil
+}
+
+// LoadSystem reconstructs a System from a stream written by SaveSnapshot
+// (or the bytes of a Save file), sniffing the format from the magic:
+// segmented stores are served from memory, legacy monolithic snapshots
+// are decoded eagerly (the one-way migration path — re-Save to convert).
+// The database must hold the same rows the snapshot was built from. A
+// stream that begins with neither magic is rejected outright.
+//
+// Reading from an io.Reader forces the whole stream into memory; prefer
+// OpenSystem for lazy, budgeted serving from a file.
 func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
 	}
-	if string(hdr[:8]) != snapshotMagic {
-		return nil, fmt.Errorf("banks: not a BANKS snapshot (bad magic %q)", hdr[:8])
+	switch string(head[:]) {
+	case store.Magic:
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("banks: reading snapshot: %w", err)
+		}
+		data = append(head[:], data...)
+		s := &System{db: db}
+		if opts != nil {
+			s.opts = *opts
+		}
+		st, err := store.OpenReaderAt(bytes.NewReader(data), int64(len(data)),
+			store.Options{BudgetBytes: s.opts.StoreBudgetBytes})
+		if err != nil {
+			return nil, fmt.Errorf("banks: %w", err)
+		}
+		s.installStoreEngine(st)
+		return s, nil
+	case legacySnapshotMagic:
+		return loadLegacySnapshot(db, r, opts)
 	}
-	if v := binary.BigEndian.Uint32(hdr[8:]); v != snapshotVersion {
-		return nil, fmt.Errorf("banks: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	return nil, fmt.Errorf("banks: not a BANKS snapshot (bad magic %q)", head[:])
+}
+
+// loadLegacySnapshot decodes the monolithic pre-store format; the magic
+// has already been consumed.
+func loadLegacySnapshot(db *Database, r io.Reader, opts *SystemOptions) (*System, error) {
+	var ver [4]byte
+	if _, err := io.ReadFull(r, ver[:]); err != nil {
+		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
 	}
-	gs, err := readSection(r)
+	if v := binary.BigEndian.Uint32(ver[:]); v != legacySnapshotVersion {
+		return nil, fmt.Errorf("banks: unsupported snapshot version %d (want %d)", v, legacySnapshotVersion)
+	}
+	gs, err := readLegacySection(r)
 	if err != nil {
 		return nil, fmt.Errorf("banks: reading graph section: %w", err)
 	}
@@ -106,7 +177,7 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 	if err != nil {
 		return nil, fmt.Errorf("banks: reading graph snapshot: %w", err)
 	}
-	is, err := readSection(r)
+	is, err := readLegacySection(r)
 	if err != nil {
 		return nil, fmt.Errorf("banks: reading index section: %w", err)
 	}
@@ -124,6 +195,18 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 	}
 	s.eng.Store(newEngine(g, ix, s.opts))
 	return s, nil
+}
+
+func readLegacySection(r io.Reader) (io.Reader, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int64(binary.BigEndian.Uint64(hdr[:]))
+	if n < 0 || n > maxSnapshotSection {
+		return nil, fmt.Errorf("banks: snapshot section claims %d bytes; snapshot corrupt", n)
+	}
+	return io.LimitReader(r, n), nil
 }
 
 // DumpSQL writes the database as a replayable SQL script, referenced

@@ -77,8 +77,8 @@ func TestLoadSystemRejectsHugeSection(t *testing.T) {
 	// Valid magic+version, then a section claiming 2^60 bytes: the size
 	// check must refuse instead of trying to consume it.
 	var b bytes.Buffer
-	b.WriteString(snapshotMagic)
-	b.Write([]byte{0, 0, 0, snapshotVersion})
+	b.WriteString(legacySnapshotMagic)
+	b.Write([]byte{0, 0, 0, legacySnapshotVersion})
 	b.Write([]byte{0x10, 0, 0, 0, 0, 0, 0, 0}) // 1<<60
 	_, err := LoadSystem(db, &b, nil)
 	if err == nil {
