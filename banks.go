@@ -53,8 +53,10 @@
 package banks
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +67,7 @@ import (
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/sqlexec"
 	"github.com/banksdb/banks/internal/store"
+	"github.com/banksdb/banks/internal/wal"
 	"github.com/banksdb/banks/internal/xmlshred"
 )
 
@@ -138,6 +141,14 @@ func (d *Database) RegisterDriver(name string) { drv.Register(name, d.inner) }
 // sibling packages inside this module (cmd/, examples/) and carries no
 // compatibility promise.
 func (d *Database) Internal() *sqldb.Database { return d.inner }
+
+// WrapDatabase adopts an already-built engine database (for example one of
+// the internal/datagen generators). Like Internal, it exists for the
+// sibling packages inside this module and carries no compatibility
+// promise.
+func WrapDatabase(inner *sqldb.Database) *Database {
+	return &Database{inner: inner, engine: sqlexec.New(inner)}
+}
 
 // LoadXML shreds one XML document into the xml_element / xml_attribute
 // relations (created on first use), modelling containment as foreign-key
@@ -247,6 +258,23 @@ type SystemOptions struct {
 	// serving engine and the next process start can OpenSystem it
 	// instantly. A persist failure fails the Refresh without swapping.
 	StorePath string
+	// WALPath, when set, enables live mutations: System.Apply journals
+	// row-level changes to a write-ahead log at this path and folds them
+	// into delta overlays over the immutable engine, so small changes
+	// become visible to queries in milliseconds without the full
+	// SQL→graph→index rebuild Refresh pays. Compact folds the accumulated
+	// deltas back into concrete structures (and, with StorePath set,
+	// truncates the WAL after persisting the compacted engine).
+	//
+	// On startup the WAL tail is replayed: NewSystem replays every
+	// journaled batch into the database before the initial build (the
+	// database is expected to hold the rows as of the WAL's start);
+	// OpenSystem replays only batches newer than the store's recorded
+	// WAL sequence, restoring the pre-crash view without a rebuild.
+	//
+	// Mutually exclusive with PrestigeDamping: PageRank-style prestige
+	// is a global fixpoint and cannot be maintained incrementally.
+	WALPath string
 }
 
 // Names of the built-in query execution strategies, threaded through
@@ -283,12 +311,22 @@ func (o SystemOptions) cacheBytes() int64 {
 // the engine it started on, so in-flight work is never torn between two
 // snapshots.
 type engine struct {
-	g        *graph.Graph
-	ix       *index.Index
+	g        graph.View
+	ix       index.View
 	cache    *index.MatchCache  // nil when caching is disabled
 	flight   *index.FlightGroup // single-flight admission (batched strategy)
 	searcher *core.Searcher
 	st       *store.Store // non-nil when the engine serves from a disk store
+	walSeq   uint64       // last WAL sequence folded into this snapshot's views
+}
+
+// concrete returns the engine's graph and index as their concrete types
+// when the snapshot is not an overlay (built or store-opened engines);
+// overlay snapshots (live mutations pending compaction) return false.
+func (e *engine) concrete() (*graph.Graph, *index.Index, bool) {
+	g, okG := e.g.(*graph.Graph)
+	ix, okI := e.ix.(*index.Index)
+	return g, ix, okG && okI
 }
 
 // storeErr reports the first lazy-load failure of a store-backed engine;
@@ -304,7 +342,7 @@ func (e *engine) storeErr() error {
 // newEngine assembles one immutable snapshot: graph, index, a fresh
 // match-set cache and single-flight group scoped to the pair, and the
 // searcher (with its frontier pool) over all of them.
-func newEngine(g *graph.Graph, ix *index.Index, opts SystemOptions) *engine {
+func newEngine(g graph.View, ix index.View, opts SystemOptions) *engine {
 	cache := index.NewMatchCache(opts.cacheBytes())
 	flight := index.NewFlightGroup()
 	poolIters := opts.FrontierPoolIters
@@ -324,15 +362,28 @@ func newEngine(g *graph.Graph, ix *index.Index, opts SystemOptions) *engine {
 }
 
 // System couples a database snapshot with its BANKS graph and keyword
-// index and answers keyword queries. Rebuild with Refresh after bulk data
+// index and answers keyword queries. Apply folds small row-level changes
+// in live (SystemOptions.WALPath); rebuild with Refresh after bulk data
 // changes; searches against a stale System still work but will not see new
-// tuples. A System is safe for concurrent use, including Refresh while
-// queries and Handler requests are in flight.
+// tuples. A System is safe for concurrent use, including Apply, Refresh
+// and Compact while queries and Handler requests are in flight.
 type System struct {
 	db    *Database
 	eng   atomic.Pointer[engine]
 	opts  SystemOptions
 	store *store.Store // the store backing OpenSystem/LoadSystem, for Close
+
+	// closed is checked lock-free at every query boundary; the fields
+	// below it are guarded by mu, which serializes the writers: Apply,
+	// Refresh, Compact and Close.
+	closed     atomic.Bool
+	mu         sync.Mutex
+	closeErr   error        // sticky result of the first Close
+	mutErr     error        // sticky mutation-path failure; cleared by rebuild
+	wal        *wal.Log     // non-nil iff opts.WALPath is set
+	gd         *graph.Delta // live graph delta over the last compacted base
+	id         *index.Delta // live index delta, in step with gd
+	appliedSeq uint64       // last WAL sequence folded into the serving engine
 }
 
 // engine returns the current snapshot. Callers pin it once per operation
@@ -340,6 +391,11 @@ type System struct {
 func (s *System) engine() *engine { return s.eng.Load() }
 
 // NewSystem builds the data graph (§2) and keyword index (§3) for db.
+//
+// With SystemOptions.WALPath set, any existing WAL at that path is first
+// replayed into db (the database is expected to hold the rows as of the
+// WAL's start), so the initial build already contains the journaled
+// mutations and System.Apply can journal new ones.
 func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 	s := &System{db: db}
 	if opts != nil {
@@ -348,7 +404,11 @@ func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 	if err := core.ValidateStrategy(s.opts.Strategy); err != nil {
 		return nil, fmt.Errorf("banks: %w", err)
 	}
+	if err := s.openWAL(0, false); err != nil {
+		return nil, err
+	}
 	if err := s.Refresh(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil
@@ -365,6 +425,19 @@ func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 // fails, the previous snapshot keeps serving and Refresh returns the
 // error.
 func (s *System) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildLocked()
+}
+
+// rebuildLocked is the shared full-rebuild path behind Refresh and
+// Compact: build aside, optionally persist, swap, and reset the live
+// mutation state (fresh deltas over the new base; WAL truncated once the
+// store has durably recorded the applied sequence). Callers hold s.mu.
+func (s *System) rebuildLocked() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	bo := graph.DefaultBuildOptions()
 	bo.ScaleBackEdges = !s.opts.DisableBackEdgeScaling
 	bo.PrestigeDamping = s.opts.PrestigeDamping
@@ -384,23 +457,60 @@ func (s *System) Refresh() error {
 		if old := s.eng.Load(); old != nil {
 			warm = old.cache.HotKeys(warmKeyLimit)
 		}
-		if err := store.WriteFile(s.opts.StorePath, store.Engine{Graph: g, Index: ix, WarmKeys: warm}); err != nil {
+		se := store.Engine{Graph: g, Index: ix, WarmKeys: warm, WALSeq: s.appliedSeq}
+		if err := store.WriteFile(s.opts.StorePath, se); err != nil {
 			return fmt.Errorf("banks: persisting rebuilt engine: %w", err)
 		}
 	}
-	s.eng.Store(newEngine(g, ix, s.opts))
+	if s.wal != nil {
+		// The rebuilt engine contains every applied mutation. With a
+		// persisted store recording appliedSeq the journal tail is
+		// redundant — drop it. Without one the WAL stays the only durable
+		// record of the deltas, so it is retained for the next replay.
+		if s.opts.StorePath != "" {
+			if err := s.wal.Truncate(); err != nil {
+				return fmt.Errorf("banks: truncating WAL after rebuild: %w", err)
+			}
+		}
+		s.gd = graph.NewDelta(g, s.db.inner, !s.opts.DisableBackEdgeScaling)
+		s.id = index.NewDelta(ix)
+	}
+	eng := newEngine(g, ix, s.opts)
+	eng.walSeq = s.appliedSeq
+	s.eng.Store(eng)
+	s.mutErr = nil
 	return nil
 }
 
-// Close releases the disk store backing a System returned by OpenSystem
-// (or LoadSystem of a segmented snapshot); it is a no-op for built
-// systems. Call it only after in-flight queries have finished — queries
-// pinned to the store's engine read from the store file lazily.
+// Close releases the resources behind the System: the write-ahead log of
+// a live-mutation system and the disk store backing OpenSystem (or
+// LoadSystem of a segmented snapshot); it is a no-op for plain built
+// systems. Close is idempotent — the first call decides the error and
+// later calls return it — and safe to race with queries, Apply, Refresh
+// and Compact: operations that begin after Close fail with ErrClosed,
+// while queries already in flight finish against the snapshot they
+// pinned. (In-flight queries of a store-backed engine may still surface
+// read errors, since they read the store file lazily.)
 func (s *System) Close() error {
-	if s.store != nil {
-		return s.store.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return s.closeErr
 	}
-	return nil
+	s.closed.Store(true)
+	var errs []error
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	s.closeErr = errors.Join(errs...)
+	return s.closeErr
 }
 
 // Database returns the database the system was built over.

@@ -10,6 +10,10 @@
 //	-ab          the strategy A/B bench: the latency classes and a
 //	             concurrent shared-term burst under both execution
 //	             strategies (the BENCH_query.json data)
+//	-mutate N    apply N live-mutation batches through the WAL-backed
+//	             overlay: Apply latency vs full Refresh, query latency
+//	             under churn, overlay-vs-rebuild parity, post-Compact
+//	             steady state (the BENCH_wal.json data)
 //	-save PATH   build the DBLP engine and persist it as a segmented
 //	             disk store (internal/store format)
 //	-load PATH   open a saved store and report cold-open vs rebuild
@@ -56,6 +60,7 @@ func main() {
 	shards := flag.Int("shards", 0, "build shard cap (0 = GOMAXPROCS, 1 = serial)")
 	strategy := flag.String("strategy", core.StrategyBackward,
 		"query execution strategy: "+strings.Join(core.Strategies(), " or "))
+	mutate := flag.Int("mutate", 0, "run N live-mutation batches: Apply latency vs Refresh, query-under-churn parity (the BENCH_wal.json data)")
 	savePath := flag.String("save", "", "persist the built DBLP engine to this store path and exit")
 	loadPath := flag.String("load", "", "open a saved store: report cold-open vs rebuild time and parity")
 	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget for -load (bytes; 0 = unbounded)")
@@ -76,6 +81,10 @@ func main() {
 	}
 	if *loadPath != "" {
 		runLoad(ctx, *scale, *shards, *loadPath, *storeBudget)
+		return
+	}
+	if *mutate > 0 {
+		runMutate(ctx, *scale, *strategy, *mutate)
 		return
 	}
 

@@ -142,7 +142,7 @@ func (a *Answer) String() string {
 // Describe renders the tree as an indented listing using the graph's table
 // names; the richer rendering with attribute values lives in the public
 // banks package, which has database access.
-func (a *Answer) Describe(g *graph.Graph) string {
+func (a *Answer) Describe(g graph.View) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s[%d] (score %.4f)\n", g.TableNameOf(a.Root), g.RIDOf(a.Root), a.Score)
 	children := make(map[graph.NodeID][]TreeEdge)

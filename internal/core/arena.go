@@ -166,7 +166,7 @@ func (a *searchArena) nodeLists(v graph.NodeID, nTerms int) []([]graph.NodeID) {
 // newIterator hands out a recycled (or fresh) shortest-path iterator rooted
 // at origin. The caller must keep it reachable from a.origins so release
 // can reclaim it.
-func (a *searchArena) newIterator(g *graph.Graph, origin graph.NodeID) *sspIterator {
+func (a *searchArena) newIterator(g graph.View, origin graph.NodeID) *sspIterator {
 	var it *sspIterator
 	if k := len(a.freeIters); k > 0 {
 		it = a.freeIters[k-1]

@@ -37,7 +37,7 @@ func (BackwardStrategy) run(ctx context.Context, ex *exec) ([]*Answer, error) {
 // the batched strategy's frontierSource serves memoized iterators from
 // the shared pool.
 type iterSource interface {
-	acquire(g *graph.Graph, origin graph.NodeID) *sspIterator
+	acquire(g graph.View, origin graph.NodeID) *sspIterator
 	// releaseAll returns strategy-owned iterators after the expansion;
 	// arena-owned iterators are reclaimed by the arena itself.
 	releaseAll(ar *searchArena)
@@ -47,7 +47,7 @@ type iterSource interface {
 // arena.
 type arenaSource struct{ ar *searchArena }
 
-func (a arenaSource) acquire(g *graph.Graph, origin graph.NodeID) *sspIterator {
+func (a arenaSource) acquire(g graph.View, origin graph.NodeID) *sspIterator {
 	return a.ar.newIterator(g, origin)
 }
 

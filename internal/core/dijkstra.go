@@ -17,7 +17,7 @@ import (
 // reusing an iterator for a new origin costs two generation bumps instead
 // of four map rebuilds. Iterators are recycled through the searchArena.
 type sspIterator struct {
-	g      *graph.Graph
+	g      graph.View
 	origin graph.NodeID
 
 	dist    []float64      // tentative (visit==gen) or settled (visit==gen+1) distance
@@ -44,11 +44,28 @@ type sspIterator struct {
 type distEntry struct {
 	node graph.NodeID
 	d    float64
+	key  uint64 // stable (table, rid) identity of node; see nodeKey
 }
 
-// distHeap is a hand-rolled binary min-heap on d. container/heap would box
-// every distEntry pushed through its interface{} parameters — on the hot
-// path that is one allocation per relaxation.
+// nodeKey packs a node's (table, rid) identity into one comparable word.
+// Ties are broken on this key rather than on the NodeID so that two
+// engines holding the same logical graph under different node numberings
+// — a delta overlay with appended nodes versus a from-scratch rebuild
+// that renumbers them into their table blocks — settle tied nodes and
+// choose tied shortest-path parents identically.
+func nodeKey(g graph.View, n graph.NodeID) uint64 {
+	return uint64(g.TableOf(n))<<48 | uint64(g.RIDOf(n))&(1<<48-1)
+}
+
+// less orders entries by (distance, stable identity): the total order that
+// makes the settling sequence independent of node numbering.
+func (e distEntry) less(o distEntry) bool {
+	return e.d < o.d || (e.d == o.d && e.key < o.key)
+}
+
+// distHeap is a hand-rolled binary min-heap on (d, key). container/heap
+// would box every distEntry pushed through its interface{} parameters — on
+// the hot path that is one allocation per relaxation.
 type distHeap []distEntry
 
 func (h *distHeap) push(e distEntry) {
@@ -57,7 +74,7 @@ func (h *distHeap) push(e distEntry) {
 	i := len(s) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if s[p].d <= s[i].d {
+		if !s[i].less(s[p]) {
 			break
 		}
 		s[p], s[i] = s[i], s[p]
@@ -85,10 +102,10 @@ func (h distHeap) siftDown(i int) {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && h[r].d < h[l].d {
+		if r := l + 1; r < n && h[r].less(h[l]) {
 			m = r
 		}
-		if h[i].d <= h[m].d {
+		if !h[m].less(h[i]) {
 			return
 		}
 		h[i], h[m] = h[m], h[i]
@@ -99,7 +116,7 @@ func (h distHeap) siftDown(i int) {
 // reset re-roots a (possibly recycled) iterator at origin. The generation
 // bump invalidates all previous visit stamps in O(1); the stamp array is
 // zeroed only on uint32 wraparound.
-func (it *sspIterator) reset(g *graph.Graph, origin graph.NodeID) {
+func (it *sspIterator) reset(g graph.View, origin graph.NodeID) {
 	it.g = g
 	it.origin = origin
 	it.gen += 2
@@ -112,7 +129,7 @@ func (it *sspIterator) reset(g *graph.Graph, origin graph.NodeID) {
 	it.pq = it.pq[:0]
 	it.dist[origin] = 0
 	it.visit[origin] = it.gen
-	it.pq.push(distEntry{node: origin, d: 0})
+	it.pq.push(distEntry{node: origin, d: 0, key: nodeKey(g, origin)})
 	it.memo = false
 	it.trail = it.trail[:0]
 	it.cursor = 0
@@ -125,7 +142,7 @@ func (it *sspIterator) rewind() { it.cursor = 0 }
 
 // newSSPIterator allocates a standalone iterator (tests use this; searches
 // go through searchArena.newIterator for pooling).
-func newSSPIterator(g *graph.Graph, origin graph.NodeID) *sspIterator {
+func newSSPIterator(g graph.View, origin graph.NodeID) *sspIterator {
 	n := g.NumNodes()
 	it := &sspIterator{
 		dist:    make([]float64, n),
@@ -180,6 +197,7 @@ func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
 	}
 	it.dist[v] = d
 	it.visit[v] = it.gen + 1
+	vkey := nodeKey(it.g, v)
 	for _, e := range it.g.In(v) {
 		u, w := e.To, e.W
 		st := it.visit[u]
@@ -192,7 +210,16 @@ func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
 			it.visit[u] = it.gen
 			it.parent[u] = v
 			it.pweight[u] = w
-			it.pq.push(distEntry{node: u, d: nd})
+			it.pq.push(distEntry{node: u, d: nd, key: nodeKey(it.g, u)})
+		} else if nd == it.dist[u] && vkey < nodeKey(it.g, it.parent[u]) {
+			// Equal-cost path through a smaller-identity parent: adopt it,
+			// so the chosen shortest-path tree is canonical in (table, rid)
+			// terms and identical across node numberings. Every candidate
+			// parent settles (strictly positive weights) before u pops, so
+			// the final choice is order-independent. No push: u's tentative
+			// distance is unchanged.
+			it.parent[u] = v
+			it.pweight[u] = w
 		}
 	}
 	return v, d, true

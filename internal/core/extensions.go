@@ -102,7 +102,7 @@ type AnswerGroup struct {
 // order within and across groups (groups ordered by their best-ranked
 // member). Users can then "look for further answers with a particular tree
 // structure".
-func GroupAnswers(g *graph.Graph, answers []*Answer) []AnswerGroup {
+func GroupAnswers(g graph.View, answers []*Answer) []AnswerGroup {
 	byShape := make(map[string]*AnswerGroup)
 	var order []string
 	for _, a := range answers {
@@ -124,7 +124,7 @@ func GroupAnswers(g *graph.Graph, answers []*Answer) []AnswerGroup {
 
 // answerShape renders the canonical structure of an answer: the root's
 // table and, recursively, the sorted shapes of its subtrees.
-func answerShape(g *graph.Graph, a *Answer) string {
+func answerShape(g graph.View, a *Answer) string {
 	children := make(map[graph.NodeID][]TreeEdge)
 	for _, e := range a.Edges {
 		children[e.From] = append(children[e.From], e)

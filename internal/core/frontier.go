@@ -156,7 +156,7 @@ type frontierSource struct {
 	stats *Stats
 }
 
-func (f *frontierSource) acquire(g *graph.Graph, origin graph.NodeID) *sspIterator {
+func (f *frontierSource) acquire(g graph.View, origin graph.NodeID) *sspIterator {
 	if it := f.pool.checkout(origin); it != nil {
 		f.stats.FrontierReused++
 		it.rewind()

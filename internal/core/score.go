@@ -90,7 +90,7 @@ func nodeScore(w, wmax float64, logScale bool) float64 {
 //   - NScore = the average node score over the root plus every keyword
 //     leaf, counting a node once per search term it matched.
 //   - Score = the λ-combination of the two.
-func scoreAnswer(a *Answer, g *graph.Graph, opts ScoreOptions) {
+func scoreAnswer(a *Answer, g graph.View, opts ScoreOptions) {
 	wmin := g.MinEdgeWeight()
 	var esum float64
 	for _, e := range a.Edges {

@@ -99,14 +99,15 @@ type Stats struct {
 	FrontierReused    int      // origins served warm from the shared frontier pool (batched strategy)
 }
 
-// Searcher answers keyword queries over a graph + keyword index pair.
-// It is safe for concurrent use: each Search call checks a searchArena —
-// the dense per-query scratch state — out of an internal pool, so
-// concurrent queries never share mutable state while steady-state searches
-// allocate almost nothing.
+// Searcher answers keyword queries over a graph + keyword index pair —
+// any graph.View/index.View implementations (built, store-backed lazy, or
+// base+delta overlay). It is safe for concurrent use: each Search call
+// checks a searchArena — the dense per-query scratch state — out of an
+// internal pool, so concurrent queries never share mutable state while
+// steady-state searches allocate almost nothing.
 type Searcher struct {
-	g         *graph.Graph
-	ix        *index.Index
+	g         graph.View
+	ix        index.View
 	cache     *index.MatchCache  // optional; nil disables match-set caching
 	flight    *index.FlightGroup // optional; nil disables single-flight admission
 	frontiers *frontierPool      // optional; nil disables frontier pooling
@@ -115,18 +116,18 @@ type Searcher struct {
 
 // NewSearcher returns a Searcher over g and ix (built from the same
 // database snapshot).
-func NewSearcher(g *graph.Graph, ix *index.Index) *Searcher {
+func NewSearcher(g graph.View, ix index.View) *Searcher {
 	s := &Searcher{g: g, ix: ix}
 	n := g.NumNodes()
 	s.arenas.New = func() interface{} { return newSearchArena(n) }
 	return s
 }
 
-// Graph returns the underlying data graph.
-func (s *Searcher) Graph() *graph.Graph { return s.g }
+// Graph returns the underlying data graph view.
+func (s *Searcher) Graph() graph.View { return s.g }
 
-// Index returns the underlying keyword index.
-func (s *Searcher) Index() *index.Index { return s.ix }
+// Index returns the underlying keyword index view.
+func (s *Searcher) Index() index.View { return s.ix }
 
 // WithMatchCache attaches a keyword match-set cache consulted before the
 // index on every term lookup (exact and prefix). The cache must belong to
@@ -228,18 +229,23 @@ func (s *Searcher) matchTerm(ar *searchArena, res termResolver, term string, o *
 	}
 	metaAdmitted := 0
 	for _, tid := range m.Tables {
-		lo, hi := s.g.NodesOfTable(tid)
-		for n := lo; n < hi; n++ {
+		truncated := false
+		s.g.EachTableNode(tid, func(n graph.NodeID) bool {
 			if ar.mark[n] == gen {
-				continue
+				return true
 			}
 			if o.MetadataNodeLimit > 0 && metaAdmitted >= o.MetadataNodeLimit {
-				stats.MetadataTruncated = true
-				return set
+				truncated = true
+				return false
 			}
 			ar.mark[n] = gen
 			set = append(set, n)
 			metaAdmitted++
+			return true
+		})
+		if truncated {
+			stats.MetadataTruncated = true
+			return set
 		}
 	}
 	return set

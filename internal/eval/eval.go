@@ -22,7 +22,7 @@ import (
 // were different"), so predicates usually test node membership.
 type IdealAnswer struct {
 	Desc  string
-	Match func(a *core.Answer, g *graph.Graph) bool
+	Match func(a *core.Answer, g graph.View) bool
 }
 
 // Query is one evaluation query with its ideal answers in ideal-rank order.

@@ -234,7 +234,7 @@ func TestMissingIdealGetsRank11(t *testing.T) {
 		Name:  "impossible",
 		Terms: []string{"soumen", "sunita"},
 		Ideals: []IdealAnswer{
-			{Desc: "never matches", Match: func(*core.Answer, *graph.Graph) bool { return false }},
+			{Desc: "never matches", Match: func(*core.Answer, graph.View) bool { return false }},
 		},
 	}
 	raw, worst, ranks, err := QueryError(f.s, q, DefaultDBLPOptions())

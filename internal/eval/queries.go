@@ -19,7 +19,7 @@ func DefaultDBLPOptions() *core.Options {
 }
 
 // nodeOf locates the graph node of a row by textual primary key.
-func nodeOf(db *sqldb.Database, g *graph.Graph, table, pk string) (graph.NodeID, error) {
+func nodeOf(db *sqldb.Database, g graph.View, table, pk string) (graph.NodeID, error) {
 	t := db.Table(table)
 	if t == nil {
 		return graph.NoNode, fmt.Errorf("eval: no table %s", table)
@@ -37,8 +37,8 @@ func nodeOf(db *sqldb.Database, g *graph.Graph, table, pk string) (graph.NodeID,
 
 // containsAll matches answers whose trees contain every given node —
 // root-insensitive tree identity, as §5.3 prescribes.
-func containsAll(nodes ...graph.NodeID) func(*core.Answer, *graph.Graph) bool {
-	return func(a *core.Answer, _ *graph.Graph) bool {
+func containsAll(nodes ...graph.NodeID) func(*core.Answer, graph.View) bool {
+	return func(a *core.Answer, _ graph.View) bool {
 		for _, n := range nodes {
 			if !a.ContainsNode(n) {
 				return false
@@ -49,8 +49,8 @@ func containsAll(nodes ...graph.NodeID) func(*core.Answer, *graph.Graph) bool {
 }
 
 // isSingleNode matches the single-node answer for n.
-func isSingleNode(n graph.NodeID) func(*core.Answer, *graph.Graph) bool {
-	return func(a *core.Answer, _ *graph.Graph) bool {
+func isSingleNode(n graph.NodeID) func(*core.Answer, graph.View) bool {
+	return func(a *core.Answer, _ graph.View) bool {
 		return a.Root == n && len(a.Edges) == 0
 	}
 }
@@ -76,7 +76,7 @@ func TPCDSuite() []Query {
 // produced by datagen.BuildDBLP. The query mix follows the paper's
 // description: coauthor pairs, authors with a common coauthor, author plus
 // title words, title words alone, and single-term queries.
-func DBLPSuite(db *sqldb.Database, g *graph.Graph) ([]Query, error) {
+func DBLPSuite(db *sqldb.Database, g graph.View) ([]Query, error) {
 	n := func(table, pk string) graph.NodeID {
 		node, err := nodeOf(db, g, table, pk)
 		if err != nil {

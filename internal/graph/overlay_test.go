@@ -1,0 +1,418 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// newMutDB builds the bibliography schema the overlay tests mutate: papers
+// cite papers (a self-referencing relation), authors write papers.
+func newMutDB(t *testing.T) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	mustCreate := func(s *sqldb.TableSchema) {
+		t.Helper()
+		if _, err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(&sqldb.TableSchema{
+		Name: "author",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeText},
+			{Name: "name", Type: sqldb.TypeText},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	mustCreate(&sqldb.TableSchema{
+		Name: "paper",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeText},
+			{Name: "title", Type: sqldb.TypeText},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	mustCreate(&sqldb.TableSchema{
+		Name: "writes",
+		Columns: []sqldb.Column{
+			{Name: "aid", Type: sqldb.TypeText},
+			{Name: "pid", Type: sqldb.TypeText},
+		},
+		ForeignKeys: []sqldb.ForeignKey{
+			{Column: "aid", RefTable: "author", RefColumn: "id"},
+			{Column: "pid", RefTable: "paper", RefColumn: "id"},
+		},
+	})
+	mustCreate(&sqldb.TableSchema{
+		Name: "cites",
+		Columns: []sqldb.Column{
+			{Name: "id", Type: sqldb.TypeText},
+			{Name: "src", Type: sqldb.TypeText},
+			{Name: "dst", Type: sqldb.TypeText},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []sqldb.ForeignKey{
+			{Column: "src", RefTable: "paper", RefColumn: "id"},
+			{Column: "dst", RefTable: "paper", RefColumn: "id"},
+		},
+	})
+	mustInsert := func(table string, vals ...sqldb.Value) {
+		t.Helper()
+		if _, err := db.Insert(table, vals); err != nil {
+			t.Fatalf("insert %s: %v", table, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		mustInsert("author", sqldb.Text(fmt.Sprintf("a%d", i)), sqldb.Text(fmt.Sprintf("Author %d", i)))
+	}
+	for i := 0; i < 5; i++ {
+		mustInsert("paper", sqldb.Text(fmt.Sprintf("p%d", i)), sqldb.Text(fmt.Sprintf("Paper %d", i)))
+	}
+	mustInsert("writes", sqldb.Text("a0"), sqldb.Text("p0"))
+	mustInsert("writes", sqldb.Text("a1"), sqldb.Text("p0"))
+	mustInsert("writes", sqldb.Text("a1"), sqldb.Text("p1"))
+	mustInsert("writes", sqldb.Text("a2"), sqldb.Text("p2"))
+	mustInsert("cites", sqldb.Text("c0"), sqldb.Text("p1"), sqldb.Text("p0"))
+	mustInsert("cites", sqldb.Text("c1"), sqldb.Text("p2"), sqldb.Text("p0"))
+	mustInsert("cites", sqldb.Text("c2"), sqldb.Text("p2"), sqldb.Text("p1"))
+	return db
+}
+
+// rowName renders a node as table/rid, the identity stable across rebuilds.
+func rowName(v View, n NodeID) string {
+	return fmt.Sprintf("%s/%d", v.TableNameOf(n), v.RIDOf(n))
+}
+
+// fingerprint renders the live graph in node-id-free form: per table (in id
+// order), the visit order of EachTableNode, and per node its prestige and
+// its out/in edge lists re-keyed by (table, rid). Two views with the same
+// fingerprint answer every View query identically up to node-id naming.
+func fingerprint(v View) string {
+	var b strings.Builder
+	edges := func(es []Edge) string {
+		parts := make([]string, len(es))
+		for i, e := range es {
+			parts[i] = fmt.Sprintf("%s:%g", rowName(v, e.To), e.W)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	live := 0
+	for t := int32(0); t < int32(v.NumTables()); t++ {
+		fmt.Fprintf(&b, "table %s:\n", v.TableName(t))
+		v.EachTableNode(t, func(n NodeID) bool {
+			live++
+			fmt.Fprintf(&b, "  %s p=%g out=[%s] in=[%s]\n",
+				rowName(v, n), v.Prestige(n), edges(v.Out(n)), edges(v.In(n)))
+			return true
+		})
+	}
+	fmt.Fprintf(&b, "live=%d arcs=%d minEdge=%g maxNode=%g\n",
+		live, v.NumArcs(), v.MinEdgeWeight(), v.MaxNodeWeight())
+	return b.String()
+}
+
+// mutator drives paired db+delta mutations the way the serving layer does:
+// capture old targets, mutate the database, fold the change into the delta.
+type mutator struct {
+	t     *testing.T
+	db    *sqldb.Database
+	d     *Delta
+	scale bool
+}
+
+func newMutator(t *testing.T, db *sqldb.Database, scale bool) *mutator {
+	t.Helper()
+	g, err := Build(db, &BuildOptions{ScaleBackEdges: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mutator{t: t, db: db, d: NewDelta(g, db, scale), scale: scale}
+}
+
+func (m *mutator) apply(changes ...RowChange) {
+	m.t.Helper()
+	if err := m.d.Apply(changes); err != nil {
+		m.t.Fatalf("delta apply: %v", err)
+	}
+}
+
+func (m *mutator) insert(table string, vals ...sqldb.Value) RowChange {
+	m.t.Helper()
+	rid, err := m.db.Insert(table, vals)
+	if err != nil {
+		m.t.Fatalf("insert %s: %v", table, err)
+	}
+	return RowChange{Op: RowInsert, Table: table, RID: rid}
+}
+
+func (m *mutator) update(table string, rid sqldb.RID, set map[string]sqldb.Value) RowChange {
+	m.t.Helper()
+	old, err := m.d.Targets(table, rid)
+	if err != nil {
+		m.t.Fatalf("targets %s/%d: %v", table, rid, err)
+	}
+	if err := m.db.Update(table, rid, set); err != nil {
+		m.t.Fatalf("update %s/%d: %v", table, rid, err)
+	}
+	return RowChange{Op: RowUpdate, Table: table, RID: rid, OldTargets: old}
+}
+
+func (m *mutator) del(table string, rid sqldb.RID) RowChange {
+	m.t.Helper()
+	old, err := m.d.Targets(table, rid)
+	if err != nil {
+		m.t.Fatalf("targets %s/%d: %v", table, rid, err)
+	}
+	if err := m.db.Delete(table, rid); err != nil {
+		m.t.Fatalf("delete %s/%d: %v", table, rid, err)
+	}
+	return RowChange{Op: RowDelete, Table: table, RID: rid, OldTargets: old}
+}
+
+// checkParity rebuilds the graph from scratch and compares fingerprints.
+func (m *mutator) checkParity(label string) {
+	m.t.Helper()
+	rebuilt, err := Build(m.db, &BuildOptions{ScaleBackEdges: m.scale})
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	want := fingerprint(rebuilt)
+	got := fingerprint(m.d.Snapshot())
+	if got != want {
+		m.t.Fatalf("%s: overlay diverges from rebuild\n--- overlay ---\n%s--- rebuild ---\n%s", label, got, want)
+	}
+}
+
+func TestOverlayParityScenarios(t *testing.T) {
+	for _, scale := range []bool{true, false} {
+		t.Run(fmt.Sprintf("scale=%v", scale), func(t *testing.T) {
+			db := newMutDB(t)
+			m := newMutator(t, db, scale)
+
+			// Fresh delta, no changes: snapshot equals base equals rebuild.
+			m.checkParity("pristine")
+
+			// Insert a leaf row (no FKs touched).
+			m.apply(m.insert("author", sqldb.Text("a9"), sqldb.Text("Fresh Author")))
+			m.checkParity("insert leaf")
+
+			// Insert a linking row: prestige and indegree scaling shift for
+			// both targets, and sibling writers' in-edges rescale (the ring).
+			m.apply(m.insert("writes", sqldb.Text("a9"), sqldb.Text("p0")))
+			m.checkParity("insert link")
+
+			// Rewire a link: writes rid 2 moves a1 from p1 to p3.
+			m.apply(m.update("writes", 2, map[string]sqldb.Value{"pid": sqldb.Text("p3")}))
+			m.checkParity("rewire link")
+
+			// Text-only update: graph parity must hold even when folded.
+			m.apply(m.update("paper", 1, map[string]sqldb.Value{"title": sqldb.Text("Retitled")}))
+			m.checkParity("text-only update")
+
+			// Self-referential citation: a paper citing itself adds only the
+			// non-self half of its links.
+			m.apply(m.insert("cites", sqldb.Text("c9"), sqldb.Text("p3"), sqldb.Text("p3")))
+			m.checkParity("self citation")
+
+			// NULL FK: no link for the null column.
+			m.apply(m.insert("writes", sqldb.Null(), sqldb.Text("p4")))
+			m.checkParity("null fk")
+
+			// Delete a link row.
+			m.apply(m.del("writes", 1))
+			m.checkParity("delete link")
+
+			// Delete a referenced row after removing its last reference.
+			m.apply(m.del("cites", 2))
+			m.checkParity("delete citation")
+
+			// One batch mixing all three ops, including insert-then-delete
+			// of the same fresh row.
+			ins := m.insert("writes", sqldb.Text("a3"), sqldb.Text("p4"))
+			doomed := m.insert("writes", sqldb.Text("a0"), sqldb.Text("p4"))
+			upd := m.update("cites", 0, map[string]sqldb.Value{"dst": sqldb.Text("p4")})
+			del := m.del("writes", doomed.RID)
+			m.apply(ins, doomed, upd, del)
+			m.checkParity("mixed batch")
+		})
+	}
+}
+
+func TestOverlayNodeLifecycle(t *testing.T) {
+	db := newMutDB(t)
+	m := newMutator(t, db, true)
+
+	ins := m.insert("author", sqldb.Text("az"), sqldb.Text("Zeta"))
+	m.apply(ins)
+	o := m.d.Snapshot()
+	n := o.NodeOf("author", ins.RID)
+	if n == NoNode {
+		t.Fatal("inserted row has no node")
+	}
+	if int(n) < o.base.NumNodes() {
+		t.Fatalf("inserted node %d not in the delta id range", n)
+	}
+	if got := o.TableNameOf(n); got != "author" {
+		t.Fatalf("TableNameOf = %q", got)
+	}
+	if got := o.RIDOf(n); got != ins.RID {
+		t.Fatalf("RIDOf = %d, want %d", got, ins.RID)
+	}
+
+	m.apply(m.del("author", ins.RID))
+	o2 := m.d.Snapshot()
+	if o2.NodeOf("author", ins.RID) != NoNode {
+		t.Fatal("deleted row still resolves")
+	}
+	if len(o2.Out(n)) != 0 || len(o2.In(n)) != 0 || o2.Prestige(n) != 0 {
+		t.Fatal("tombstoned node still has adjacency or prestige")
+	}
+	seen := false
+	o2.EachTableNode(o2.TableID("author"), func(x NodeID) bool {
+		if x == n {
+			seen = true
+		}
+		return true
+	})
+	if seen {
+		t.Fatal("EachTableNode visited a tombstone")
+	}
+	// The earlier snapshot is immutable: the node is still live there.
+	if o.NodeOf("author", ins.RID) != n {
+		t.Fatal("published snapshot changed under a later Apply")
+	}
+}
+
+func TestOverlaySnapshotImmutable(t *testing.T) {
+	db := newMutDB(t)
+	m := newMutator(t, db, true)
+	m.apply(m.insert("writes", sqldb.Text("a3"), sqldb.Text("p3")))
+	snap := m.d.Snapshot()
+	before := fingerprint(snap)
+
+	m.apply(m.update("writes", 0, map[string]sqldb.Value{"pid": sqldb.Text("p4")}))
+	m.apply(m.del("writes", 3))
+	m.apply(m.insert("author", sqldb.Text("aq"), sqldb.Text("Quux")))
+
+	if got := fingerprint(snap); got != before {
+		t.Fatalf("published snapshot mutated by later Applies:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	m.checkParity("after immutability churn")
+}
+
+func TestOverlayRejectsUnknownTable(t *testing.T) {
+	db := newMutDB(t)
+	m := newMutator(t, db, true)
+	if _, err := db.CreateTable(&sqldb.TableSchema{
+		Name:       "venue",
+		Columns:    []sqldb.Column{{Name: "id", Type: sqldb.TypeText}},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rid, err := db.Insert("venue", []sqldb.Value{sqldb.Text("v0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.d.Apply([]RowChange{{Op: RowInsert, Table: "venue", RID: rid}})
+	if err == nil || !strings.Contains(err.Error(), "rebuild") {
+		t.Fatalf("apply to unknown table: err = %v, want a rebuild hint", err)
+	}
+	// Validation failures are not sticky: the delta still works.
+	if m.d.Err() != nil {
+		t.Fatalf("validation failure stuck: %v", m.d.Err())
+	}
+	m.apply(m.insert("author", sqldb.Text("ax"), sqldb.Text("Extra")))
+}
+
+func TestOverlayValidation(t *testing.T) {
+	db := newMutDB(t)
+	m := newMutator(t, db, true)
+	if err := m.d.Apply([]RowChange{{Op: RowUpdate, Table: "author", RID: 999}}); err == nil {
+		t.Fatal("update of unknown row accepted")
+	}
+	if err := m.d.Apply([]RowChange{{Op: RowInsert, Table: "author", RID: 0}}); err == nil {
+		t.Fatal("insert of already-tracked row accepted")
+	}
+	if err := m.d.Apply([]RowChange{{Op: RowOp(9), Table: "author", RID: 0}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// TestOverlayRandomizedParity drives seeded random mutation batches and
+// checks parity with a from-scratch rebuild after every batch.
+func TestOverlayRandomizedParity(t *testing.T) {
+	for _, scale := range []bool{true, false} {
+		t.Run(fmt.Sprintf("scale=%v", scale), func(t *testing.T) {
+			db := newMutDB(t)
+			m := newMutator(t, db, scale)
+			rng := rand.New(rand.NewSource(42))
+
+			authors := []string{"a0", "a1", "a2", "a3"}
+			papers := []string{"p0", "p1", "p2", "p3", "p4"}
+			var liveWrites []sqldb.RID
+			db.Table("writes").Scan(func(rid sqldb.RID, _ []sqldb.Value) bool {
+				liveWrites = append(liveWrites, rid)
+				return true
+			})
+
+			nextID := 0
+			for batch := 0; batch < 12; batch++ {
+				n := 1 + rng.Intn(4)
+				changes := make([]RowChange, 0, n)
+				for i := 0; i < n; i++ {
+					switch op := rng.Intn(10); {
+					case op < 4: // insert a link row
+						a := authors[rng.Intn(len(authors))]
+						p := papers[rng.Intn(len(papers))]
+						ch := m.insert("writes", sqldb.Text(a), sqldb.Text(p))
+						liveWrites = append(liveWrites, ch.RID)
+						changes = append(changes, ch)
+					case op < 6: // insert a fresh entity, sometimes linked next round
+						id := fmt.Sprintf("x%d", nextID)
+						nextID++
+						if rng.Intn(2) == 0 {
+							changes = append(changes, m.insert("author", sqldb.Text(id), sqldb.Text("A "+id)))
+							authors = append(authors, id)
+						} else {
+							changes = append(changes, m.insert("paper", sqldb.Text(id), sqldb.Text("P "+id)))
+							papers = append(papers, id)
+						}
+					case op < 8: // rewire a link
+						if len(liveWrites) == 0 {
+							continue
+						}
+						rid := liveWrites[rng.Intn(len(liveWrites))]
+						set := map[string]sqldb.Value{"pid": sqldb.Text(papers[rng.Intn(len(papers))])}
+						if rng.Intn(3) == 0 {
+							set["aid"] = sqldb.Null()
+						}
+						changes = append(changes, m.update("writes", rid, set))
+					default: // delete a link
+						if len(liveWrites) == 0 {
+							continue
+						}
+						k := rng.Intn(len(liveWrites))
+						rid := liveWrites[k]
+						liveWrites = append(liveWrites[:k], liveWrites[k+1:]...)
+						changes = append(changes, m.del("writes", rid))
+					}
+				}
+				if len(changes) == 0 {
+					continue
+				}
+				m.apply(changes...)
+				m.checkParity(fmt.Sprintf("batch %d", batch))
+			}
+			if m.d.Pending() == 0 {
+				t.Fatal("randomized run applied nothing")
+			}
+		})
+	}
+}

@@ -179,7 +179,7 @@ func (c *MatchCache) peekPrefix(tok string) (Match, bool) {
 // term, cached under its normalized token. Empty matches are cached too —
 // skewed workloads repeat misses as much as hits. Callers must not mutate
 // the returned slices (they are shared with the index and other callers).
-func (c *MatchCache) Lookup(ix *Index, term string) Match {
+func (c *MatchCache) Lookup(ix View, term string) Match {
 	if c == nil {
 		return ix.Lookup(term)
 	}
@@ -197,7 +197,7 @@ func (c *MatchCache) Lookup(ix *Index, term string) Match {
 // expensive lookup — the index walks every token for a prefix match — so
 // caching it converts O(vocabulary) scans into O(1) repeats. Callers must
 // not mutate the returned slice.
-func (c *MatchCache) LookupPrefix(ix *Index, prefix string) []graph.NodeID {
+func (c *MatchCache) LookupPrefix(ix View, prefix string) []graph.NodeID {
 	if c == nil {
 		return ix.LookupPrefix(prefix)
 	}
@@ -252,7 +252,7 @@ func (c *MatchCache) HotKeys(max int) []string {
 // the cache with the match sets a previous process ran hot on. Unknown key
 // kinds are skipped, so warm segments from newer formats degrade
 // gracefully. Safe on a nil cache (no-op).
-func (c *MatchCache) Warm(ix *Index, keys []string) {
+func (c *MatchCache) Warm(ix View, keys []string) {
 	if c == nil {
 		return
 	}

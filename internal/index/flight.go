@@ -66,7 +66,7 @@ func (g *FlightGroup) do(key string, fn func() Match) Match {
 // cache hit returns immediately; a miss joins (or leads) the single
 // in-flight resolution for that term, which fills the cache for everyone
 // arriving later. Callers must not mutate the returned slices.
-func (g *FlightGroup) Lookup(c *MatchCache, ix *Index, term string) Match {
+func (g *FlightGroup) Lookup(c *MatchCache, ix View, term string) Match {
 	if g == nil {
 		return c.Lookup(ix, term)
 	}
@@ -82,7 +82,7 @@ func (g *FlightGroup) Lookup(c *MatchCache, ix *Index, term string) Match {
 // LookupPrefix is Lookup for prefix resolution — the lookup most worth
 // admitting once per burst, since an uncached prefix expansion walks the
 // whole vocabulary. Callers must not mutate the returned slice.
-func (g *FlightGroup) LookupPrefix(c *MatchCache, ix *Index, prefix string) []graph.NodeID {
+func (g *FlightGroup) LookupPrefix(c *MatchCache, ix View, prefix string) []graph.NodeID {
 	if g == nil {
 		return c.LookupPrefix(ix, prefix)
 	}

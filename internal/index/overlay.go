@@ -1,0 +1,347 @@
+// Overlay composes an immutable base index with an in-memory delta of
+// posting additions and removals, serving the full View interface without a
+// rebuild. The owning layer turns each row mutation into per-token set
+// diffs (tokens the row gained, tokens it lost) and feeds them to Delta.Add
+// and Delta.Remove; metadata (relation/column name) postings are static and
+// always come from the base.
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// Overlay is an immutable base-plus-delta index view. Snapshots are cheap
+// and safe for concurrent readers while the owning Delta keeps mutating.
+type Overlay struct {
+	base  View
+	nodes int
+
+	// added holds per-token nodes present in the delta but not the base,
+	// sorted ascending; slices are never mutated after publication.
+	added map[string][]graph.NodeID
+	// removed holds per-token base nodes masked out by the delta.
+	removed map[string]map[graph.NodeID]struct{}
+
+	terms int
+	posts int
+}
+
+var _ View = (*Overlay)(nil)
+
+// Lookup returns the merged match set for one term.
+func (o *Overlay) Lookup(term string) Match {
+	tok := strings.ToLower(strings.TrimSpace(term))
+	m := o.base.Lookup(tok)
+	add, rm := o.added[tok], o.removed[tok]
+	if len(add) == 0 && len(rm) == 0 {
+		return m
+	}
+	return Match{Nodes: mergePostings(m.Nodes, add, rm), Tables: m.Tables}
+}
+
+// mergePostings merges two sorted node lists, masking rm out of base.
+func mergePostings(base, add []graph.NodeID, rm map[graph.NodeID]struct{}) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(base)+len(add))
+	i, j := 0, 0
+	for i < len(base) || j < len(add) {
+		switch {
+		case j >= len(add) || (i < len(base) && base[i] <= add[j]):
+			n := base[i]
+			i++
+			if j < len(add) && add[j] == n {
+				j++ // defensive: never emit duplicates
+			}
+			if _, dead := rm[n]; dead {
+				continue
+			}
+			out = append(out, n)
+		default:
+			out = append(out, add[j])
+			j++
+		}
+	}
+	return out
+}
+
+// deltaTouchesPrefix reports whether any delta token starts with prefix.
+func (o *Overlay) deltaTouchesPrefix(prefix string) bool {
+	for tok := range o.added {
+		if strings.HasPrefix(tok, prefix) {
+			return true
+		}
+	}
+	for tok := range o.removed {
+		if strings.HasPrefix(tok, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupPrefix returns the sorted, deduplicated node set across every
+// token with the given prefix, merged across base and delta.
+func (o *Overlay) LookupPrefix(prefix string) []graph.NodeID {
+	prefix = strings.ToLower(strings.TrimSpace(prefix))
+	if prefix == "" {
+		return nil
+	}
+	if !o.deltaTouchesPrefix(prefix) {
+		return o.base.LookupPrefix(prefix)
+	}
+	var out []graph.NodeID
+	seen := make(map[string]struct{})
+	for _, tok := range o.base.PrefixTokens(prefix) {
+		seen[tok] = struct{}{}
+		out = append(out, o.Lookup(tok).Nodes...)
+	}
+	for tok, ns := range o.added {
+		if !strings.HasPrefix(tok, prefix) {
+			continue
+		}
+		if _, ok := seen[tok]; ok {
+			continue
+		}
+		out = append(out, ns...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, n := range out {
+		if i == 0 || n != out[i-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	return dedup
+}
+
+// PrefixTokens returns the indexed tokens with the given prefix, ascending,
+// excluding tokens whose merged posting list is empty.
+func (o *Overlay) PrefixTokens(prefix string) []string {
+	prefix = strings.ToLower(strings.TrimSpace(prefix))
+	if prefix == "" {
+		return nil
+	}
+	base := o.base.PrefixTokens(prefix)
+	if !o.deltaTouchesPrefix(prefix) {
+		return base
+	}
+	var out []string
+	seen := make(map[string]struct{}, len(base))
+	for _, tok := range base {
+		seen[tok] = struct{}{}
+		if len(o.removed[tok]) > 0 && len(o.Lookup(tok).Nodes) == 0 {
+			continue // fully removed from the merged index
+		}
+		out = append(out, tok)
+	}
+	for tok := range o.added {
+		if !strings.HasPrefix(tok, prefix) {
+			continue
+		}
+		if _, ok := seen[tok]; !ok {
+			out = append(out, tok)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumTerms returns the distinct token count of the merged index.
+func (o *Overlay) NumTerms() int { return o.terms }
+
+// NumPostings returns the total posting count of the merged index.
+func (o *Overlay) NumPostings() int { return o.posts }
+
+// NumNodes returns the node-id space size the overlay covers.
+func (o *Overlay) NumNodes() int { return o.nodes }
+
+// ForEachTermSorted visits every merged token in ascending order, skipping
+// tokens whose merged posting list is empty.
+func (o *Overlay) ForEachTermSorted(fn func(tok string, ns []graph.NodeID)) error {
+	addedToks := make([]string, 0, len(o.added))
+	for tok := range o.added {
+		addedToks = append(addedToks, tok)
+	}
+	sort.Strings(addedToks)
+	i := 0
+	emitAddedOnly := func(upto string, bounded bool) {
+		for i < len(addedToks) && (!bounded || addedToks[i] < upto) {
+			tok := addedToks[i]
+			i++
+			if ns := o.Lookup(tok).Nodes; len(ns) > 0 {
+				fn(tok, ns)
+			}
+		}
+	}
+	err := o.base.ForEachTermSorted(func(tok string, ns []graph.NodeID) {
+		emitAddedOnly(tok, true)
+		if i < len(addedToks) && addedToks[i] == tok {
+			i++
+		}
+		add, rm := o.added[tok], o.removed[tok]
+		if len(add) == 0 && len(rm) == 0 {
+			fn(tok, ns)
+			return
+		}
+		if merged := mergePostings(ns, add, rm); len(merged) > 0 {
+			fn(tok, merged)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	emitAddedOnly("", false)
+	return nil
+}
+
+// MetaTables returns the base's metadata map (schema tokens are static).
+func (o *Overlay) MetaTables() map[string][]int32 { return o.base.MetaTables() }
+
+// LazyErr reports the base's first deferred-load failure.
+func (o *Overlay) LazyErr() error { return o.base.LazyErr() }
+
+// Base returns the view this overlay composes over.
+func (o *Overlay) Base() View { return o.base }
+
+// Delta accumulates posting additions and removals over a base index. It is
+// not safe for concurrent use; published Snapshots stay valid and immutable
+// across later Adds/Removes.
+type Delta struct {
+	cur Overlay
+
+	// baseMemo caches the base posting list of every touched token, so
+	// presence checks and count bookkeeping fault each block at most once.
+	baseMemo map[string][]graph.NodeID
+
+	pending int
+}
+
+// NewDelta prepares a posting delta over base.
+func NewDelta(base View) *Delta {
+	return &Delta{
+		cur: Overlay{
+			base:    base,
+			nodes:   base.NumNodes(),
+			added:   make(map[string][]graph.NodeID),
+			removed: make(map[string]map[graph.NodeID]struct{}),
+			terms:   base.NumTerms(),
+			posts:   base.NumPostings(),
+		},
+		baseMemo: make(map[string][]graph.NodeID),
+	}
+}
+
+// Pending returns how many Add/Remove operations changed the delta.
+func (d *Delta) Pending() int { return d.pending }
+
+// Snapshot publishes the current state as an immutable Overlay for the
+// given node-id space size (the paired graph view's NumNodes).
+func (d *Delta) Snapshot(numNodes int) *Overlay {
+	o := d.cur
+	o.nodes = numNodes
+	o.added = make(map[string][]graph.NodeID, len(d.cur.added))
+	for k, v := range d.cur.added {
+		o.added[k] = v
+	}
+	o.removed = make(map[string]map[graph.NodeID]struct{}, len(d.cur.removed))
+	for k, v := range d.cur.removed {
+		cp := make(map[graph.NodeID]struct{}, len(v))
+		for n := range v {
+			cp[n] = struct{}{}
+		}
+		o.removed[k] = cp
+	}
+	return &o
+}
+
+func (d *Delta) baseNodes(tok string) []graph.NodeID {
+	if ns, ok := d.baseMemo[tok]; ok {
+		return ns
+	}
+	ns := d.cur.base.Lookup(tok).Nodes
+	d.baseMemo[tok] = ns
+	return ns
+}
+
+func containsNode(ns []graph.NodeID, n graph.NodeID) bool {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= n })
+	return i < len(ns) && ns[i] == n
+}
+
+// mergedLen returns the merged posting count of tok.
+func (d *Delta) mergedLen(tok string) int {
+	return len(d.baseNodes(tok)) + len(d.cur.added[tok]) - len(d.cur.removed[tok])
+}
+
+// Add records that node n now matches tok (already tokenized: lower-case).
+// Adding an already-present posting is a no-op.
+func (d *Delta) Add(tok string, n graph.NodeID) {
+	before := d.mergedLen(tok)
+	if rm := d.cur.removed[tok]; rm != nil {
+		if _, dead := rm[n]; dead {
+			delete(rm, n)
+			if len(rm) == 0 {
+				delete(d.cur.removed, tok)
+			}
+			d.bump(before, +1)
+			return
+		}
+	}
+	if containsNode(d.baseNodes(tok), n) || containsNode(d.cur.added[tok], n) {
+		return
+	}
+	old := d.cur.added[tok]
+	i := sort.Search(len(old), func(i int) bool { return old[i] >= n })
+	fresh := make([]graph.NodeID, 0, len(old)+1)
+	fresh = append(fresh, old[:i]...)
+	fresh = append(fresh, n)
+	fresh = append(fresh, old[i:]...)
+	d.cur.added[tok] = fresh
+	d.bump(before, +1)
+}
+
+// Remove records that node n no longer matches tok. Removing an absent
+// posting is a no-op.
+func (d *Delta) Remove(tok string, n graph.NodeID) {
+	before := d.mergedLen(tok)
+	if old := d.cur.added[tok]; containsNode(old, n) {
+		i := sort.Search(len(old), func(i int) bool { return old[i] >= n })
+		fresh := make([]graph.NodeID, 0, len(old)-1)
+		fresh = append(fresh, old[:i]...)
+		fresh = append(fresh, old[i+1:]...)
+		if len(fresh) == 0 {
+			delete(d.cur.added, tok)
+		} else {
+			d.cur.added[tok] = fresh
+		}
+		d.bump(before, -1)
+		return
+	}
+	if !containsNode(d.baseNodes(tok), n) {
+		return
+	}
+	rm := d.cur.removed[tok]
+	if rm == nil {
+		rm = make(map[graph.NodeID]struct{})
+		d.cur.removed[tok] = rm
+	} else if _, dead := rm[n]; dead {
+		return
+	}
+	rm[n] = struct{}{}
+	d.bump(before, -1)
+}
+
+// bump maintains the merged term/posting counts across one ±1 change.
+func (d *Delta) bump(before, delta int) {
+	d.cur.posts += delta
+	after := before + delta
+	if before == 0 && after > 0 {
+		d.cur.terms++
+	}
+	if before > 0 && after == 0 {
+		d.cur.terms--
+	}
+	d.pending++
+}

@@ -1,0 +1,354 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// newTextDB builds a two-table db with plenty of shared tokens.
+func newTextDB(t *testing.T) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	for _, s := range []*sqldb.TableSchema{
+		{
+			Name: "author",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TypeText},
+				{Name: "name", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "paper",
+			Columns: []sqldb.Column{
+				{Name: "id", Type: sqldb.TypeText},
+				{Name: "title", Type: sqldb.TypeText},
+			},
+			PrimaryKey: []string{"id"},
+		},
+	} {
+		if _, err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := [][2]string{
+		{"a0", "Soumen Chakrabarti"},
+		{"a1", "Sunita Sarawagi"},
+		{"a2", "Byron Dom"},
+	}
+	for _, r := range rows {
+		if _, err := db.Insert("author", []sqldb.Value{sqldb.Text(r[0]), sqldb.Text(r[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	papers := [][2]string{
+		{"p0", "Mining Surprising Patterns"},
+		{"p1", "Keyword Searching in Databases"},
+	}
+	for _, r := range papers {
+		if _, err := db.Insert("paper", []sqldb.Value{sqldb.Text(r[0]), sqldb.Text(r[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// ixMutator drives paired db + graph-delta + index-delta mutations the way
+// the serving layer does, tracking per-row token sets for the diffs.
+type ixMutator struct {
+	t  *testing.T
+	db *sqldb.Database
+	gd *graph.Delta
+	id *Delta
+}
+
+func newIxMutator(t *testing.T, db *sqldb.Database) *ixMutator {
+	t.Helper()
+	g, err := graph.Build(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ixMutator{t: t, db: db, gd: graph.NewDelta(g, db, true), id: NewDelta(ix)}
+}
+
+// tokensOf returns the token set of the row's text columns.
+func (m *ixMutator) tokensOf(table string, rid sqldb.RID) map[string]bool {
+	tbl := m.db.Table(table)
+	row := tbl.Row(rid)
+	if row == nil {
+		return nil
+	}
+	set := make(map[string]bool)
+	for i, c := range tbl.Schema().Columns {
+		if c.Type != sqldb.TypeText || row[i].IsNull() {
+			continue
+		}
+		for _, tok := range Tokenize(row[i].S) {
+			set[tok] = true
+		}
+	}
+	return set
+}
+
+// fold applies one already-captured change to both deltas.
+func (m *ixMutator) fold(ch graph.RowChange, oldToks map[string]bool, oldNode graph.NodeID) {
+	m.t.Helper()
+	newToks := m.tokensOf(ch.Table, ch.RID)
+	if err := m.gd.Apply([]graph.RowChange{ch}); err != nil {
+		m.t.Fatalf("graph apply: %v", err)
+	}
+	node := oldNode
+	if ch.Op == graph.RowInsert {
+		node = m.gd.Snapshot().NodeOf(ch.Table, ch.RID)
+		if node == graph.NoNode {
+			m.t.Fatalf("inserted row %s/%d has no node", ch.Table, ch.RID)
+		}
+	}
+	for tok := range oldToks {
+		if !newToks[tok] {
+			m.id.Remove(tok, node)
+		}
+	}
+	for tok := range newToks {
+		if !oldToks[tok] {
+			m.id.Add(tok, node)
+		}
+	}
+}
+
+func (m *ixMutator) insert(table string, vals ...sqldb.Value) sqldb.RID {
+	m.t.Helper()
+	rid, err := m.db.Insert(table, vals)
+	if err != nil {
+		m.t.Fatalf("insert %s: %v", table, err)
+	}
+	m.fold(graph.RowChange{Op: graph.RowInsert, Table: table, RID: rid}, nil, graph.NoNode)
+	return rid
+}
+
+func (m *ixMutator) update(table string, rid sqldb.RID, set map[string]sqldb.Value) {
+	m.t.Helper()
+	oldToks := m.tokensOf(table, rid)
+	node := m.gd.Snapshot().NodeOf(table, rid)
+	old, err := m.gd.Targets(table, rid)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	if err := m.db.Update(table, rid, set); err != nil {
+		m.t.Fatalf("update: %v", err)
+	}
+	m.fold(graph.RowChange{Op: graph.RowUpdate, Table: table, RID: rid, OldTargets: old}, oldToks, node)
+}
+
+func (m *ixMutator) del(table string, rid sqldb.RID) {
+	m.t.Helper()
+	oldToks := m.tokensOf(table, rid)
+	node := m.gd.Snapshot().NodeOf(table, rid)
+	old, err := m.gd.Targets(table, rid)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	if err := m.db.Delete(table, rid); err != nil {
+		m.t.Fatalf("delete: %v", err)
+	}
+	m.fold(graph.RowChange{Op: graph.RowDelete, Table: table, RID: rid, OldTargets: old}, oldToks, node)
+}
+
+// ixFingerprint renders an index against its graph view in node-id-free
+// form: every term's postings as table/rid pairs, plus the counts.
+func ixFingerprint(t *testing.T, ix View, g graph.View) string {
+	t.Helper()
+	var b strings.Builder
+	err := ix.ForEachTermSorted(func(tok string, ns []graph.NodeID) {
+		rows := make([]string, len(ns))
+		for i, n := range ns {
+			rows[i] = fmt.Sprintf("%s/%d", g.TableNameOf(n), g.RIDOf(n))
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "%s: %s\n", tok, strings.Join(rows, ","))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "terms=%d posts=%d\n", ix.NumTerms(), ix.NumPostings())
+	return b.String()
+}
+
+func (m *ixMutator) checkParity(label string) {
+	m.t.Helper()
+	g2, err := graph.Build(m.db, nil)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	ix2, err := Build(m.db, g2)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	gSnap := m.gd.Snapshot()
+	ixSnap := m.id.Snapshot(gSnap.NumNodes())
+	got := ixFingerprint(m.t, ixSnap, gSnap)
+	want := ixFingerprint(m.t, ix2, g2)
+	if got != want {
+		m.t.Fatalf("%s: index overlay diverges from rebuild\n--- overlay ---\n%s--- rebuild ---\n%s", label, got, want)
+	}
+	if ixSnap.NumNodes() != gSnap.NumNodes() {
+		m.t.Fatalf("%s: index covers %d nodes, graph has %d", label, ixSnap.NumNodes(), gSnap.NumNodes())
+	}
+}
+
+func TestIndexOverlayParityScenarios(t *testing.T) {
+	db := newTextDB(t)
+	m := newIxMutator(t, db)
+	m.checkParity("pristine")
+
+	m.insert("author", sqldb.Text("a9"), sqldb.Text("Gerhard Weikum"))
+	m.checkParity("insert")
+
+	// Retitle: drops tokens, keeps one, adds new ones.
+	m.update("paper", 0, map[string]sqldb.Value{"title": sqldb.Text("Mining Banked Data")})
+	m.checkParity("update")
+
+	// Token moved entirely off a row it shared with another ("sunita" only
+	// on a1): full removal of a term from the merged index.
+	m.update("author", 1, map[string]sqldb.Value{"name": sqldb.Text("S. Sarawagi")})
+	m.checkParity("rename")
+
+	m.del("author", 2)
+	m.checkParity("delete")
+
+	// Re-add a removed token on a different row.
+	m.update("author", 0, map[string]sqldb.Value{"name": sqldb.Text("Soumen Sunita")})
+	m.checkParity("re-add")
+
+	// NULL out a text column.
+	m.update("paper", 1, map[string]sqldb.Value{"title": sqldb.Null()})
+	m.checkParity("null text")
+}
+
+func TestIndexOverlayLookups(t *testing.T) {
+	db := newTextDB(t)
+	m := newIxMutator(t, db)
+	m.insert("author", sqldb.Text("a9"), sqldb.Text("Surajit Chaudhuri"))
+	m.del("author", 2) // byron dom gone
+	m.update("author", 1, map[string]sqldb.Value{"name": sqldb.Text("Sunita S")})
+
+	gSnap := m.gd.Snapshot()
+	o := m.id.Snapshot(gSnap.NumNodes())
+
+	if got := o.Lookup("byron"); len(got.Nodes) != 0 {
+		t.Fatalf("deleted row still matches: %v", got.Nodes)
+	}
+	if got := o.Lookup("surajit"); len(got.Nodes) != 1 ||
+		gSnap.RIDOf(got.Nodes[0]) != 3 || gSnap.TableNameOf(got.Nodes[0]) != "author" {
+		t.Fatalf("fresh token lookup = %+v", got)
+	}
+	// Metadata matches always come from the base.
+	if got := o.Lookup("author"); len(got.Tables) != 1 {
+		t.Fatalf("metadata lookup = %+v", got)
+	}
+	// Prefix across base + delta: "s" hits soumen, sunita (update kept it),
+	// surprising, searching (base papers), surajit (added).
+	pn := o.LookupPrefix("su")
+	var rows []string
+	for _, n := range pn {
+		rows = append(rows, fmt.Sprintf("%s/%d", gSnap.TableNameOf(n), gSnap.RIDOf(n)))
+	}
+	sort.Strings(rows)
+	want := []string{"author/1", "author/3", "paper/0"}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("LookupPrefix(su) rows = %v, want %v", rows, want)
+	}
+	toks := o.PrefixTokens("s")
+	for _, tok := range toks {
+		if tok == "sarawagi" {
+			t.Fatalf("fully-removed token still listed: %v", toks)
+		}
+	}
+	has := func(want string) bool {
+		for _, tok := range toks {
+			if tok == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tok := range []string{"sunita", "surajit", "surprising", "searching"} {
+		if !has(tok) {
+			t.Fatalf("PrefixTokens(s) = %v, missing %q", toks, tok)
+		}
+	}
+}
+
+func TestIndexOverlaySnapshotImmutable(t *testing.T) {
+	db := newTextDB(t)
+	m := newIxMutator(t, db)
+	m.insert("paper", sqldb.Text("p9"), sqldb.Text("Banks Browsing"))
+	gSnap := m.gd.Snapshot()
+	snap := m.id.Snapshot(gSnap.NumNodes())
+	before := ixFingerprint(t, snap, gSnap)
+
+	m.update("paper", 0, map[string]sqldb.Value{"title": sqldb.Text("Completely New Words")})
+	m.del("paper", 1)
+	m.insert("author", sqldb.Text("a7"), sqldb.Text("Banks Mining"))
+
+	if got := ixFingerprint(t, snap, gSnap); got != before {
+		t.Fatalf("published snapshot mutated:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	m.checkParity("after immutability churn")
+}
+
+func TestIndexOverlayRandomizedParity(t *testing.T) {
+	db := newTextDB(t)
+	m := newIxMutator(t, db)
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"banks", "keyword", "search", "graph", "mining", "sunita", "data", "proximity"}
+	title := func() string {
+		k := 1 + rng.Intn(3)
+		parts := make([]string, k)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		return strings.Join(parts, " ")
+	}
+	var papers []sqldb.RID
+	db.Table("paper").Scan(func(rid sqldb.RID, _ []sqldb.Value) bool {
+		papers = append(papers, rid)
+		return true
+	})
+	next := 0
+	for step := 0; step < 40; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4:
+			id := fmt.Sprintf("q%d", next)
+			next++
+			papers = append(papers, m.insert("paper", sqldb.Text(id), sqldb.Text(title())))
+		case op < 8:
+			if len(papers) == 0 {
+				continue
+			}
+			m.update("paper", papers[rng.Intn(len(papers))], map[string]sqldb.Value{"title": sqldb.Text(title())})
+		default:
+			if len(papers) < 2 {
+				continue
+			}
+			k := rng.Intn(len(papers))
+			m.del("paper", papers[k])
+			papers = append(papers[:k], papers[k+1:]...)
+		}
+		if step%5 == 4 {
+			m.checkParity(fmt.Sprintf("step %d", step))
+		}
+	}
+	m.checkParity("final")
+}

@@ -30,6 +30,12 @@ func TestDumpSQLDependencyOrder(t *testing.T) {
 	if !strings.Contains(s, "'It''s \"quoted\"'") {
 		t.Errorf("escaped literal missing from dump:\n%s", s)
 	}
+	// Non-default FK weights survive the round trip (Cites has WEIGHT 2);
+	// losing them would silently change graph edge weights after a
+	// dump/restore.
+	if !strings.Contains(s, "REFERENCES Paper (PaperId) WEIGHT 2") {
+		t.Errorf("FK WEIGHT clause missing from dump:\n%s", s)
+	}
 }
 
 // TestDumpSQLRoundTrip replays the dump through the parser/engine and

@@ -127,6 +127,9 @@ func (s *TableSchema) String() string {
 	}
 	for _, fk := range s.ForeignKeys {
 		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)", fk.Column, fk.RefTable, fk.RefColumn)
+		if fk.Weight != 0 && fk.Weight != 1 {
+			fmt.Fprintf(&b, " WEIGHT %g", fk.Weight)
+		}
 	}
 	b.WriteString(")")
 	return b.String()

@@ -68,6 +68,11 @@ const (
 	kindTermDict  kind = 4
 	kindPostings  kind = 5
 	kindWarmTerms kind = 6
+	// kindWALSeq records the sequence number of the last write-ahead-log
+	// batch folded into this store (8 bytes, big-endian). It makes WAL
+	// truncation crash-safe: replay after a crash skips batches with
+	// seq <= the stored value. Absent (old stores) means 0.
+	kindWALSeq kind = 7
 )
 
 func (k kind) String() string {
@@ -84,6 +89,8 @@ func (k kind) String() string {
 		return "postings"
 	case kindWarmTerms:
 		return "warm terms"
+	case kindWALSeq:
+		return "WAL sequence"
 	}
 	return fmt.Sprintf("segment kind %d", uint32(k))
 }

@@ -177,11 +177,38 @@ func (s *Store) readSegment(k kind) ([]byte, error) {
 	return data, nil
 }
 
+// EngineSource is the unified lazy-load contract a store serves: the
+// graph's segment fetches and the index's dictionary/postings fetches.
+// Store is the canonical implementation; graph.OpenLazy and index.OpenLazy
+// each consume their half.
+type EngineSource interface {
+	graph.SegmentSource
+	index.LazySource
+}
+
+var _ EngineSource = (*Store)(nil)
+
 // Graph returns the lazily-loading data graph.
 func (s *Store) Graph() *graph.Graph { return s.g }
 
 // Index returns the lazily-loading keyword index.
 func (s *Store) Index() *index.Index { return s.ix }
+
+// WALSeq returns the last WAL batch sequence folded into the store, or 0
+// when the store predates (or never had) a WAL.
+func (s *Store) WALSeq() (uint64, error) {
+	if _, ok := s.segs[kindWALSeq]; !ok {
+		return 0, nil
+	}
+	data, err := s.readSegment(kindWALSeq)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != 8 {
+		return 0, fmt.Errorf("store: WAL sequence segment is %d bytes, want 8", len(data))
+	}
+	return binary.BigEndian.Uint64(data), nil
+}
 
 // Close releases the underlying file (a no-op for in-memory stores).
 func (s *Store) Close() error {

@@ -21,6 +21,10 @@ type Engine struct {
 	Graph    *graph.Graph
 	Index    *index.Index
 	WarmKeys []string
+	// WALSeq is the sequence number of the last WAL batch whose effects
+	// this engine already contains; replay on reopen skips seq <= WALSeq.
+	// 0 (the default) means "no WAL history folded in".
+	WALSeq uint64
 }
 
 // legacySnapshotMagic is the monolithic pre-store snapshot format; see the
@@ -62,6 +66,7 @@ func Write(w io.Writer, eng Engine) error {
 		{kindTermDict, dict},
 		{kindPostings, postings},
 		{kindWarmTerms, encodeWarmKeys(eng.WarmKeys)},
+		{kindWALSeq, binary.BigEndian.AppendUint64(nil, eng.WALSeq)},
 	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -75,6 +80,9 @@ func Write(w io.Writer, eng Engine) error {
 	entries := make([]dirEntry, 0, len(segments))
 	for _, seg := range segments {
 		if seg.kind == kindWarmTerms && len(eng.WarmKeys) == 0 {
+			continue
+		}
+		if seg.kind == kindWALSeq && eng.WALSeq == 0 {
 			continue
 		}
 		if _, err := bw.Write(seg.data); err != nil {

@@ -1,0 +1,481 @@
+// Package wal implements the write-ahead log behind live mutations: every
+// System.Apply batch is journaled as one checksummed, fsync'd record before
+// it is folded into the serving engine, so mutations survive a crash and
+// replay deterministically on reopen.
+//
+// File layout:
+//
+//	header   magic "BANKSWAL" · version u32
+//	records  length u32 · crc32c u32 · payload
+//	payload  seq uvarint · count uvarint · count mutations
+//	mutation op u8 · table string · rid uvarint · ncols uvarint
+//	         · ncols × (name string · value)
+//	value    type u8 · type-dependent payload
+//
+// All fixed-width integers are big-endian; strings are uvarint-length
+// prefixed. The checksum (CRC-32C) covers the payload only. A torn or
+// corrupt tail — a partial record, a failed checksum, a malformed payload,
+// or a sequence number out of order — ends the readable prefix: Open
+// repairs the log by truncating it there, which is exactly the
+// crash-during-append case an fsync'd log must tolerate.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+const (
+	magic      = "BANKSWAL"
+	version    = 1
+	headerSize = len(magic) + 4
+
+	// maxRecordLen bounds the payload length trusted from a record header;
+	// anything larger is treated as corruption.
+	maxRecordLen = 1 << 28
+	// maxBatch and maxCols bound the counts trusted from a payload.
+	maxBatch = 1 << 20
+	maxCols  = 1 << 12
+	// maxString bounds table/column/text lengths.
+	maxString = 1 << 20
+	// prealloc caps slice capacity trusted from a length prefix.
+	prealloc = 1 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Op is the kind of one journaled row mutation.
+type Op uint8
+
+const (
+	OpInsert Op = iota + 1
+	OpUpdate
+	OpDelete
+)
+
+// Mutation is one journaled row change. Inserts record the RID the row
+// received so replay can verify the database deterministically re-assigns
+// it; updates and deletes address the row by RID.
+type Mutation struct {
+	Op    Op
+	Table string
+	RID   int64
+	Cols  []string
+	Vals  []sqldb.Value
+}
+
+// Batch is one atomic Apply: a sequence number and its mutations.
+type Batch struct {
+	Seq  uint64
+	Muts []Mutation
+}
+
+// Log is an append-only mutation journal. A Log has a single writer; Append
+// and Truncate must be externally serialized.
+type Log struct {
+	f       *os.File
+	path    string
+	size    int64  // committed length (header + valid records)
+	nextSeq uint64 // sequence number the next Append receives
+}
+
+// Open opens (or creates) the log at path and replays every batch with
+// seq > afterSeq through fn, in order. A torn or corrupt tail is repaired
+// by truncation; an error from fn aborts the open. The returned log appends
+// after the last valid record with the next sequence number.
+func Open(path string, afterSeq uint64, fn func(Batch) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, nextSeq: 1}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		var hdr [headerSize]byte
+		copy(hdr[:], magic)
+		binary.BigEndian.PutUint32(hdr[len(magic):], version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: writing header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing header: %w", err)
+		}
+		l.size = int64(headerSize)
+		return l, nil
+	}
+
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	valid, lastSeq, err := Scan(bufio.NewReaderSize(f, 1<<20), func(b Batch) error {
+		if b.Seq > afterSeq {
+			return fn(b)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if valid < st.Size() {
+		// Torn tail: drop it, as a crash mid-append demands.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: repairing torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing repaired %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.size = valid
+	if lastSeq >= afterSeq {
+		l.nextSeq = lastSeq + 1
+	} else {
+		// Every record predates the store snapshot (or the log is empty):
+		// continue the sequence the snapshot pins.
+		l.nextSeq = afterSeq + 1
+	}
+	return l, nil
+}
+
+// Scan decodes records from r in order, calling fn per batch. It returns
+// the byte length of the valid prefix (header + whole records) and the last
+// valid sequence number. Corruption — a short read, bad checksum, malformed
+// payload, or non-increasing sequence — ends the scan without error; only
+// a bad header or an fn error fail the scan.
+func Scan(r io.Reader, fn func(Batch) error) (valid int64, lastSeq uint64, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("wal: reading header: %w", err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return 0, 0, errors.New("wal: bad magic")
+	}
+	if v := binary.BigEndian.Uint32(hdr[len(magic):]); v != version {
+		return 0, 0, fmt.Errorf("wal: unsupported version %d", v)
+	}
+	valid = int64(headerSize)
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return valid, lastSeq, nil // clean EOF or torn length/crc
+		}
+		ln := binary.BigEndian.Uint32(rec[:4])
+		crc := binary.BigEndian.Uint32(rec[4:])
+		if ln == 0 || ln > maxRecordLen {
+			return valid, lastSeq, nil
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, lastSeq, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return valid, lastSeq, nil
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			return valid, lastSeq, nil
+		}
+		if b.Seq <= lastSeq {
+			return valid, lastSeq, nil // sequence must strictly increase
+		}
+		if err := fn(b); err != nil {
+			return valid, lastSeq, err
+		}
+		lastSeq = b.Seq
+		valid += int64(8 + ln)
+	}
+}
+
+// Append journals one batch: encode, write, fsync. It returns the sequence
+// number the batch received.
+func (l *Log) Append(muts []Mutation) (uint64, error) {
+	if len(muts) == 0 {
+		return 0, errors.New("wal: empty batch")
+	}
+	if len(muts) > maxBatch {
+		return 0, fmt.Errorf("wal: batch of %d mutations exceeds the %d limit", len(muts), maxBatch)
+	}
+	seq := l.nextSeq
+	payload, err := encodeBatch(Batch{Seq: seq, Muts: muts})
+	if err != nil {
+		return 0, err
+	}
+	rec := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	rec = append(rec, payload...)
+	if _, err := l.f.WriteAt(rec, l.size); err != nil {
+		return 0, fmt.Errorf("wal: appending record %d: %w", seq, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: syncing record %d: %w", seq, err)
+	}
+	l.size += int64(len(rec))
+	l.nextSeq = seq + 1
+	return seq, nil
+}
+
+// Truncate drops every journaled record; the caller must first have folded
+// them into a durable snapshot that pins the last applied sequence number
+// (replay-after-crash then skips them anyway). Sequence numbers keep
+// increasing across truncations.
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(int64(headerSize)); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing truncated %s: %w", l.path, err)
+	}
+	l.size = int64(headerSize)
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (l *Log) NextSeq() uint64 { return l.nextSeq }
+
+// Size returns the committed log length in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: syncing %s on close: %w", l.path, err)
+	}
+	return l.f.Close()
+}
+
+// EncodePayload renders a batch to its WAL payload bytes (seq + mutations,
+// without the length/checksum framing). Append is the production write path;
+// this hook exists for tooling such as the fuzz corpus generator.
+func EncodePayload(b Batch) ([]byte, error) { return encodeBatch(b) }
+
+// encodeBatch renders one batch payload.
+func encodeBatch(b Batch) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, b.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Muts)))
+	for i := range b.Muts {
+		m := &b.Muts[i]
+		switch m.Op {
+		case OpInsert, OpUpdate, OpDelete:
+		default:
+			return nil, fmt.Errorf("wal: unknown op %d", m.Op)
+		}
+		if len(m.Table) > maxString {
+			return nil, fmt.Errorf("wal: table name of %d bytes", len(m.Table))
+		}
+		if len(m.Cols) != len(m.Vals) {
+			return nil, fmt.Errorf("wal: %d columns but %d values", len(m.Cols), len(m.Vals))
+		}
+		if len(m.Cols) > maxCols {
+			return nil, fmt.Errorf("wal: %d columns exceeds the %d limit", len(m.Cols), maxCols)
+		}
+		if m.RID < 0 {
+			return nil, fmt.Errorf("wal: negative rid %d", m.RID)
+		}
+		buf = append(buf, byte(m.Op))
+		buf = appendString(buf, m.Table)
+		buf = binary.AppendUvarint(buf, uint64(m.RID))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Cols)))
+		for j, col := range m.Cols {
+			if len(col) > maxString {
+				return nil, fmt.Errorf("wal: column name of %d bytes", len(col))
+			}
+			buf = appendString(buf, col)
+			var err error
+			buf, err = appendValue(buf, m.Vals[j])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func decodeBatch(p []byte) (Batch, error) {
+	d := decoder{p: p}
+	var b Batch
+	b.Seq = d.uvarint()
+	n := d.uvarint()
+	if n == 0 || n > maxBatch {
+		return b, fmt.Errorf("wal: batch claims %d mutations", n)
+	}
+	b.Muts = make([]Mutation, 0, min64(n, prealloc))
+	for i := uint64(0); i < n; i++ {
+		var m Mutation
+		m.Op = Op(d.byte())
+		switch m.Op {
+		case OpInsert, OpUpdate, OpDelete:
+		default:
+			return b, fmt.Errorf("wal: unknown op %d", m.Op)
+		}
+		m.Table = d.str()
+		rid := d.uvarint()
+		if rid > math.MaxInt64 {
+			return b, fmt.Errorf("wal: rid %d out of range", rid)
+		}
+		m.RID = int64(rid)
+		nc := d.uvarint()
+		if nc > maxCols {
+			return b, fmt.Errorf("wal: mutation claims %d columns", nc)
+		}
+		if nc > 0 {
+			m.Cols = make([]string, 0, min64(nc, prealloc))
+			m.Vals = make([]sqldb.Value, 0, min64(nc, prealloc))
+		}
+		for j := uint64(0); j < nc; j++ {
+			m.Cols = append(m.Cols, d.str())
+			m.Vals = append(m.Vals, d.value())
+		}
+		if d.err != nil {
+			return b, d.err
+		}
+		b.Muts = append(b.Muts, m)
+	}
+	if d.err != nil {
+		return b, d.err
+	}
+	if len(d.p) != 0 {
+		return b, fmt.Errorf("wal: %d trailing bytes in payload", len(d.p))
+	}
+	return b, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendValue encodes one typed value: a type tag then the payload.
+func appendValue(buf []byte, v sqldb.Value) ([]byte, error) {
+	buf = append(buf, byte(v.T))
+	switch v.T {
+	case sqldb.TypeNull:
+		return buf, nil
+	case sqldb.TypeInt, sqldb.TypeBool:
+		return binary.AppendVarint(buf, v.I), nil
+	case sqldb.TypeFloat:
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(v.F)), nil
+	case sqldb.TypeText:
+		if len(v.S) > maxString {
+			return nil, fmt.Errorf("wal: text value of %d bytes", len(v.S))
+		}
+		return appendString(buf, v.S), nil
+	}
+	return nil, fmt.Errorf("wal: unknown value type %d", v.T)
+}
+
+// decoder pulls typed fields off a payload, latching the first error.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("wal: truncated payload")
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.p) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.p[0]
+	d.p = d.p[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.p)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxString || uint64(len(d.p)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.p[:n])
+	d.p = d.p[n:]
+	return s
+}
+
+func (d *decoder) value() sqldb.Value {
+	t := sqldb.Type(d.byte())
+	switch t {
+	case sqldb.TypeNull:
+		return sqldb.Value{}
+	case sqldb.TypeInt, sqldb.TypeBool:
+		return sqldb.Value{T: t, I: d.varint()}
+	case sqldb.TypeFloat:
+		if d.err != nil || len(d.p) < 8 {
+			d.fail()
+			return sqldb.Value{}
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(d.p))
+		d.p = d.p[8:]
+		return sqldb.Value{T: t, F: f}
+	case sqldb.TypeText:
+		return sqldb.Value{T: t, S: d.str()}
+	}
+	d.fail()
+	return sqldb.Value{}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -160,7 +160,7 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 // pkOf renders the textual primary key of a node's row, or "" when the
 // table has no single-column PK. g is the graph snapshot the request
 // pinned.
-func (s *Server) pkOf(g *graph.Graph, n graph.NodeID) (table, pk string) {
+func (s *Server) pkOf(g graph.View, n graph.NodeID) (table, pk string) {
 	table = g.TableNameOf(n)
 	t := s.db.Table(table)
 	if t == nil {
@@ -177,7 +177,7 @@ func (s *Server) pkOf(g *graph.Graph, n graph.NodeID) (table, pk string) {
 	return table, row[schema.ColumnIndex(schema.PrimaryKey[0])].String()
 }
 
-func (s *Server) tupleHTML(g *graph.Graph, n graph.NodeID, matched bool) string {
+func (s *Server) tupleHTML(g graph.View, n graph.NodeID, matched bool) string {
 	table := g.TableNameOf(n)
 	t := s.db.Table(table)
 	row := t.Row(g.RIDOf(n))

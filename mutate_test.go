@@ -1,0 +1,771 @@
+package banks
+
+// Live mutations must be invisible at the query level: a system serving
+// base + WAL-backed delta overlays has to answer exactly like a system
+// rebuilt from scratch over the same rows. These tests pin that parity on
+// randomized mutation batches over both generators and both execution
+// strategies, plus the crash-recovery, validation and lifecycle contracts
+// around it.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/banksdb/banks/internal/datagen"
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// treeSig renders a connection tree canonically (children sorted), so two
+// answers compare by structure regardless of emission order.
+func treeSig(n *TreeNode) string {
+	kids := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = fmt.Sprintf("%.9f>%s", c.EdgeWeight, treeSig(c))
+	}
+	sort.Strings(kids)
+	return fmt.Sprintf("%s/%d[%s]", n.Tuple.Table, n.Tuple.RID, strings.Join(kids, ","))
+}
+
+// canonicalAnswers reduces a result list to comparable keys: scores
+// rounded to 9 decimals, answers within one score tie sorted canonically,
+// and — when the list is full (possibly truncated mid-tie at TopK) — the
+// final tie group dropped, since which members of a tied group survive
+// truncation is legitimately snapshot-dependent.
+func canonicalAnswers(res *Results, topK int) []string {
+	type ka struct {
+		score string
+		sig   string
+	}
+	keys := make([]ka, len(res.Answers))
+	for i, a := range res.Answers {
+		keys[i] = ka{fmt.Sprintf("%.9f", a.Score), treeSig(a.Tree)}
+	}
+	var out []string
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j].score == keys[i].score {
+			j++
+		}
+		if j == len(keys) && len(keys) == topK {
+			break // truncated final tie group
+		}
+		group := make([]string, 0, j-i)
+		for _, k := range keys[i:j] {
+			group = append(group, k.score+"|"+k.sig)
+		}
+		sort.Strings(group)
+		out = append(out, group...)
+		i = j
+	}
+	return out
+}
+
+// liveRIDs returns the live rids of a table.
+func liveRIDs(db *Database, table string) []int64 {
+	var rids []int64
+	db.Internal().Table(table).Scan(func(rid sqldb.RID, _ []sqldb.Value) bool {
+		rids = append(rids, int64(rid))
+		return true
+	})
+	return rids
+}
+
+// pkValues returns the primary-key values of a table's live rows.
+func pkValues(db *Database, table string) []string {
+	tbl := db.Internal().Table(table)
+	pkIdx := tbl.Schema().ColumnIndex(tbl.Schema().PrimaryKey[0])
+	var vals []string
+	tbl.Scan(func(_ sqldb.RID, row []sqldb.Value) bool {
+		vals = append(vals, row[pkIdx].S)
+		return true
+	})
+	return vals
+}
+
+var mutWords = []string{
+	"zeppelin", "quasar", "obelisk", "meridian", "tundra", "sonnet",
+	"glacier", "cipher", "lantern", "mosaic",
+}
+
+// randomDBLPBatch builds one valid mutation batch against the current
+// database state: inserts of authors/papers/links (sometimes referencing
+// a row inserted earlier in the same batch), text-only title updates,
+// FK rewires, and link deletions. allowDelete=false keeps the rid layout
+// reproducible by a DumpSQL/ExecScript round trip (tombstone gaps do not
+// survive a dump), which the store/WAL recovery tests rely on.
+func randomDBLPBatch(rng *rand.Rand, db *Database, serial *int, allowDelete bool) []Mutation {
+	var batch []Mutation
+	n := 1 + rng.Intn(4)
+	cases := 6
+	if !allowDelete {
+		cases = 5
+	}
+	for len(batch) < n {
+		switch rng.Intn(cases) {
+		case 0: // new author, sometimes with a paper link in the same batch
+			*serial++
+			id := fmt.Sprintf("MutA%d", *serial)
+			name := mutWords[rng.Intn(len(mutWords))] + " " + mutWords[rng.Intn(len(mutWords))]
+			batch = append(batch, Insert("Author", map[string]interface{}{"AuthorId": id, "AuthorName": name}))
+			if papers := pkValues(db, "Paper"); len(papers) > 0 && rng.Intn(2) == 0 {
+				batch = append(batch, Insert("Writes", map[string]interface{}{
+					"AuthorId": id, "PaperId": papers[rng.Intn(len(papers))],
+				}))
+			}
+		case 1: // new paper
+			*serial++
+			id := fmt.Sprintf("MutP%d", *serial)
+			title := mutWords[rng.Intn(len(mutWords))] + " " + mutWords[rng.Intn(len(mutWords))]
+			batch = append(batch, Insert("Paper", map[string]interface{}{
+				"PaperId": id, "PaperName": title, "Year": 2000 + rng.Intn(3),
+			}))
+		case 2: // new citation between existing papers
+			papers := pkValues(db, "Paper")
+			if len(papers) < 2 {
+				continue
+			}
+			batch = append(batch, Insert("Cites", map[string]interface{}{
+				"Citing": papers[rng.Intn(len(papers))], "Cited": papers[rng.Intn(len(papers))],
+			}))
+		case 3: // text-only title update
+			rids := liveRIDs(db, "Paper")
+			if len(rids) == 0 {
+				continue
+			}
+			title := mutWords[rng.Intn(len(mutWords))] + " " + mutWords[rng.Intn(len(mutWords))]
+			batch = append(batch, Update("Paper", rids[rng.Intn(len(rids))], map[string]interface{}{"PaperName": title}))
+		case 4: // FK rewire: point a Writes row at another paper
+			rids := liveRIDs(db, "Writes")
+			papers := pkValues(db, "Paper")
+			if len(rids) == 0 || len(papers) == 0 {
+				continue
+			}
+			batch = append(batch, Update("Writes", rids[rng.Intn(len(rids))], map[string]interface{}{
+				"PaperId": papers[rng.Intn(len(papers))],
+			}))
+		case 5: // drop a link row
+			table := "Cites"
+			if rng.Intn(2) == 0 {
+				table = "Writes"
+			}
+			rids := liveRIDs(db, table)
+			if len(rids) == 0 {
+				continue
+			}
+			batch = append(batch, Delete(table, rids[rng.Intn(len(rids))]))
+		}
+	}
+	return batch
+}
+
+// randomTPCDBatch is the order-catalog counterpart.
+func randomTPCDBatch(rng *rand.Rand, db *Database, serial *int) []Mutation {
+	var batch []Mutation
+	n := 1 + rng.Intn(4)
+	intPK := func(table string) []int64 {
+		tbl := db.Internal().Table(table)
+		pkIdx := tbl.Schema().ColumnIndex(tbl.Schema().PrimaryKey[0])
+		var vals []int64
+		tbl.Scan(func(_ sqldb.RID, row []sqldb.Value) bool {
+			vals = append(vals, row[pkIdx].I)
+			return true
+		})
+		return vals
+	}
+	for len(batch) < n {
+		switch rng.Intn(5) {
+		case 0: // new order, sometimes with a line item in the same batch
+			custs := intPK("customer")
+			if len(custs) == 0 {
+				continue
+			}
+			*serial++
+			key := int64(9_000_000 + *serial)
+			batch = append(batch, Insert("orders", map[string]interface{}{
+				"orderkey": key, "custkey": custs[rng.Intn(len(custs))],
+			}))
+			parts, supps := intPK("part"), intPK("supplier")
+			if len(parts) > 0 && len(supps) > 0 && rng.Intn(2) == 0 {
+				batch = append(batch, Insert("lineitem", map[string]interface{}{
+					"orderkey": key, "partkey": parts[rng.Intn(len(parts))], "suppkey": supps[rng.Intn(len(supps))],
+				}))
+			}
+		case 1: // rename a part (text-only)
+			rids := liveRIDs(db, "part")
+			if len(rids) == 0 {
+				continue
+			}
+			name := mutWords[rng.Intn(len(mutWords))] + " " + mutWords[rng.Intn(len(mutWords))]
+			batch = append(batch, Update("part", rids[rng.Intn(len(rids))], map[string]interface{}{"name": name}))
+		case 2: // rewire a line item to another supplier
+			rids := liveRIDs(db, "lineitem")
+			supps := intPK("supplier")
+			if len(rids) == 0 || len(supps) == 0 {
+				continue
+			}
+			batch = append(batch, Update("lineitem", rids[rng.Intn(len(rids))], map[string]interface{}{
+				"suppkey": supps[rng.Intn(len(supps))],
+			}))
+		case 3: // drop a line item
+			rids := liveRIDs(db, "lineitem")
+			if len(rids) == 0 {
+				continue
+			}
+			batch = append(batch, Delete("lineitem", rids[rng.Intn(len(rids))]))
+		case 4: // order an order to another customer
+			rids := liveRIDs(db, "orders")
+			custs := intPK("customer")
+			if len(rids) == 0 || len(custs) == 0 {
+				continue
+			}
+			batch = append(batch, Update("orders", rids[rng.Intn(len(rids))], map[string]interface{}{
+				"custkey": custs[rng.Intn(len(custs))],
+			}))
+		}
+	}
+	return batch
+}
+
+// checkQueryParity runs the query set on the live system and on a fresh
+// from-scratch rebuild over the same rows, under both execution
+// strategies, twice each (cold, then cache-warm), and requires identical
+// canonical answers.
+func checkQueryParity(t *testing.T, live *System, queries []string, label string) {
+	t.Helper()
+	ref, err := NewSystem(live.Database(), &SystemOptions{
+		DisableBackEdgeScaling: live.opts.DisableBackEdgeScaling,
+	})
+	if err != nil {
+		t.Fatalf("%s: reference rebuild: %v", label, err)
+	}
+	const topK = 10
+	ctx := context.Background()
+	for _, strategy := range []string{StrategyBackward, StrategyBatched} {
+		for _, text := range queries {
+			q := Query{Text: text, Strategy: strategy}
+			for _, pass := range []string{"cold", "warm"} {
+				got, err := live.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("%s: live query %q (%s, %s): %v", label, text, strategy, pass, err)
+				}
+				want, err := ref.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("%s: reference query %q: %v", label, text, err)
+				}
+				gotK, wantK := canonicalAnswers(got, topK), canonicalAnswers(want, topK)
+				if fmt.Sprint(gotK) != fmt.Sprint(wantK) {
+					t.Fatalf("%s: query %q (%s, %s) diverged from rebuild:\nlive:    %v\nrebuild: %v",
+						label, text, strategy, pass, gotK, wantK)
+				}
+			}
+		}
+	}
+}
+
+var dblpQueries = []string{
+	"sunita soumen",
+	"mohan transaction",
+	"zeppelin",
+	"quasar glacier",
+}
+
+func TestApplyParityDBLP(t *testing.T) {
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb := &Database{inner: db}
+	sys, err := NewSystem(bdb, &SystemOptions{WALPath: filepath.Join(t.TempDir(), "m.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	serial := 0
+	for batchNo := 0; batchNo < 8; batchNo++ {
+		batch := randomDBLPBatch(rng, bdb, &serial, true)
+		if _, err := sys.Apply(context.Background(), batch); err != nil {
+			t.Fatalf("batch %d (%v): %v", batchNo, batch, err)
+		}
+		checkQueryParity(t, sys, dblpQueries, fmt.Sprintf("batch %d", batchNo))
+	}
+	if sys.PendingMutations() == 0 {
+		t.Fatal("no pending mutations after 8 applied batches")
+	}
+	if err := sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sys.PendingMutations(); n != 0 {
+		t.Fatalf("%d pending mutations after Compact", n)
+	}
+	checkQueryParity(t, sys, dblpQueries, "post-compaction")
+}
+
+func TestApplyParityTPCD(t *testing.T) {
+	db, err := datagen.BuildTPCD(datagen.SmallTPCD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb := &Database{inner: db}
+	sys, err := NewSystem(bdb, &SystemOptions{WALPath: filepath.Join(t.TempDir(), "m.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	queries := []string{"anodized bearing", "zeppelin", "customer order"}
+	rng := rand.New(rand.NewSource(2))
+	serial := 0
+	for batchNo := 0; batchNo < 5; batchNo++ {
+		batch := randomTPCDBatch(rng, bdb, &serial)
+		if _, err := sys.Apply(context.Background(), batch); err != nil {
+			t.Fatalf("batch %d (%v): %v", batchNo, batch, err)
+		}
+		checkQueryParity(t, sys, queries, fmt.Sprintf("batch %d", batchNo))
+	}
+	if err := sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	checkQueryParity(t, sys, queries, "post-compaction")
+}
+
+// TestCrashRecovery pins the §durability contract: mutations journaled
+// after the last compaction survive a crash. The store holds the
+// compacted engine (with its WAL sequence); the database is restored to
+// its compaction-time rows; OpenSystem replays only the journal tail and
+// serves the same answers the pre-crash system did — without a rebuild.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "engine.store")
+	walPath := filepath.Join(dir, "m.wal")
+
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb := &Database{inner: db}
+	sys, err := NewSystem(bdb, &SystemOptions{StorePath: storePath, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	serial := 0
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Apply(ctx, randomDBLPBatch(rng, bdb, &serial, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The database as of compaction time — what an operator's dump holds.
+	var dump bytes.Buffer
+	if err := bdb.DumpSQL(&dump); err != nil {
+		t.Fatal(err)
+	}
+
+	// More mutations after compaction: journaled, not compacted.
+	var lastSeq uint64
+	for i := 0; i < 3; i++ {
+		res, err := sys.Apply(ctx, randomDBLPBatch(rng, bdb, &serial, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSeq = res.Seq
+	}
+	expected := map[string][]string{}
+	for _, q := range dblpQueries {
+		res, err := sys.Query(ctx, Query{Text: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[q] = canonicalAnswers(res, 10)
+	}
+	// Crash: the process dies here; sys is abandoned, not compacted.
+	sys.Close()
+
+	// Recovery: restore the database from the compaction-time dump, open
+	// the store, and let the WAL tail replay.
+	db2 := NewDatabase()
+	if err := db2.ExecScript(dump.String()); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := OpenSystem(storePath, db2, &SystemOptions{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if n := sys2.PendingMutations(); n == 0 {
+		t.Fatal("recovery replayed no mutations; the WAL tail was lost")
+	}
+	for _, q := range dblpQueries {
+		res, err := sys2.Query(ctx, Query{Text: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonicalAnswers(res, 10); fmt.Sprint(got) != fmt.Sprint(expected[q]) {
+			t.Fatalf("query %q after recovery diverged:\ngot:  %v\nwant: %v", q, got, expected[q])
+		}
+	}
+	// The journal keeps its sequence across recovery.
+	res, err := sys2.Apply(ctx, randomDBLPBatch(rng, db2, &serial, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq <= lastSeq {
+		t.Fatalf("post-recovery Apply got seq %d, want > %d", res.Seq, lastSeq)
+	}
+	checkQueryParity(t, sys2, dblpQueries, "post-recovery")
+}
+
+// TestNewSystemReplaysWAL covers the store-less bootstrap: a database
+// restored to the journal's base state plus the WAL reproduces the
+// mutated system.
+func TestNewSystemReplaysWAL(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "m.wal")
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb := &Database{inner: db}
+	var dump bytes.Buffer
+	if err := bdb.DumpSQL(&dump); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(bdb, &SystemOptions{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sys.Apply(ctx, []Mutation{
+		Insert("Author", map[string]interface{}{"AuthorId": "Zep1", "AuthorName": "Zeppelin Quasar"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Query(ctx, Query{Text: "zeppelin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+
+	db2 := NewDatabase()
+	if err := db2.ExecScript(dump.String()); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := NewSystem(db2, &SystemOptions{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	got, err := sys2.Query(ctx, Query{Text: "zeppelin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) == 0 || fmt.Sprint(canonicalAnswers(got, 10)) != fmt.Sprint(canonicalAnswers(want, 10)) {
+		t.Fatalf("bootstrap replay lost the journaled insert: %v vs %v", canonicalAnswers(got, 10), canonicalAnswers(want, 10))
+	}
+}
+
+func newMutableDBLP(t *testing.T) *System {
+	t.Helper()
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(&Database{inner: db}, &SystemOptions{WALPath: filepath.Join(t.TempDir(), "m.wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+// referencedAuthorRID finds an author some Writes row references, so the
+// delete-restrict rejection is deterministic.
+func referencedAuthorRID(t *testing.T, db *Database) int64 {
+	t.Helper()
+	writes := db.Internal().Table("Writes")
+	aidIdx := writes.Schema().ColumnIndex("AuthorId")
+	var aid sqldb.Value
+	writes.Scan(func(_ sqldb.RID, row []sqldb.Value) bool {
+		aid = row[aidIdx]
+		return false
+	})
+	rid := db.Internal().Table("Author").LookupPK([]sqldb.Value{aid})
+	if rid < 0 {
+		t.Fatal("no referenced author found")
+	}
+	return int64(rid)
+}
+
+func TestApplyValidation(t *testing.T) {
+	sys := newMutableDBLP(t)
+	ctx := context.Background()
+	writesRID := liveRIDs(sys.Database(), "Writes")[0]
+
+	bad := []struct {
+		name string
+		muts []Mutation
+	}{
+		{"empty batch", nil},
+		{"unknown table", []Mutation{Insert("Venue", map[string]interface{}{"x": 1})}},
+		{"unknown column", []Mutation{Insert("Author", map[string]interface{}{"AuthorId": "X", "Nick": "x"})}},
+		{"missing not-null", []Mutation{Insert("Author", map[string]interface{}{"AuthorName": "x"})}},
+		{"duplicate key", []Mutation{Insert("Author", map[string]interface{}{"AuthorId": datagen.AuthorSoumen, "AuthorName": "dup"})}},
+		{"dangling fk", []Mutation{Insert("Writes", map[string]interface{}{"AuthorId": "NoSuchAuthor", "PaperId": datagen.PaperChakrabartiSD98})}},
+		{"delete referenced", []Mutation{Delete("Author", referencedAuthorRID(t, sys.Database()))}},
+		{"unknown row", []Mutation{Update("Paper", 1<<30, map[string]interface{}{"PaperName": "x"})}},
+		{"insert with rid", []Mutation{{Op: MutationInsert, Table: "Author", RID: 3, Set: map[string]interface{}{"AuthorId": "X"}}}},
+		{"delete with values", []Mutation{{Op: MutationDelete, Table: "Writes", RID: writesRID, Set: map[string]interface{}{"x": 1}}}},
+		{"delete target of same-batch insert", []Mutation{
+			Insert("Cites", map[string]interface{}{"Citing": datagen.PaperChakrabartiSD98, "Cited": datagen.PaperGrayTransaction}),
+		}},
+	}
+	// The last case needs a concrete referenced row delete after the insert.
+	paperRID := int64(-1)
+	sys.Database().Internal().Table("Paper").Scan(func(rid sqldb.RID, row []sqldb.Value) bool {
+		if row[0].S == datagen.PaperGrayTransaction {
+			paperRID = int64(rid)
+			return false
+		}
+		return true
+	})
+	bad[len(bad)-1].muts = append(bad[len(bad)-1].muts, Delete("Paper", paperRID))
+
+	for _, tc := range bad {
+		if _, err := sys.Apply(ctx, tc.muts); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Validation failures must not poison the system.
+	if _, err := sys.Apply(ctx, []Mutation{
+		Insert("Author", map[string]interface{}{"AuthorId": "OK1", "AuthorName": "fine"}),
+	}); err != nil {
+		t.Fatalf("valid batch after rejected ones: %v", err)
+	}
+
+	// Intra-batch dependencies that must pass: reference a row inserted
+	// in the same batch; delete a row whose referrers die first.
+	res, err := sys.Apply(ctx, []Mutation{
+		Insert("Paper", map[string]interface{}{"PaperId": "IntraP", "PaperName": "intra batch"}),
+		Insert("Cites", map[string]interface{}{"Citing": "IntraP", "Cited": "IntraP"}),
+	})
+	if err != nil {
+		t.Fatalf("intra-batch insert dependency rejected: %v", err)
+	}
+	citesRID := res.RIDs[1]
+	paperRID = res.RIDs[0]
+	if _, err := sys.Apply(ctx, []Mutation{
+		Delete("Cites", citesRID),
+		Delete("Paper", paperRID),
+	}); err != nil {
+		t.Fatalf("delete-referrers-first batch rejected: %v", err)
+	}
+}
+
+func TestApplyRequiresWAL(t *testing.T) {
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(&Database{inner: db}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Apply(context.Background(), []Mutation{Delete("Writes", liveRIDs(sys.Database(), "Writes")[0])}); err == nil {
+		t.Fatal("Apply without WALPath accepted")
+	}
+}
+
+func TestWALRejectsPrestigeDamping(t *testing.T) {
+	db, err := datagen.BuildDBLP(datagen.SmallDBLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewSystem(&Database{inner: db}, &SystemOptions{
+		WALPath:         filepath.Join(t.TempDir(), "m.wal"),
+		PrestigeDamping: 0.85,
+	})
+	if err == nil {
+		t.Fatal("WALPath + PrestigeDamping accepted; incremental PageRank is impossible")
+	}
+}
+
+// TestRejectedBatchLeavesStateClean pins that validation failures are
+// all-or-nothing: a batch whose later mutation is invalid changes nothing,
+// and the system still answers in exact parity with a rebuild.
+func TestRejectedBatchLeavesStateClean(t *testing.T) {
+	sys := newMutableDBLP(t)
+	ctx := context.Background()
+	if _, err := sys.Apply(ctx, []Mutation{
+		Insert("Author", map[string]interface{}{"AuthorId": "Ephemeral", "AuthorName": "zeppelin obelisk"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Apply(ctx, []Mutation{
+		Insert("Paper", map[string]interface{}{"PaperId": "EphP", "PaperName": "lantern mosaic"}),
+		Delete("Paper", 1<<30), // no such row: the whole batch must be rejected
+	}); err == nil {
+		t.Fatal("expected the bad delete to reject the batch")
+	}
+	q, err := sys.Query(ctx, Query{Text: "lantern"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Answers) != 0 {
+		t.Fatal("rejected batch's insert is visible to queries")
+	}
+	q, err = sys.Query(ctx, Query{Text: "zeppelin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Answers) == 0 {
+		t.Fatal("author from the earlier committed batch vanished")
+	}
+	checkQueryParity(t, sys, dblpQueries, "after rejected batch")
+}
+
+// TestCloseLifecycle pins the Close contract: idempotent, sticky result,
+// and operations beginning after Close fail with ErrClosed.
+func TestCloseLifecycle(t *testing.T) {
+	sys := newMutableDBLP(t)
+	ctx := context.Background()
+	if _, err := sys.Apply(ctx, []Mutation{
+		Insert("Author", map[string]interface{}{"AuthorId": "C1", "AuthorName": "cipher"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := sys.Query(ctx, Query{Text: "cipher"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v, want ErrClosed", err)
+	}
+	if _, err := sys.Apply(ctx, []Mutation{Delete("Writes", 0)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("apply after close: %v, want ErrClosed", err)
+	}
+	if err := sys.Refresh(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("refresh after close: %v, want ErrClosed", err)
+	}
+	if err := sys.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestMutationChurnRace interleaves Apply, queries under both strategies,
+// Refresh, Compact and a final Close under the race detector: writers
+// serialize, queries pin their snapshot, and whatever begins after Close
+// fails with ErrClosed instead of tearing.
+func TestMutationChurnRace(t *testing.T) {
+	sys := newMutableDBLP(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // mutator
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(4))
+		serial := 100000
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			serial++
+			id := fmt.Sprintf("Race%d", serial)
+			_, err := sys.Apply(ctx, []Mutation{
+				Insert("Author", map[string]interface{}{"AuthorId": id, "AuthorName": mutWords[rng.Intn(len(mutWords))]}),
+			})
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("apply: %v", err)
+				return
+			}
+		}
+	}()
+	for _, strategy := range []string{StrategyBackward, StrategyBatched} {
+		wg.Add(1)
+		go func(strategy string) { // querier
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := sys.Query(ctx, Query{Text: "sunita soumen", Strategy: strategy})
+				if err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("query (%s): %v", strategy, err)
+					return
+				}
+			}
+		}(strategy)
+	}
+	wg.Add(1)
+	go func() { // maintenance: alternate Refresh and Compact
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				err = sys.Refresh()
+			} else {
+				err = sys.Compact()
+			}
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("maintenance: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Let the loops overlap for a bounded amount of work, then close
+	// while they are still running.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for i := 0; i < 40; i++ {
+		if _, err := sys.Query(ctx, Query{Text: "transaction recovery"}); err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("main query: %v", err)
+			break
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	close(stop)
+	<-done
+	checkQueryParityClosed(t, sys)
+}
+
+// checkQueryParityClosed asserts the post-close failure mode once more
+// from the main goroutine.
+func checkQueryParityClosed(t *testing.T, sys *System) {
+	t.Helper()
+	if _, err := sys.Query(context.Background(), Query{Text: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v, want ErrClosed", err)
+	}
+}

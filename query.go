@@ -134,6 +134,9 @@ func (s *System) QueryStream(ctx context.Context, q Query, fn func(*Answer) bool
 // engine snapshot once, resolves the request, runs the context-aware core
 // search, and materializes answers against the pinned snapshot.
 func (s *System) run(ctx context.Context, q Query, fn func(*Answer) bool) (*Results, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	eng := s.engine()
 
 	var terms []string

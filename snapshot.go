@@ -2,13 +2,10 @@ package banks
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
 	"io"
 
 	"github.com/banksdb/banks/internal/core"
-	"github.com/banksdb/banks/internal/graph"
-	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/store"
 )
 
@@ -23,30 +20,30 @@ import (
 //     disk-based serving mode).
 //
 //   - The legacy monolithic snapshot (magic "BANKSNAP"): the superseded
-//     PR 2 format — magic, version, then length-prefixed graph and index
-//     streams. LoadSystem still reads it (one-way migration: load, then
-//     Save to convert), but nothing writes it anymore.
-const (
-	legacySnapshotMagic   = "BANKSNAP"
-	legacySnapshotVersion = 1
-	// maxSnapshotSection bounds a legacy section's declared length (64 GiB
-	// — far beyond any graph this process could hold) so a corrupted
-	// length prefix fails fast instead of driving huge allocations.
-	maxSnapshotSection = int64(1) << 36
-)
+//     PR 2 format. Nothing writes or reads it anymore; LoadSystem
+//     recognises the magic only to reject it with a pointed error
+//     (rebuild with NewSystem and re-Save to migrate).
+const legacySnapshotMagic = "BANKSNAP"
 
 // warmKeyLimit caps how many hot match-cache keys Save records for warmup.
 const warmKeyLimit = 512
 
 // storeEngine snapshots the current engine as a store.Engine, recording
 // the match cache's hot keys so the saved store can pre-warm a later
-// process with this workload's favourite terms.
-func (e *engine) storeEngine() store.Engine {
-	return store.Engine{
-		Graph:    e.g,
-		Index:    e.ix,
-		WarmKeys: e.cache.HotKeys(warmKeyLimit),
+// process with this workload's favourite terms. Overlay engines (live
+// mutations pending compaction) cannot be persisted directly — Compact
+// folds the delta into concrete structures first.
+func (e *engine) storeEngine() (store.Engine, error) {
+	g, ix, ok := e.concrete()
+	if !ok {
+		return store.Engine{}, fmt.Errorf("engine holds uncompacted live mutations; call Compact (or Refresh) before saving")
 	}
+	return store.Engine{
+		Graph:    g,
+		Index:    ix,
+		WarmKeys: e.cache.HotKeys(warmKeyLimit),
+		WALSeq:   e.walSeq,
+	}, nil
 }
 
 // Save persists the current engine snapshot to path in the segmented
@@ -59,7 +56,11 @@ func (e *engine) storeEngine() store.Engine {
 // database contents (for example via Database.DumpSQL replayed through
 // ExecScript), then reopen with OpenSystem.
 func (s *System) Save(path string) error {
-	if err := store.WriteFile(path, s.engine().storeEngine()); err != nil {
+	se, err := s.engine().storeEngine()
+	if err != nil {
+		return fmt.Errorf("banks: %w", err)
+	}
+	if err := store.WriteFile(path, se); err != nil {
 		return fmt.Errorf("banks: %w", err)
 	}
 	return nil
@@ -95,6 +96,10 @@ func OpenSystem(path string, db *Database, opts *SystemOptions) (*System, error)
 		return nil, fmt.Errorf("banks: %w", err)
 	}
 	s.installStoreEngine(st)
+	if err := s.attachLiveMutations(st); err != nil {
+		st.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -115,16 +120,20 @@ func (s *System) installStoreEngine(st *store.Store) {
 // that persist somewhere other than a local path. (The name survives from
 // the legacy monolithic snapshot this format supersedes.)
 func (s *System) SaveSnapshot(w io.Writer) error {
-	if err := store.Write(w, s.engine().storeEngine()); err != nil {
+	se, err := s.engine().storeEngine()
+	if err != nil {
+		return fmt.Errorf("banks: %w", err)
+	}
+	if err := store.Write(w, se); err != nil {
 		return fmt.Errorf("banks: %w", err)
 	}
 	return nil
 }
 
 // LoadSystem reconstructs a System from a stream written by SaveSnapshot
-// (or the bytes of a Save file), sniffing the format from the magic:
-// segmented stores are served from memory, legacy monolithic snapshots
-// are decoded eagerly (the one-way migration path — re-Save to convert).
+// (or the bytes of a Save file). Only the segmented store format is
+// accepted; the legacy monolithic "BANKSNAP" format is recognised and
+// rejected with a migration hint (rebuild with NewSystem, then Save).
 // The database must hold the same rows the snapshot was built from. A
 // stream that begins with neither magic is rejected outright.
 //
@@ -152,61 +161,15 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 			return nil, fmt.Errorf("banks: %w", err)
 		}
 		s.installStoreEngine(st)
+		if err := s.attachLiveMutations(st); err != nil {
+			st.Close()
+			return nil, err
+		}
 		return s, nil
 	case legacySnapshotMagic:
-		return loadLegacySnapshot(db, r, opts)
+		return nil, fmt.Errorf("banks: legacy monolithic snapshots are no longer supported; rebuild with NewSystem and re-Save in the segmented store format")
 	}
 	return nil, fmt.Errorf("banks: not a BANKS snapshot (bad magic %q)", head[:])
-}
-
-// loadLegacySnapshot decodes the monolithic pre-store format; the magic
-// has already been consumed.
-func loadLegacySnapshot(db *Database, r io.Reader, opts *SystemOptions) (*System, error) {
-	var ver [4]byte
-	if _, err := io.ReadFull(r, ver[:]); err != nil {
-		return nil, fmt.Errorf("banks: reading snapshot header: %w", err)
-	}
-	if v := binary.BigEndian.Uint32(ver[:]); v != legacySnapshotVersion {
-		return nil, fmt.Errorf("banks: unsupported snapshot version %d (want %d)", v, legacySnapshotVersion)
-	}
-	gs, err := readLegacySection(r)
-	if err != nil {
-		return nil, fmt.Errorf("banks: reading graph section: %w", err)
-	}
-	g, err := graph.ReadGraph(gs)
-	if err != nil {
-		return nil, fmt.Errorf("banks: reading graph snapshot: %w", err)
-	}
-	is, err := readLegacySection(r)
-	if err != nil {
-		return nil, fmt.Errorf("banks: reading index section: %w", err)
-	}
-	ix, err := index.ReadFrom(is)
-	if err != nil {
-		return nil, fmt.Errorf("banks: reading index snapshot: %w", err)
-	}
-	if ix.NumNodes() != g.NumNodes() {
-		return nil, fmt.Errorf("banks: snapshot mismatch: index built for %d nodes, graph has %d",
-			ix.NumNodes(), g.NumNodes())
-	}
-	s := &System{db: db}
-	if opts != nil {
-		s.opts = *opts
-	}
-	s.eng.Store(newEngine(g, ix, s.opts))
-	return s, nil
-}
-
-func readLegacySection(r io.Reader) (io.Reader, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := int64(binary.BigEndian.Uint64(hdr[:]))
-	if n < 0 || n > maxSnapshotSection {
-		return nil, fmt.Errorf("banks: snapshot section claims %d bytes; snapshot corrupt", n)
-	}
-	return io.LimitReader(r, n), nil
 }
 
 // DumpSQL writes the database as a replayable SQL script, referenced

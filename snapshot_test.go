@@ -72,20 +72,19 @@ func TestLoadSystemRejectsBadVersion(t *testing.T) {
 	}
 }
 
-func TestLoadSystemRejectsHugeSection(t *testing.T) {
+func TestLoadSystemRejectsLegacyMagic(t *testing.T) {
 	db := NewDatabase()
-	// Valid magic+version, then a section claiming 2^60 bytes: the size
-	// check must refuse instead of trying to consume it.
+	// The superseded monolithic format is recognised but no longer loaded;
+	// the error must point at the migration path.
 	var b bytes.Buffer
 	b.WriteString(legacySnapshotMagic)
-	b.Write([]byte{0, 0, 0, legacySnapshotVersion})
-	b.Write([]byte{0x10, 0, 0, 0, 0, 0, 0, 0}) // 1<<60
+	b.Write([]byte{0, 0, 0, 1})
 	_, err := LoadSystem(db, &b, nil)
 	if err == nil {
-		t.Fatal("huge section accepted")
+		t.Fatal("legacy snapshot accepted")
 	}
-	if !strings.Contains(err.Error(), "corrupt") {
-		t.Errorf("err = %v, want a corrupt-section error", err)
+	if !strings.Contains(err.Error(), "no longer supported") {
+		t.Errorf("err = %v, want a legacy-rejection error", err)
 	}
 }
 

@@ -194,61 +194,21 @@ func TestStoreWarmupPrimesMatchCache(t *testing.T) {
 	}
 }
 
-func TestLegacySnapshotMigration(t *testing.T) {
-	db, sys := newQuickstartSystem(t)
-	// Hand-write the superseded monolithic format: magic, version, then
-	// length-prefixed graph and index streams.
-	eng := sys.engine()
+func TestLegacySnapshotRejected(t *testing.T) {
+	db, _ := newQuickstartSystem(t)
+	// A hand-written legacy header must be rejected with the migration
+	// hint, whatever follows the magic+version — the decode path is gone.
 	var legacy bytes.Buffer
 	legacy.WriteString(legacySnapshotMagic)
 	var ver [4]byte
-	binary.BigEndian.PutUint32(ver[:], legacySnapshotVersion)
+	binary.BigEndian.PutUint32(ver[:], 1)
 	legacy.Write(ver[:])
-	writeSection := func(fill func() ([]byte, error)) {
-		data, err := fill()
-		if err != nil {
-			t.Fatal(err)
-		}
-		var pfx [8]byte
-		binary.BigEndian.PutUint64(pfx[:], uint64(len(data)))
-		legacy.Write(pfx[:])
-		legacy.Write(data)
-	}
-	writeSection(func() ([]byte, error) {
-		var b bytes.Buffer
-		_, err := eng.g.WriteTo(&b)
-		return b.Bytes(), err
-	})
-	writeSection(func() ([]byte, error) {
-		var b bytes.Buffer
-		_, err := eng.ix.WriteTo(&b)
-		return b.Bytes(), err
-	})
+	legacy.Write(make([]byte, 64))
 
-	loaded, err := LoadSystem(db, bytes.NewReader(legacy.Bytes()), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, want := systemTrace(t, loaded), systemTrace(t, sys); got != want {
-		t.Fatalf("legacy snapshot diverges:\ngot  %q\nwant %q", got, want)
-	}
-
-	// One-way migration: re-saving writes the segmented format.
-	path := filepath.Join(t.TempDir(), "migrated.bstore")
-	if err := loaded.Save(path); err != nil {
-		t.Fatal(err)
-	}
-	head := make([]byte, 8)
-	f, err := os.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	if _, err := f.Read(head); err != nil {
-		t.Fatal(err)
-	}
-	if string(head) == legacySnapshotMagic {
-		t.Fatal("Save still writes the legacy format")
+	if _, err := LoadSystem(db, bytes.NewReader(legacy.Bytes()), nil); err == nil {
+		t.Fatal("legacy snapshot accepted")
+	} else if !strings.Contains(err.Error(), "no longer supported") {
+		t.Fatalf("err = %v, want the legacy-rejection error", err)
 	}
 }
 
