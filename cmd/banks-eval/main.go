@@ -44,6 +44,7 @@ import (
 	"github.com/banksdb/banks/internal/eval"
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/serve"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/store"
 )
@@ -63,7 +64,19 @@ func main() {
 	mutate := flag.Int("mutate", 0, "run N live-mutation batches: Apply latency vs Refresh, query-under-churn parity (the BENCH_wal.json data)")
 	savePath := flag.String("save", "", "persist the built DBLP engine to this store path and exit")
 	loadPath := flag.String("load", "", "open a saved store: report cold-open vs rebuild time and parity")
-	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget for -load (bytes; 0 = unbounded)")
+	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget for -load/-loadtest (bytes; 0 = unbounded)")
+	loadtest := flag.Bool("loadtest", false, "drive the production front door under load (the BENCH_serve.json data)")
+	ltDuration := flag.Duration("ltduration", 10*time.Second, "loadtest length")
+	ltWorkers := flag.Int("ltworkers", 16, "loadtest closed-loop concurrency")
+	ltRate := flag.Int("ltrate", 0, "loadtest open-loop arrival rate (req/s; 0 = closed loop)")
+	ltInFlight := flag.Int("ltinflight", 8, "loadtest admission gate worker slots")
+	ltQueue := flag.Int("ltqueue", 16, "loadtest admission gate queue depth")
+	ltTimeout := flag.Duration("lttimeout", 5*time.Second, "loadtest server-side search deadline bounding the tail (0 = unbounded)")
+	ltChurn := flag.Bool("ltchurn", true, "run background Apply/Refresh churn during the loadtest")
+	ltApplyEvery := flag.Duration("ltapplyevery", 20*time.Millisecond, "loadtest churn Apply cadence (each Apply republishes the snapshot)")
+	ltMaxP99 := flag.Duration("maxp99", 0, "fail the loadtest if client p99 exceeds this (0 = no check)")
+	ltMaxShed := flag.Float64("maxshed", -1, "fail the loadtest if the shed rate exceeds this fraction (negative = no check)")
+	ltJSON := flag.String("ltjson", "", "write the loadtest summary JSON to this path")
 	flag.Parse()
 	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency && !*buildbench && !*ab
 
@@ -85,6 +98,26 @@ func main() {
 	}
 	if *mutate > 0 {
 		runMutate(ctx, *scale, *strategy, *mutate)
+		return
+	}
+	if *loadtest {
+		runLoadTest(ctx, loadTestConfig{
+			Scale:        *scale,
+			Strategy:     *strategy,
+			Duration:     *ltDuration,
+			Workers:      *ltWorkers,
+			Rate:         *ltRate,
+			MaxInFlight:  *ltInFlight,
+			MaxQueue:     *ltQueue,
+			QueueTimeout: 2 * time.Second,
+			Timeout:      *ltTimeout,
+			StoreBudget:  *storeBudget,
+			Churn:        *ltChurn,
+			ApplyEvery:   *ltApplyEvery,
+			MaxP99:       *ltMaxP99,
+			MaxShedRate:  *ltMaxShed,
+			JSONPath:     *ltJSON,
+		})
 		return
 	}
 
@@ -227,7 +260,7 @@ func runLoad(ctx context.Context, scale string, shards int, path string, budget 
 
 // printPeakRSS reports the process high-water resident set size.
 func printPeakRSS() {
-	if rss := peakRSSBytes(); rss > 0 {
+	if rss := serve.PeakRSSBytes(); rss > 0 {
 		fmt.Printf("peak RSS          %.1f MB\n", float64(rss)/1e6)
 	} else {
 		fmt.Println("peak RSS          n/a on this platform")

@@ -1,34 +1,41 @@
 // Command banks-web serves the BANKS web interface — keyword search plus
-// the Section 4 browsing system — over one of the built-in datasets.
+// the Section 4 browsing system — over one of the built-in datasets,
+// behind the production front door: admission control with load
+// shedding, per-query observability on /debug, and graceful shutdown.
 //
 // Usage:
 //
 //	banks-web [-data dblp|thesis|tpcd] [-scale small|paper] [-addr :8080]
-//	          [-store PATH]
+//	          [-store PATH] [-storebudget BYTES]
+//	          [-maxinflight N] [-maxqueue N] [-queuetimeout D]
+//	          [-timeout D] [-slowquery D]
 //
 // With -store, the graph and keyword index are served from a segmented
 // disk store instead of being rebuilt at startup: an existing store opens
 // lazily in milliseconds (segments fault in on first query); a missing
 // one is built once, persisted, and used — so the next start is instant.
+//
+// SIGINT/SIGTERM drain in-flight requests (bounded by -draintimeout)
+// before the engine closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	banks "github.com/banksdb/banks"
 	"github.com/banksdb/banks/internal/browse"
-	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/datagen"
-	"github.com/banksdb/banks/internal/graph"
-	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/sqlexec"
-	"github.com/banksdb/banks/internal/store"
-	"github.com/banksdb/banks/internal/web"
 )
 
 func main() {
@@ -37,6 +44,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storePath := flag.String("store", "", "serve the engine from this disk store (built+saved on first run)")
 	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget with -store (bytes; 0 = unbounded)")
+	maxInFlight := flag.Int("maxinflight", 32, "max concurrently executing searches (0 = no admission control)")
+	maxQueue := flag.Int("maxqueue", 64, "max searches waiting for a worker slot before shedding")
+	queueTimeout := flag.Duration("queuetimeout", 2*time.Second, "shed a queued search after waiting this long (0 = wait forever)")
+	timeout := flag.Duration("timeout", 10*time.Second, "server-side deadline for searches without their own timeout (0 = none)")
+	slowQuery := flag.Duration("slowquery", 500*time.Millisecond, "latency at which a query enters the /debug slow log")
+	drainTimeout := flag.Duration("draintimeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	db, excluded, err := loadDataset(*data, *scale)
@@ -44,7 +57,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	g, ix, cache, engineErr, err := openEngine(db, *data, *scale, *storePath, *storeBudget)
+
+	sys, err := openSystem(db, *data, *scale, *storePath, *storeBudget, excluded)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,72 +68,92 @@ func main() {
 		log.Printf("seeding templates: %v", err)
 	}
 
-	opts := core.DefaultOptions()
-	opts.ExcludedRootTables = excluded
-	// The dataset is static here, so the provider always hands back the
-	// same searcher; a live deployment would swap in rebuilt snapshots
-	// (each with its own fresh match cache, as System.Refresh does).
-	searcher := core.NewSearcher(g, ix).WithMatchCache(cache)
-	srv := web.NewServer(db, func() *core.Searcher { return searcher }, opts)
-	if engineErr != nil {
-		// Disk faults in the lazy store must 500 a search, not silently
-		// shrink its results.
-		srv.SetEngineErr(engineErr)
+	handler := sys.ServeHandler(&banks.ServeOptions{
+		Search:         &banks.SearchOptions{ExcludedRootTables: excluded},
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *timeout,
+		SlowQuery:      *slowQuery,
+	})
+
+	// A production-shaped server: header reads, whole requests, responses
+	// and idle keep-alives all bounded, so one slow client cannot pin a
+	// connection (and its worker slot) forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("BANKS web UI on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
+	// in-flight requests finish (bounded), and only then close the engine
+	// so no search runs against a released store.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("BANKS web UI on %s (observability on /debug)", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining (up to %s)...", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err = srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		log.Printf("closing engine: %v", err)
+	}
+	log.Print("bye")
 }
 
-// openEngine produces the serving graph + index: a fresh build by
+// openSystem produces the serving System: a fresh in-memory build by
 // default; with a store path, a lazy zero-rebuild open of the saved store
-// (building and persisting it first if absent), with recorded warmup
-// terms resolved into the match cache in the background.
-func openEngine(db *sqldb.Database, data, scale, storePath string, budget int64) (*graph.Graph, *index.Index, *index.MatchCache, func() error, error) {
-	cache := index.NewMatchCache(4 << 20)
+// (building and persisting it first if absent).
+func openSystem(db *sqldb.Database, data, scale, storePath string, budget int64, excluded []string) (*banks.System, error) {
+	wdb := banks.WrapDatabase(db)
+	opts := &banks.SystemOptions{StoreBudgetBytes: budget}
 	if storePath == "" {
 		start := time.Now()
-		g, ix, err := buildEngine(db)
+		sys, err := banks.NewSystem(wdb, opts)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
-		log.Printf("built %s/%s: %s, %d index terms in %v", data, scale, g, ix.NumTerms(), time.Since(start))
-		return g, ix, cache, nil, nil
+		log.Printf("built %s/%s in %v", data, scale, time.Since(start))
+		return sys, nil
 	}
 	if _, err := os.Stat(storePath); os.IsNotExist(err) {
 		start := time.Now()
-		g, ix, err := buildEngine(db)
+		sys, err := banks.NewSystem(wdb, opts)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
-		if err := store.WriteFile(storePath, store.Engine{Graph: g, Index: ix}); err != nil {
-			return nil, nil, nil, nil, err
+		if err := sys.Save(storePath); err != nil {
+			sys.Close()
+			return nil, err
 		}
 		log.Printf("no store at %s: built and saved in %v (next start opens instantly)", storePath, time.Since(start))
-		return g, ix, cache, nil, nil
+		return sys, nil
 	}
 	start := time.Now()
-	st, err := store.Open(storePath, store.Options{BudgetBytes: budget})
+	sys, err := banks.OpenSystem(storePath, wdb, opts)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
 	log.Printf("opened store %s in %v (%s/%s, zero rebuild; segments load on first query)",
 		storePath, time.Since(start), data, scale)
-	if keys, err := st.WarmKeys(); err == nil && len(keys) > 0 {
-		go cache.Warm(st.Index(), keys)
-	}
-	return st.Graph(), st.Index(), cache, st.Err, nil
-}
-
-func buildEngine(db *sqldb.Database) (*graph.Graph, *index.Index, error) {
-	g, err := graph.Build(db, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	ix, err := index.Build(db, g)
-	if err != nil {
-		return nil, nil, err
-	}
-	return g, ix, nil
+	return sys, nil
 }
 
 func loadDataset(name, scale string) (*sqldb.Database, []string, error) {

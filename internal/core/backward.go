@@ -110,6 +110,15 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 	}
 	ih := ar.ih[:0]
 	for i := range ar.origins {
+		// A term can match an enormous node set; one iterator (plus a
+		// store-faulting Peek) per origin makes this loop long enough to
+		// need its own cancellation polling.
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				ar.ih = ih
+				return nil, err
+			}
+		}
 		it := src.acquire(s.g, ar.origins[i].node)
 		ar.origins[i].it = it
 		if _, d, ok := it.Peek(); ok {
@@ -173,11 +182,32 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 		l[ti] = append(l[ti], origin)
 	}
 
-	for len(ih) > 0 && len(em.emitted) < o.TopK && stats.Pops < o.MaxPops && !em.stopped {
+	budget := o.Budget
+	for len(ih) > 0 && len(em.emitted) < o.TopK && !em.stopped {
+		// Budget checks. Pops and arcs are deterministic per
+		// (snapshot, query) — cold or memoized-replay runs truncate at the
+		// same point — so budget-killed answers are reproducible. Bytes
+		// faulted is engine-global and polled at the cancel cadence: a
+		// safety valve against cold-store blowups, not exact accounting.
+		if stats.Pops >= budget.MaxPops {
+			stats.BudgetExhausted = true
+			stats.BudgetReason = "pops"
+			break
+		}
+		if budget.MaxArcsScanned > 0 && stats.ArcsScanned >= budget.MaxArcsScanned {
+			stats.BudgetExhausted = true
+			stats.BudgetReason = "arcs"
+			break
+		}
 		if stats.Pops&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				ar.ih = ih
 				return nil, err
+			}
+			if budget.MaxBytesFaulted > 0 && ex.bytesFaulted() >= budget.MaxBytesFaulted {
+				stats.BudgetExhausted = true
+				stats.BudgetReason = "bytes"
+				break
 			}
 		}
 		entry := &ih[0]
@@ -187,6 +217,7 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 			continue
 		}
 		stats.Pops++
+		stats.ArcsScanned += entry.it.lastArcs
 		originNode := entry.it.origin
 		if _, d, more := entry.it.Peek(); more {
 			entry.next = d

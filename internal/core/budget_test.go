@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBudgetPopsExhaustion: a tiny pops budget truncates the expansion,
+// flags the stats, and still returns whatever was emitted, ranked.
+func TestBudgetPopsExhaustion(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	o.Budget.MaxPops = 3
+	answers, stats, err := f.s.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetExhausted || stats.BudgetReason != "pops" {
+		t.Errorf("exhausted=%v reason=%q, want pops", stats.BudgetExhausted, stats.BudgetReason)
+	}
+	if stats.Pops > 3 {
+		t.Errorf("pops = %d, exceeds budget", stats.Pops)
+	}
+	for i, a := range answers {
+		if a.Rank != i+1 {
+			t.Errorf("rank %d at position %d", a.Rank, i)
+		}
+	}
+}
+
+// TestBudgetLegacyMaxPopsSetsFlag: the pre-Budget MaxPops spelling now
+// also reports truncation through the budget flag.
+func TestBudgetLegacyMaxPopsSetsFlag(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	o.MaxPops = 5
+	_, stats, err := f.s.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetExhausted || stats.BudgetReason != "pops" {
+		t.Errorf("legacy MaxPops truncation not flagged: %+v", stats)
+	}
+}
+
+// TestBudgetArcsExhaustion: an arc budget cuts off expansion and reports
+// "arcs"; an ample budget leaves the query untouched with the same
+// answers.
+func TestBudgetArcsExhaustion(t *testing.T) {
+	f := newBibFixture(t)
+	o := defaultBibOptions()
+	full, fullStats, err := f.s.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.BudgetExhausted {
+		t.Fatalf("unbudgeted query reported exhaustion: %+v", fullStats)
+	}
+	if fullStats.ArcsScanned == 0 {
+		t.Fatal("no arcs accounted on the full run")
+	}
+
+	o.Budget.MaxArcsScanned = 1
+	_, stats, err := f.s.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetExhausted || stats.BudgetReason != "arcs" {
+		t.Errorf("exhausted=%v reason=%q, want arcs", stats.BudgetExhausted, stats.BudgetReason)
+	}
+
+	// An ample arc budget must not perturb the answers.
+	o.Budget.MaxArcsScanned = fullStats.ArcsScanned * 2
+	again, againStats, err := f.s.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if againStats.BudgetExhausted {
+		t.Errorf("ample budget flagged: %+v", againStats)
+	}
+	if len(again) != len(full) {
+		t.Errorf("answers changed under ample budget: %d vs %d", len(again), len(full))
+	}
+}
+
+// TestBudgetTruncationDeterministicColdVsWarm pins the arc-replay
+// contract: a budget-truncated query over pooled (memoized) frontiers
+// must cut off at exactly the same point — same pops, same arcs, same
+// answers — whether the iterators run cold or replay a warm trail.
+func TestBudgetTruncationDeterministicColdVsWarm(t *testing.T) {
+	f := newBibFixture(t)
+	s := NewSearcher(f.g, f.ix).WithFrontierPool(16)
+	o := defaultBibOptions()
+	o.Strategy = StrategyBatched
+	o.Budget.MaxArcsScanned = 6
+
+	run := func() ([]string, int, int) {
+		answers, stats, err := s.SearchStats([]string{"soumen", "sunita"}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.BudgetExhausted {
+			t.Fatalf("budget not exhausted: %+v", stats)
+		}
+		var roots []string
+		for _, a := range answers {
+			roots = append(roots, fmt.Sprintf("%d:%.4f", a.Root, a.Score))
+		}
+		return roots, stats.Pops, stats.ArcsScanned
+	}
+
+	coldRoots, coldPops, coldArcs := run()
+	// Second run replays the memoized trails checked into the pool.
+	warmRoots, warmPops, warmArcs := run()
+	if s.FrontierReuses() == 0 {
+		t.Fatal("warm run did not reuse pooled frontiers")
+	}
+	if coldPops != warmPops || coldArcs != warmArcs {
+		t.Errorf("cold (pops=%d arcs=%d) != warm (pops=%d arcs=%d)", coldPops, coldArcs, warmPops, warmArcs)
+	}
+	if !reflect.DeepEqual(coldRoots, warmRoots) {
+		t.Errorf("answers diverged:\ncold %v\nwarm %v", coldRoots, warmRoots)
+	}
+}
+
+// TestBudgetBytesFaulted drives the bytes axis through a fake fault
+// meter: resolution-time exhaustion stops before expansion, and the
+// meter's delta is reported in Stats.
+func TestBudgetBytesFaulted(t *testing.T) {
+	f := newBibFixture(t)
+	var meter atomic.Int64
+	meter.Store(1 << 20) // pre-existing faults must not charge this query
+	s := NewSearcher(f.g, f.ix).WithFaultMeter(meter.Load)
+
+	// The searcher consults the meter but nothing faults: no exhaustion.
+	o := defaultBibOptions()
+	o.Budget.MaxBytesFaulted = 100
+	answers, stats, err := s.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetExhausted || stats.BytesFaulted != 0 || len(answers) == 0 {
+		t.Fatalf("no-fault query: answers=%d stats=%+v", len(answers), stats)
+	}
+
+	// Simulate resolution faulting past the budget: wrap the meter so it
+	// jumps after the base sample. Simplest deterministic route: a meter
+	// that advances on every read.
+	var reads atomic.Int64
+	s2 := NewSearcher(f.g, f.ix).WithFaultMeter(func() int64 {
+		return reads.Add(200) // every sample is 200 bytes beyond the last
+	})
+	answers, stats, err = s2.SearchStats([]string{"soumen", "sunita"}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetExhausted || stats.BudgetReason != "bytes" {
+		t.Errorf("exhausted=%v reason=%q, want bytes", stats.BudgetExhausted, stats.BudgetReason)
+	}
+	if len(answers) != 0 {
+		t.Errorf("resolution-time kill returned %d answers", len(answers))
+	}
+	if stats.BytesFaulted <= 0 {
+		t.Errorf("BytesFaulted = %d", stats.BytesFaulted)
+	}
+}
+
+// TestBudgetZeroIsUnlimited: zero-valued budget axes (beyond the MaxPops
+// default) leave a normal query untouched.
+func TestBudgetZeroIsUnlimited(t *testing.T) {
+	f := newBibFixture(t)
+	answers, stats, err := f.s.SearchStats([]string{"soumen", "sunita"}, defaultBibOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetExhausted || stats.BudgetReason != "" {
+		t.Errorf("default options flagged exhaustion: %+v", stats)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+}

@@ -39,6 +39,14 @@ type sspIterator struct {
 	memo   bool
 	trail  []distEntry
 	cursor int // replay position; == len(trail) once expanding live
+
+	// lastArcs is how many reverse arcs the last Next() relaxed — the
+	// expansion loop's unit of arc-budget accounting. trailArcs mirrors
+	// trail entry-for-entry so a memoized replay charges exactly the arc
+	// counts the original expansion did, keeping budget truncation
+	// deterministic between cold and warm (pooled-frontier) runs.
+	lastArcs  int
+	trailArcs []int32
 }
 
 type distEntry struct {
@@ -132,7 +140,9 @@ func (it *sspIterator) reset(g graph.View, origin graph.NodeID) {
 	it.pq.push(distEntry{node: origin, d: 0, key: nodeKey(g, origin)})
 	it.memo = false
 	it.trail = it.trail[:0]
+	it.trailArcs = it.trailArcs[:0]
 	it.cursor = 0
+	it.lastArcs = 0
 }
 
 // rewind restarts a memoized iterator for a new query over the same origin
@@ -182,23 +192,28 @@ func (it *sspIterator) Peek() (graph.NodeID, float64, bool) {
 func (it *sspIterator) Next() (graph.NodeID, float64, bool) {
 	if it.cursor < len(it.trail) {
 		e := it.trail[it.cursor]
+		it.lastArcs = int(it.trailArcs[it.cursor])
 		it.cursor++
 		return e.node, e.d, true
 	}
 	it.clean()
 	if len(it.pq) == 0 {
+		it.lastArcs = 0
 		return graph.NoNode, 0, false
 	}
 	top := it.pq.pop()
 	v, d := top.node, top.d
-	if it.memo {
-		it.trail = append(it.trail, top)
-		it.cursor = len(it.trail)
-	}
 	it.dist[v] = d
 	it.visit[v] = it.gen + 1
 	vkey := nodeKey(it.g, v)
-	for _, e := range it.g.In(v) {
+	in := it.g.In(v)
+	it.lastArcs = len(in)
+	if it.memo {
+		it.trail = append(it.trail, top)
+		it.trailArcs = append(it.trailArcs, int32(len(in)))
+		it.cursor = len(it.trail)
+	}
+	for _, e := range in {
 		u, w := e.To, e.W
 		st := it.visit[u]
 		if st == it.gen+1 {

@@ -96,6 +96,20 @@ type exec struct {
 	sets     [][]graph.NodeID
 	excluded map[int32]bool
 	cb       func(*Answer) bool
+	// faultBase is the fault meter's reading at query start; bytesFaulted
+	// deltas against it to charge only this query's window (engine-global
+	// meter, so concurrent queries' faults overlap — safety valve, not
+	// precise accounting).
+	faultBase int64
+}
+
+// bytesFaulted returns store bytes faulted since the query started; 0
+// without an attached fault meter.
+func (ex *exec) bytesFaulted() int64 {
+	if ex.s.fault == nil {
+		return 0
+	}
+	return ex.s.fault() - ex.faultBase
 }
 
 // The strategy registry. Built-ins are always present; RegisterStrategy
@@ -186,6 +200,12 @@ func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb fun
 		return nil, stats, err
 	}
 
+	var faultBase int64
+	if s.fault != nil {
+		faultBase = s.fault()
+		defer func() { stats.BytesFaulted = s.fault() - faultBase }()
+	}
+
 	// Stage 1: normalize terms.
 	var clean []string
 	for _, t := range req.Terms {
@@ -240,13 +260,21 @@ func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb fun
 
 	// Stages 3-5: seed origins, expand, emit — the strategy's province.
 	ex := &exec{
-		s:        s,
-		ar:       ar,
-		o:        o,
-		stats:    stats,
-		sets:     sets,
-		excluded: s.excludedTables(o),
-		cb:       cb,
+		s:         s,
+		ar:        ar,
+		o:         o,
+		stats:     stats,
+		sets:      sets,
+		excluded:  s.excludedTables(o),
+		cb:        cb,
+		faultBase: faultBase,
+	}
+	// Resolution alone may have blown the byte budget (cold store, huge
+	// posting lists): cut off before expansion starts.
+	if o.Budget.MaxBytesFaulted > 0 && ex.bytesFaulted() >= o.Budget.MaxBytesFaulted {
+		stats.BudgetExhausted = true
+		stats.BudgetReason = "bytes"
+		return nil, stats, nil
 	}
 	answers, err := strat.run(ctx, ex)
 	if err != nil {

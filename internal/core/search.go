@@ -33,8 +33,13 @@ type Options struct {
 	// performance problem (§7); the cap is reported in Stats.
 	MetadataNodeLimit int
 	// MaxPops bounds total Dijkstra iterator pops as a safety valve for
-	// disconnected keywords (default 2,000,000).
+	// disconnected keywords (default 2,000,000). It is the legacy spelling
+	// of Budget.MaxPops: when Budget.MaxPops is zero it seeds it.
 	MaxPops int
+	// Budget is the per-query cost budget. Exhausting any axis stops the
+	// expansion cleanly: answers emitted so far are returned and
+	// Stats.BudgetExhausted/BudgetReason report the truncation.
+	Budget Budget
 	// MaxCombosPerVisit caps the cross-product expansion at one node
 	// visit (default 10,000); truncation is reported in Stats.
 	MaxCombosPerVisit int
@@ -46,6 +51,27 @@ type Options struct {
 	// StrategyBackward, the paper's backward expanding search). Unknown
 	// names make Query return an error.
 	Strategy string
+}
+
+// Budget bounds how much work one query may do before it is cut off with
+// a partial answer. Budgets turn pathological queries (huge match sets,
+// disconnected keywords, cold stores) from latency outliers into fast,
+// flagged truncations — the serving tier's per-query cost control.
+type Budget struct {
+	// MaxPops bounds Dijkstra iterator pops (0: Options.MaxPops). Pops and
+	// arcs are deterministic per (snapshot, query), so truncation under
+	// these two axes is reproducible.
+	MaxPops int
+	// MaxArcsScanned bounds reverse arcs relaxed during expansion
+	// (0: unlimited). Arc cost tracks the real work of dense hub nodes,
+	// which pops alone under-count.
+	MaxArcsScanned int
+	// MaxBytesFaulted bounds bytes faulted from the disk store during the
+	// query (0: unlimited; no effect without a store-backed engine and an
+	// attached fault meter). The meter is engine-global, so concurrent
+	// queries' faults charge each other — this axis is a safety valve, not
+	// a precise accountant.
+	MaxBytesFaulted int64
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -77,6 +103,9 @@ func (o *Options) withDefaults() *Options {
 	if c.MaxPops <= 0 {
 		c.MaxPops = d.MaxPops
 	}
+	if c.Budget.MaxPops <= 0 {
+		c.Budget.MaxPops = c.MaxPops
+	}
 	if c.MaxCombosPerVisit <= 0 {
 		c.MaxCombosPerVisit = d.MaxCombosPerVisit
 	}
@@ -97,6 +126,10 @@ type Stats struct {
 	CombosTruncated   bool     // a cross product hit MaxCombosPerVisit
 	TermsDropped      int      // unmatched terms dropped (RequireAllTerms=false)
 	FrontierReused    int      // origins served warm from the shared frontier pool (batched strategy)
+	ArcsScanned       int      // reverse arcs relaxed during expansion
+	BytesFaulted      int64    // store bytes faulted during the query (fault meter attached)
+	BudgetExhausted   bool     // the query was truncated by its cost budget
+	BudgetReason      string   // which axis cut it off: "pops", "arcs" or "bytes"
 }
 
 // Searcher answers keyword queries over a graph + keyword index pair —
@@ -111,6 +144,7 @@ type Searcher struct {
 	cache     *index.MatchCache  // optional; nil disables match-set caching
 	flight    *index.FlightGroup // optional; nil disables single-flight admission
 	frontiers *frontierPool      // optional; nil disables frontier pooling
+	fault     func() int64       // optional; cumulative store bytes faulted
 	arenas    sync.Pool          // of *searchArena sized to g.NumNodes()
 }
 
@@ -164,6 +198,16 @@ func (s *Searcher) FlightGroup() *index.FlightGroup { return s.flight }
 // expansion work. maxIters <= 0 disables pooling. Returns s for chaining.
 func (s *Searcher) WithFrontierPool(maxIters int) *Searcher {
 	s.frontiers = newFrontierPool(maxIters)
+	return s
+}
+
+// WithFaultMeter attaches a cumulative byte counter of store faults
+// (typically store.Store.FaultedBytes). The executor samples it at query
+// start and end to report Stats.BytesFaulted and to enforce
+// Budget.MaxBytesFaulted. fn must be safe for concurrent use. Attach
+// before the Searcher is shared. Returns s for chaining.
+func (s *Searcher) WithFaultMeter(fn func() int64) *Searcher {
+	s.fault = fn
 	return s
 }
 

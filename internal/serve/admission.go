@@ -1,0 +1,188 @@
+// Package serve is the production front door of the BANKS serving tier:
+// admission control (a bounded worker pool with a bounded wait queue and
+// graceful load shedding), a dependency-free metrics registry (counters,
+// gauges, bucketed latency histograms), a slow-query log, and the /debug
+// surface that exposes all of it. The package is deliberately stdlib-only
+// so the engine keeps its zero-dependency property.
+//
+// The design follows the classic overload playbook: concurrency is capped
+// at a worker-pool bound (queries admitted beyond it wait in a bounded
+// queue), and when the queue is full — or a queued request waits longer
+// than its patience — the request is shed immediately with enough
+// information for the client to back off (Retry-After). Shedding at the
+// door keeps the goroutine count, and therefore memory, bounded no matter
+// the offered load; the engine behind the door never sees more than
+// Workers concurrent searches.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed is returned by Gate.Acquire when the wait queue is full: the
+// request is rejected immediately, without blocking, so overload turns
+// into fast 503s instead of a goroutine pile-up.
+var ErrShed = errors.New("serve: overloaded, request shed")
+
+// ErrQueueTimeout is returned when a request was queued but no worker
+// slot freed within the gate's queue timeout. Clients should treat it
+// exactly like ErrShed (back off and retry).
+var ErrQueueTimeout = errors.New("serve: timed out waiting for a worker slot")
+
+// Gate is the admission controller: at most Workers requests run
+// concurrently, at most Queue more wait, the rest shed. The zero value is
+// not usable; construct with NewGate. A nil *Gate is valid and admits
+// everything (admission disabled).
+type Gate struct {
+	slots        chan struct{} // semaphore: len == in-flight requests
+	workers      int
+	queue        int64
+	queueTimeout time.Duration
+	retryAfter   time.Duration
+
+	queued    atomic.Int64 // requests currently waiting for a slot
+	admitted  atomic.Int64 // requests that got a slot (incl. after queueing)
+	shed      atomic.Int64 // requests rejected because the queue was full
+	timedOut  atomic.Int64 // requests rejected after queueTimeout in queue
+	canceled  atomic.Int64 // requests whose context ended while queued
+	completed atomic.Int64 // released slots
+}
+
+// GateConfig sizes a Gate.
+type GateConfig struct {
+	// Workers caps concurrently admitted requests (<= 0: 1).
+	Workers int
+	// Queue caps requests waiting for a slot (< 0: 0 — no waiting, every
+	// request beyond Workers sheds immediately).
+	Queue int
+	// QueueTimeout caps how long a request may wait in the queue before
+	// it is shed with ErrQueueTimeout (<= 0: wait as long as the
+	// request's own context allows).
+	QueueTimeout time.Duration
+	// RetryAfter is the backoff hint reported by Gate.RetryAfter for shed
+	// responses (<= 0: one second).
+	RetryAfter time.Duration
+}
+
+// NewGate builds an admission gate from cfg.
+func NewGate(cfg GateConfig) *Gate {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Gate{
+		slots:        make(chan struct{}, cfg.Workers),
+		workers:      cfg.Workers,
+		queue:        int64(cfg.Queue),
+		queueTimeout: cfg.QueueTimeout,
+		retryAfter:   cfg.RetryAfter,
+	}
+}
+
+// Acquire admits the request or rejects it. On success it returns a
+// release function that MUST be called exactly once when the request's
+// work is done. On rejection it returns ErrShed (queue full),
+// ErrQueueTimeout (patience exhausted while queued) or the context's
+// error (caller went away while queued). Acquire on a nil gate admits
+// immediately.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	// Fast path: a worker slot is free right now.
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.releaseFunc(), nil
+	default:
+	}
+	// Slow path: join the bounded wait queue, or shed.
+	if g.queued.Add(1) > g.queue {
+		g.queued.Add(-1)
+		g.shed.Add(1)
+		return nil, ErrShed
+	}
+	defer g.queued.Add(-1)
+
+	var timeout <-chan time.Time
+	if g.queueTimeout > 0 {
+		t := time.NewTimer(g.queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.releaseFunc(), nil
+	case <-timeout:
+		g.timedOut.Add(1)
+		return nil, ErrQueueTimeout
+	case <-ctx.Done():
+		g.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) releaseFunc() func() {
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			<-g.slots
+			g.completed.Add(1)
+		}
+	}
+}
+
+// IsOverload reports whether err is one of the gate's backpressure
+// rejections (shed or queue timeout) — the cases a web tier should map to
+// 503 with Retry-After.
+func IsOverload(err error) bool {
+	return errors.Is(err, ErrShed) || errors.Is(err, ErrQueueTimeout)
+}
+
+// RetryAfter is the configured client backoff hint. Zero on a nil gate.
+func (g *Gate) RetryAfter() time.Duration {
+	if g == nil {
+		return 0
+	}
+	return g.retryAfter
+}
+
+// GateStats is a point-in-time snapshot of the gate's counters.
+type GateStats struct {
+	Workers  int   // configured worker-slot count
+	Queue    int   // configured wait-queue bound
+	InFlight int   // slots held right now
+	Queued   int   // requests waiting right now
+	Admitted int64 // requests that got a slot
+	Shed     int64 // immediate rejections (queue full)
+	TimedOut int64 // rejections after QueueTimeout in queue
+	Canceled int64 // contexts that ended while queued
+	Done     int64 // released slots
+}
+
+// Stats returns current admission counters; zero value on a nil gate.
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{
+		Workers:  g.workers,
+		Queue:    int(g.queue),
+		InFlight: len(g.slots),
+		Queued:   int(g.queued.Load()),
+		Admitted: g.admitted.Load(),
+		Shed:     g.shed.Load(),
+		TimedOut: g.timedOut.Load(),
+		Canceled: g.canceled.Load(),
+		Done:     g.completed.Load(),
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// DebugHandler serves the observability surface:
+//
+//	/debug       — a human-readable page: gauges, counters, latency
+//	               histograms (count/mean/p50/p99/max) and the slow-query
+//	               log
+//	/debug/vars  — the same data as JSON, for scrapers
+//
+// Mount it under the /debug prefix. The handler only reads; it holds no
+// locks across requests and is safe to serve while the engine is under
+// churn.
+func DebugHandler(m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
+		renderDebugPage(w, m)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := m.Registry().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+func renderDebugPage(w http.ResponseWriter, m *Metrics) {
+	snap := m.Registry().Snapshot()
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>BANKS /debug</title><style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+td, th { border: 1px solid #aaa; padding: 3px 8px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+</style></head><body><h1>BANKS serving metrics</h1>`)
+
+	b.WriteString("<h2>Gauges</h2><table><tr><th>gauge</th><th>value</th></tr>")
+	for _, k := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td></tr>", template.HTMLEscapeString(k), snap.Gauges[k])
+	}
+	b.WriteString("</table>")
+
+	b.WriteString("<h2>Counters</h2><table><tr><th>counter</th><th>value</th></tr>")
+	for _, k := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td></tr>", template.HTMLEscapeString(k), snap.Counters[k])
+	}
+	b.WriteString("</table>")
+
+	b.WriteString("<h2>Latency histograms</h2><table><tr><th>histogram</th><th>count</th>" +
+		"<th>mean</th><th>p50</th><th>p99</th><th>max</th></tr>")
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+			template.HTMLEscapeString(k), h.Count,
+			fmtSeconds(h.MeanS), fmtSeconds(h.P50S), fmtSeconds(h.P99S), fmtSeconds(h.MaxS))
+	}
+	b.WriteString("</table>")
+
+	if slow := m.SlowQueries(); len(slow) > 0 {
+		b.WriteString("<h2>Slow queries (most recent first)</h2><table><tr><th>when</th>" +
+			"<th>query</th><th>strategy</th><th>class</th><th>elapsed</th><th>stats</th></tr>")
+		for _, q := range slow {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%v</td><td>%s</td></tr>",
+				q.When.Format(time.RFC3339), template.HTMLEscapeString(q.Query),
+				template.HTMLEscapeString(q.Strategy), template.HTMLEscapeString(q.Class),
+				q.Elapsed.Round(time.Microsecond),
+				template.HTMLEscapeString(fmt.Sprintf("%+v", q.Detail)))
+		}
+		b.WriteString("</table>")
+	}
+	b.WriteString(`<p><a href="/debug/vars">JSON</a></p></body></html>`)
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

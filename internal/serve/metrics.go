@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a dependency-free metrics registry: named counters, gauges
+// and latency histograms, all safe for concurrent use. Instruments are
+// created on first touch (get-or-create), so recording code never has to
+// coordinate with wiring code. Gauges are function-backed — the registry
+// samples them at snapshot time — which is how live engine state (cache
+// residency, pending mutations, store footprint) shows up on /debug
+// without a write on every change.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers (or replaces) a function-backed gauge sampled at
+// snapshot time. fn must be safe for concurrent use.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// histBuckets are the histogram's exponential upper bounds: 100µs
+// doubling through ~52s, plus a +Inf overflow bucket. Twenty doublings
+// cover everything from a cache hit to a runaway expansion while keeping
+// the per-histogram footprint at a few hundred bytes.
+const numHistBuckets = 20
+
+var histBuckets = func() [numHistBuckets]time.Duration {
+	var b [numHistBuckets]time.Duration
+	d := 100 * time.Microsecond
+	for i := range b {
+		b[i] = d
+		d *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free atomic increments; quantiles are estimated by linear
+// interpolation inside the bucket containing the target rank, which is
+// exact enough for p50/p99 dashboards at a tiny, allocation-free cost.
+type Histogram struct {
+	counts [numHistBuckets + 1]atomic.Int64 // last bucket: overflow
+	total  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram with the standard latency
+// buckets.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(histBuckets), func(i int) bool { return d <= histBuckets[i] })
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		m := h.max.Load()
+		if int64(d) <= m || h.max.CompareAndSwap(m, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the average observed latency (0 with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// latencies: the bucket holding the target rank is found and the value
+// interpolated linearly inside it. Returns 0 with no samples; overflow
+// samples report the observed maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank || i == len(histBuckets) {
+			if i == len(histBuckets) {
+				return h.Max()
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			hi := histBuckets[i]
+			frac := (rank - cum) / c
+			if math.IsNaN(frac) || frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// HistogramSnapshot is one histogram's exported view.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P99S  float64 `json:"p99_s"`
+	MaxS  float64 `json:"max_s"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		MeanS: h.Mean().Seconds(),
+		P50S:  h.Quantile(0.50).Seconds(),
+		P99S:  h.Quantile(0.99).Seconds(),
+		MaxS:  h.Max().Seconds(),
+	}
+}
+
+// Snapshot is a point-in-time view of every instrument, with
+// deterministically ordered names (map iteration order does not leak
+// into rendered output).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot samples every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, fn := range gauges {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (the /debug/vars body).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// sortedKeys returns m's keys sorted, for deterministic text rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ClassOf buckets a query into the coarse classes the latency histograms
+// are keyed by: term count (1term/2term/3term+) with prefix/qualified
+// markers. Classes must stay low-cardinality — every distinct class is a
+// live histogram.
+func ClassOf(terms int, prefix, qualified bool) string {
+	var class string
+	switch {
+	case terms <= 1:
+		class = "1term"
+	case terms == 2:
+		class = "2term"
+	default:
+		class = "3term+"
+	}
+	if qualified {
+		class += "_qualified"
+	}
+	if prefix {
+		class += "_prefix"
+	}
+	return class
+}
+
+// QueryLabel names the latency histogram for one (strategy, class) pair.
+func QueryLabel(strategy, class string) string {
+	if strategy == "" {
+		strategy = "backward"
+	}
+	return fmt.Sprintf("query_latency_%s_%s", strategy, class)
+}

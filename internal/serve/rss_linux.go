@@ -1,6 +1,6 @@
 //go:build linux
 
-package main
+package serve
 
 import (
 	"bufio"
@@ -9,9 +9,11 @@ import (
 	"strings"
 )
 
-// peakRSSBytes reads the process's high-water resident set size (VmHWM)
-// from /proc/self/status, in bytes; 0 when unavailable.
-func peakRSSBytes() int64 {
+// PeakRSSBytes reads the process's high-water resident set size (VmHWM)
+// from /proc/self/status, in bytes; 0 when unavailable. The load harness
+// and the eval benchmarks share this one implementation so every recorded
+// memory number means the same thing.
+func PeakRSSBytes() int64 {
 	f, err := os.Open("/proc/self/status")
 	if err != nil {
 		return 0

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package serve
+
+// PeakRSSBytes is unavailable off Linux; callers print "n/a" for 0.
+func PeakRSSBytes() int64 { return 0 }

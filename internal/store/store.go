@@ -46,6 +46,7 @@ type Store struct {
 	cache    *blockCache
 
 	structural atomic.Int64 // bytes of structural segments made resident
+	faulted    atomic.Int64 // cumulative bytes ever faulted from disk
 	hits       atomic.Int64
 	misses     atomic.Int64
 
@@ -279,6 +280,7 @@ func (s *Store) ArcsSegment() ([]byte, error) {
 		return nil, err
 	}
 	s.structural.Add(int64(len(data)))
+	s.faulted.Add(int64(len(data)))
 	return data, nil
 }
 
@@ -290,6 +292,7 @@ func (s *Store) NodeMetaSegment() ([]byte, error) {
 		return nil, err
 	}
 	s.structural.Add(int64(len(data)))
+	s.faulted.Add(int64(len(data)))
 	return data, nil
 }
 
@@ -364,6 +367,7 @@ func (s *Store) Dict() (*index.LazyDict, error) {
 		return nil, err
 	}
 	s.structural.Add(int64(len(data)))
+	s.faulted.Add(int64(len(data)))
 	s.blocksMu.Lock()
 	s.blocks = blocks
 	s.blocksMu.Unlock()
@@ -426,6 +430,7 @@ func (s *Store) readPostings(i int, tok string, admit bool) ([]graph.NodeID, err
 		s.setErr(err)
 		return nil, err
 	}
+	s.faulted.Add(int64(ref.length))
 	if admit {
 		s.cache.put(i, ns)
 	}
@@ -486,6 +491,10 @@ type Stats struct {
 	BudgetBytes int64
 	// Hits / Misses count posting-block cache probes.
 	Hits, Misses int64
+	// FaultedBytes counts cumulative bytes ever faulted from disk
+	// (structural segments plus every posting-block read, including
+	// cache-miss re-reads); unlike residency it never decreases.
+	FaultedBytes int64
 }
 
 // Stats returns current residency counters.
@@ -495,10 +504,16 @@ func (s *Store) Stats() Stats {
 		BudgetBytes:     s.opts.BudgetBytes,
 		Hits:            s.hits.Load(),
 		Misses:          s.misses.Load(),
+		FaultedBytes:    s.faulted.Load(),
 	}
 	st.BlockBytes, st.BlockEntries = s.cache.usage()
 	return st
 }
+
+// FaultedBytes returns the cumulative bytes ever faulted from disk — the
+// monotone meter per-query byte budgets are charged against (see
+// core.Searcher.WithFaultMeter).
+func (s *Store) FaultedBytes() int64 { return s.faulted.Load() }
 
 // ResidentBytes returns the total lazily-loaded bytes currently resident.
 func (s *Store) ResidentBytes() int64 {

@@ -20,6 +20,7 @@ import (
 	"github.com/banksdb/banks/internal/browse"
 	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/serve"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/sqlexec"
 )
@@ -32,6 +33,14 @@ type Server struct {
 	opts      *core.Options
 	mux       *http.ServeMux
 	engineErr func() error // optional post-query health check (disk stores)
+
+	// The production front door, all optional (nil disables): admission
+	// control in front of /search, per-query observability, and a default
+	// server-side search deadline. Configure before serving — these fields
+	// are read concurrently once requests flow.
+	gate           *serve.Gate
+	metrics        *serve.Metrics
+	defaultTimeout time.Duration
 }
 
 // SetEngineErr installs a health check consulted after every search. A
@@ -40,6 +49,28 @@ type Server struct {
 // a corrupt segment would silently shrink results to nothing. When fn
 // reports an error the request fails with 500 instead.
 func (s *Server) SetEngineErr(fn func() error) { s.engineErr = fn }
+
+// SetGate installs admission control on /search: at most the gate's
+// worker count of searches run concurrently, a bounded queue waits, and
+// the overflow is shed with 503 + Retry-After. Call before serving.
+func (s *Server) SetGate(g *serve.Gate) { s.gate = g }
+
+// SetMetrics installs query observability (latency histograms, outcome
+// counters, the slow-query log) and mounts the /debug and /debug/vars
+// endpoints. Call before serving.
+func (s *Server) SetMetrics(m *serve.Metrics) {
+	s.metrics = m
+	if m != nil {
+		s.mux.Handle("/debug", serve.DebugHandler(m))
+		s.mux.Handle("/debug/vars", serve.DebugHandler(m))
+	}
+}
+
+// SetDefaultTimeout installs a server-side deadline applied to searches
+// whose request did not specify its own timeout parameter. Expiry maps to
+// 503 + Retry-After (server overload semantics), unlike a client-chosen
+// timeout which maps to 408. Call before serving.
+func (s *Server) SetDefaultTimeout(d time.Duration) { s.defaultTimeout = d }
 
 // NewServer builds a server over the database and a searcher provider.
 // searcher is called once per request needing search structures, so a
@@ -197,6 +228,18 @@ func (s *Server) tupleHTML(g graph.View, n graph.NodeID, matched bool) string {
 	return label
 }
 
+// renderOverload maps an admission rejection (or a server-side deadline)
+// to 503 with a Retry-After hint — the "come back later" contract that
+// tells well-behaved clients to back off instead of hammering.
+func (s *Server) renderOverload(w http.ResponseWriter, err error) {
+	retry := time.Second
+	if s.gate != nil {
+		retry = s.gate.RetryAfter()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+	s.renderError(w, http.StatusServiceUnavailable, err)
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	timeoutParam := r.URL.Query().Get("timeout")
@@ -206,19 +249,44 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.render(w, "Search", template.HTML(s.searchFormHTML("", timeoutParam, strategyParam)))
 		return
 	}
-	// The request context rides into the expansion loop, so a client that
-	// disconnects stops paying for its search; the optional timeout field
-	// (a Go duration, e.g. "500ms" or "2s"; empty = none) adds a
-	// per-query deadline on top.
-	ctx := r.Context()
-	if timeoutParam != "" {
+	// Validate the timeout field before taking a worker slot: a malformed
+	// request must not occupy admission capacity (and every admitted
+	// request then observes exactly one query, which /debug audits).
+	clientTimeout := timeoutParam != ""
+	var clientDeadline time.Duration
+	if clientTimeout {
 		d, err := time.ParseDuration(timeoutParam)
 		if err != nil || d <= 0 {
 			s.renderError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q (want a duration like 500ms)", timeoutParam))
 			return
 		}
+		clientDeadline = d
+	}
+	// Admission control: the search runs only once the gate grants a
+	// worker slot. A full queue (or a queue wait past the gate's patience)
+	// sheds the request immediately with 503 + Retry-After, before any
+	// engine work happens; a client that disconnects while queued just
+	// goes away.
+	release, aerr := s.gate.Acquire(r.Context())
+	if aerr != nil {
+		if serve.IsOverload(aerr) {
+			s.renderOverload(w, aerr)
+		}
+		return
+	}
+	// The request context rides into the expansion loop, so a client that
+	// disconnects stops paying for its search; the optional timeout field
+	// (a Go duration, e.g. "500ms" or "2s"; empty = none) adds a
+	// per-query deadline on top, and the server's default timeout (when
+	// configured) bounds requests that chose none.
+	ctx := r.Context()
+	if clientTimeout {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
+		ctx, cancel = context.WithTimeout(ctx, clientDeadline)
+		defer cancel()
+	} else if s.defaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.defaultTimeout)
 		defer cancel()
 	}
 	// The strategy field overrides the server's default execution
@@ -233,11 +301,57 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// request; a concurrent Refresh cannot tear the result rendering.
 	searcher := s.searcher()
 	g := searcher.Graph()
-	answers, _, err := searcher.Query(ctx, core.Request{Terms: terms}, opts, nil)
+	start := time.Now()
+	// The deadline is enforced here, at the response layer, not only
+	// inside the expansion loop: the query runs in its own goroutine and
+	// the response leaves the moment ctx expires, even if the expansion is
+	// slow to reach its next cancellation poll (heavy GC or a concurrent
+	// rebuild can stretch that to seconds). The abandoned search unwinds
+	// in the background and frees its admission slot only when it
+	// actually exits, so admitted concurrency stays bounded.
+	type queryResult struct {
+		answers []*core.Answer
+		stats   *core.Stats
+		err     error
+	}
+	done := make(chan queryResult, 1)
+	go func() {
+		answers, stats, qerr := searcher.Query(ctx, core.Request{Terms: terms}, opts, nil)
+		s.metrics.ObserveQuery(serve.QueryOutcome{
+			Query:           q,
+			Strategy:        opts.Strategy,
+			Class:           serve.ClassOf(len(terms), false, false),
+			Elapsed:         time.Since(start),
+			Err:             qerr,
+			BudgetExhausted: stats != nil && stats.BudgetExhausted,
+			TimedOut:        errors.Is(qerr, context.DeadlineExceeded),
+			Detail:          stats,
+		})
+		done <- queryResult{answers, stats, qerr}
+		release()
+	}()
+	var answers []*core.Answer
+	var stats *core.Stats
+	var err error
+	select {
+	case res := <-done:
+		answers, stats, err = res.answers, res.stats, res.err
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		s.renderError(w, http.StatusGatewayTimeout,
-			fmt.Errorf("search timed out after %s", timeoutParam))
+		// A deadline the client chose is its own doing: 408. A deadline
+		// the server imposed is overload protection: 503 + Retry-After.
+		if clientTimeout {
+			s.renderError(w, http.StatusRequestTimeout,
+				fmt.Errorf("search timed out after %s", timeoutParam))
+		} else {
+			s.renderOverload(w, fmt.Errorf("search exceeded the server's %s limit", s.defaultTimeout))
+		}
 		return
+	}
+	if errors.Is(err, context.Canceled) {
+		return // client disconnected; nobody is listening
 	}
 	if err != nil {
 		s.renderError(w, http.StatusBadRequest, err)
@@ -252,6 +366,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	var b strings.Builder
 	b.WriteString(s.searchFormHTML(q, timeoutParam, strategyParam))
+	if stats != nil && stats.BudgetExhausted {
+		fmt.Fprintf(&b, `<p class="score">Partial results: the query exhausted its %s budget.</p>`,
+			template.HTMLEscapeString(stats.BudgetReason))
+	}
 	if len(answers) == 0 {
 		b.WriteString("<p>No results.</p>")
 	}

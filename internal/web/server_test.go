@@ -1,18 +1,22 @@
 package web
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/banksdb/banks/internal/browse"
 	"github.com/banksdb/banks/internal/core"
 	"github.com/banksdb/banks/internal/datagen"
 	"github.com/banksdb/banks/internal/graph"
 	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/serve"
 	"github.com/banksdb/banks/internal/sqlexec"
 )
 
@@ -317,12 +321,119 @@ func TestSearchTimeoutParam(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Errorf("negative timeout: status = %d", code)
 	}
-	// A 1ns deadline expires before the search can finish.
+	// A 1ns deadline expires before the search can finish. The client
+	// chose it, so the failure is the client's: 408, not 503.
 	code, body = get(t, ts, "/search?q="+url.QueryEscape("sudarshan aditya")+"&timeout=1ns")
-	if code != http.StatusGatewayTimeout {
+	if code != http.StatusRequestTimeout {
 		t.Errorf("1ns timeout: status = %d, body = %s", code, body)
 	}
 	if !strings.Contains(body, "timed out") {
 		t.Error("timeout page does not say the search timed out")
+	}
+}
+
+func getResp(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestSearchServerTimeoutIsOverload: a search that exceeds the *server's*
+// default deadline (the client chose none) is overload protection, so it
+// maps to 503 + Retry-After — not 408, which would blame the client.
+func TestSearchServerTimeoutIsOverload(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.SetDefaultTimeout(time.Nanosecond)
+	resp, body := getResp(t, ts, "/search?q="+url.QueryEscape("sudarshan aditya"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body = %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without a Retry-After hint")
+	}
+}
+
+// TestSearchShedWithRetryAfter: with the gate's only worker slot occupied
+// and a zero-length queue, a search is shed immediately with 503 and a
+// Retry-After header matching the gate's configured hint.
+func TestSearchShedWithRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t)
+	gate := serve.NewGate(serve.GateConfig{Workers: 1, Queue: 0, RetryAfter: 3 * time.Second})
+	srv.SetGate(gate)
+
+	// Occupy the single worker slot so the next request must shed.
+	release, err := gate.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp, body := getResp(t, ts, "/search?q=aditya")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body = %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want 3", got)
+	}
+	if !strings.Contains(body, "shed") {
+		t.Errorf("shed page does not say so: %s", body)
+	}
+	if gate.Stats().Shed != 1 {
+		t.Errorf("gate shed count = %d, want 1", gate.Stats().Shed)
+	}
+
+	// With the slot free again the same search succeeds.
+	release()
+	code, body2 := get(t, ts, "/search?q=aditya")
+	if code != 200 || !strings.Contains(body2, "Aditya") {
+		t.Errorf("post-release search: status = %d", code)
+	}
+}
+
+// TestDebugEndpoints: SetMetrics mounts /debug (human page) and
+// /debug/vars (JSON), and a served search shows up in both.
+func TestDebugEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t)
+	m := serve.NewMetrics(0, 0)
+	m.BindGate(serve.NewGate(serve.GateConfig{Workers: 2}))
+	srv.SetMetrics(m)
+
+	if code, _ := get(t, ts, "/search?q=aditya"); code != 200 {
+		t.Fatalf("search status = %d", code)
+	}
+
+	code, body := get(t, ts, "/debug")
+	if code != 200 {
+		t.Fatalf("/debug status = %d", code)
+	}
+	for _, frag := range []string{"gate_workers", "queries_total", "query_latency"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("/debug missing %q", frag)
+		}
+	}
+
+	code, body = get(t, ts, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["queries_total"] != 1 {
+		t.Errorf("queries_total = %d, want 1", snap.Counters["queries_total"])
+	}
+	if snap.Counters["queries_ok"] != 1 {
+		t.Errorf("queries_ok = %d, want 1", snap.Counters["queries_ok"])
 	}
 }

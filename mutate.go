@@ -273,6 +273,9 @@ func (s *System) publishLocked(seq uint64) {
 	ixSnap := s.id.Snapshot(gSnap.NumNodes())
 	eng := newEngine(gSnap, ixSnap, s.opts)
 	eng.st = s.store
+	if s.store != nil {
+		eng.searcher.WithFaultMeter(s.store.FaultedBytes)
+	}
 	eng.walSeq = seq
 	s.eng.Store(eng)
 }

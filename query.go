@@ -76,6 +76,16 @@ type Stats struct {
 	CombosTruncated bool
 	// TermsDropped counts unmatched terms dropped (AllowPartialMatch).
 	TermsDropped int
+	// ArcsScanned counts graph arcs relaxed during expansion.
+	ArcsScanned int
+	// BytesFaulted counts disk-store bytes faulted while the query ran
+	// (0 for in-memory systems).
+	BytesFaulted int64
+	// BudgetExhausted reports that the query was truncated by its cost
+	// budget; the answers are the partial set emitted before the cutoff.
+	BudgetExhausted bool
+	// BudgetReason names the exhausted axis: "pops", "arcs" or "bytes".
+	BudgetReason string
 }
 
 func statsFromCore(st *core.Stats) Stats {
@@ -93,6 +103,10 @@ func statsFromCore(st *core.Stats) Stats {
 		MetadataTruncated: st.MetadataTruncated,
 		CombosTruncated:   st.CombosTruncated,
 		TermsDropped:      st.TermsDropped,
+		ArcsScanned:       st.ArcsScanned,
+		BytesFaulted:      st.BytesFaulted,
+		BudgetExhausted:   st.BudgetExhausted,
+		BudgetReason:      st.BudgetReason,
 	}
 }
 

@@ -37,6 +37,27 @@ type SearchOptions struct {
 	// AllowPartialMatch drops query terms that match nothing instead of
 	// returning no answers.
 	AllowPartialMatch bool
+	// Budget bounds how much work this query may do before it is cut off
+	// with a partial answer (see Budget). The zero value applies only the
+	// engine's default pop cap.
+	Budget Budget
+}
+
+// Budget is the per-query cost budget: exhausting any non-zero axis stops
+// the search cleanly, returns the answers emitted so far, and reports the
+// truncation in Stats.BudgetExhausted/BudgetReason.
+type Budget struct {
+	// MaxPops bounds shortest-path iterator pops (0: the engine default of
+	// 2,000,000). Deterministic per query and snapshot.
+	MaxPops int
+	// MaxArcsScanned bounds graph arcs relaxed during expansion
+	// (0: unlimited). Deterministic per query and snapshot.
+	MaxArcsScanned int
+	// MaxBytesFaulted bounds bytes faulted from the disk store while the
+	// query runs (0: unlimited; meaningful only for store-backed systems).
+	// The fault meter is engine-global, so this axis is a safety valve
+	// rather than exact per-query accounting.
+	MaxBytesFaulted int64
 }
 
 func (o *SearchOptions) toCore() *core.Options {
@@ -62,6 +83,11 @@ func (o *SearchOptions) toCore() *core.Options {
 	}
 	c.ExcludedRootTables = o.ExcludedRootTables
 	c.RequireAllTerms = !o.AllowPartialMatch
+	c.Budget = core.Budget{
+		MaxPops:         o.Budget.MaxPops,
+		MaxArcsScanned:  o.Budget.MaxArcsScanned,
+		MaxBytesFaulted: o.Budget.MaxBytesFaulted,
+	}
 	return c
 }
 

@@ -1,0 +1,114 @@
+package banks
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/serve"
+	"github.com/banksdb/banks/internal/store"
+	"github.com/banksdb/banks/internal/web"
+)
+
+// ServeOptions configure the production front door ServeHandler puts in
+// front of the web UI: admission control, default deadlines, and
+// observability. The zero value serves with admission control and
+// server-side deadlines disabled but observability on.
+type ServeOptions struct {
+	// Search sets the default search parameters (nil: the paper's
+	// defaults), including any per-query cost Budget.
+	Search *SearchOptions
+	// MaxInFlight caps concurrently executing searches (0: no admission
+	// control). Requests beyond it wait in the bounded queue.
+	MaxInFlight int
+	// MaxQueue caps searches waiting for a worker slot (meaningful only
+	// with MaxInFlight > 0). A request arriving to a full queue is shed
+	// immediately with 503 + Retry-After.
+	MaxQueue int
+	// QueueTimeout sheds a queued request that waited this long
+	// (0: wait as long as the client's context allows).
+	QueueTimeout time.Duration
+	// DefaultTimeout bounds searches whose request did not choose its own
+	// timeout parameter (0: unbounded). Expiry maps to 503 + Retry-After.
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint attached to shed responses
+	// (0: one second).
+	RetryAfter time.Duration
+	// SlowQuery routes queries at or above this latency into the
+	// slow-query log on /debug (0: 500ms).
+	SlowQuery time.Duration
+	// SlowLogSize is how many slow queries /debug retains (0: 64).
+	SlowLogSize int
+}
+
+// ServeHandler returns the BANKS web interface wrapped in the production
+// front door: admission control with load shedding on /search, per-query
+// latency histograms and outcome counters, a slow-query log, and the
+// /debug + /debug/vars observability surface wired to the live engine
+// (match cache, flight group, frontier pool, store residency, pending
+// mutations). Handler remains the bare, zero-overhead mount.
+//
+// Status mapping under pressure: a shed or queue-timed-out request gets
+// 503 with a Retry-After hint; a search that exceeds the server's
+// DefaultTimeout also gets 503 + Retry-After; a search that exceeds a
+// client-chosen timeout parameter gets 408.
+func (s *System) ServeHandler(opts *ServeOptions) http.Handler {
+	if opts == nil {
+		opts = &ServeOptions{}
+	}
+	copts := opts.Search.toCore()
+	copts.Strategy = s.opts.Strategy
+	srv := web.NewServer(s.db.inner, func() *core.Searcher { return s.engine().searcher }, copts)
+	srv.SetEngineErr(func() error { return s.engine().storeErr() })
+	srv.SetDefaultTimeout(opts.DefaultTimeout)
+
+	var gate *serve.Gate
+	if opts.MaxInFlight > 0 {
+		gate = serve.NewGate(serve.GateConfig{
+			Workers:      opts.MaxInFlight,
+			Queue:        opts.MaxQueue,
+			QueueTimeout: opts.QueueTimeout,
+			RetryAfter:   opts.RetryAfter,
+		})
+		srv.SetGate(gate)
+	}
+
+	m := serve.NewMetrics(opts.SlowQuery, opts.SlowLogSize)
+	m.BindGate(gate)
+	s.bindEngineGauges(m)
+	srv.SetMetrics(m)
+	return srv
+}
+
+// bindEngineGauges registers the engine's live state — the gauges the
+// serving tier watches for capacity decisions — on the metrics registry.
+// Every gauge samples the current engine snapshot at read time, so the
+// numbers stay truthful across Refresh/Apply swaps.
+func (s *System) bindEngineGauges(m *serve.Metrics) {
+	reg := m.Registry()
+	reg.Gauge("cache_hits", func() int64 { return s.CacheStats().Hits })
+	reg.Gauge("cache_misses", func() int64 { return s.CacheStats().Misses })
+	reg.Gauge("cache_entries", func() int64 { return int64(s.CacheStats().Entries) })
+	reg.Gauge("cache_bytes", func() int64 { return s.CacheStats().Bytes })
+	reg.Gauge("cache_single_flight", func() int64 { return s.CacheStats().SingleFlight })
+	reg.Gauge("frontier_reuses", func() int64 { return s.CacheStats().FrontierReuses })
+	reg.Gauge("graph_nodes", func() int64 { return int64(s.GraphStats().Nodes) })
+	reg.Gauge("graph_arcs", func() int64 { return int64(s.GraphStats().Arcs) })
+	reg.Gauge("pending_mutations", func() int64 { return int64(s.PendingMutations()) })
+	if _, ok := s.StoreStats(); ok {
+		reg.Gauge("store_structural_bytes", func() int64 { st, _ := s.StoreStats(); return st.StructuralBytes })
+		reg.Gauge("store_block_bytes", func() int64 { st, _ := s.StoreStats(); return st.BlockBytes })
+		reg.Gauge("store_block_entries", func() int64 { st, _ := s.StoreStats(); return int64(st.BlockEntries) })
+		reg.Gauge("store_budget_bytes", func() int64 { st, _ := s.StoreStats(); return st.BudgetBytes })
+		reg.Gauge("store_faulted_bytes", func() int64 { st, _ := s.StoreStats(); return st.FaultedBytes })
+	}
+}
+
+// StoreStats returns the disk store's residency counters; ok is false for
+// purely in-memory systems.
+func (s *System) StoreStats() (st store.Stats, ok bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}

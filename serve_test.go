@@ -1,0 +1,341 @@
+package banks
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/banksdb/banks/internal/datagen"
+)
+
+// serveVars decodes the /debug/vars snapshot of a ServeHandler.
+func serveVars(t *testing.T, handler http.Handler) (counters, gauges map[string]int64) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	return snap.Counters, snap.Gauges
+}
+
+// waitGateDrained polls /debug/vars until the gate reports no in-flight
+// and no queued work. Responses can leave before the query goroutine
+// frees its slot (a timed-out search is abandoned at the response layer
+// and unwinds in the background), so tests must wait for the drain
+// before auditing the counters.
+func waitGateDrained(t *testing.T, handler http.Handler) (counters, gauges map[string]int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		counters, gauges = serveVars(t, handler)
+		if gauges["gate_inflight"] == 0 && gauges["gate_queued"] == 0 {
+			return counters, gauges
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate not drained: inflight=%d queued=%d",
+				gauges["gate_inflight"], gauges["gate_queued"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The heavy TPC-D system — whose three-metadata-term query expands for
+// seconds uncancelled, the workload that saturates a small admission
+// gate — is built once and shared read-only across the serve tests
+// (under -race the build dominates the test time).
+var (
+	heavyTPCDOnce sync.Once
+	heavyTPCDSys  *System
+	heavyTPCDErr  error
+)
+
+func newHeavyTPCDSystem(t *testing.T) *System {
+	t.Helper()
+	heavyTPCDOnce.Do(func() {
+		inner, err := datagen.BuildTPCD(datagen.TPCDConfig{
+			Parts: 2000, Suppliers: 500, Customers: 1000, Orders: 8000, LinesPer: 3, Seed: 7,
+		})
+		if err != nil {
+			heavyTPCDErr = err
+			return
+		}
+		heavyTPCDSys, heavyTPCDErr = NewSystem(wrapDatabase(inner), nil)
+	})
+	if heavyTPCDErr != nil {
+		t.Fatal(heavyTPCDErr)
+	}
+	return heavyTPCDSys
+}
+
+// TestServeHandlerSaturation saturates the front door: with 2 worker
+// slots and a queue of 2, a burst of 16 slow searches must shed the
+// overflow immediately with 503 + Retry-After, never run more than the
+// slot count concurrently, drain completely, and leak no goroutines.
+// The /debug/vars surface must agree with the client-observed outcomes.
+func TestServeHandlerSaturation(t *testing.T) {
+	sys := newHeavyTPCDSystem(t) // shared; not closed here
+	handler := sys.ServeHandler(&ServeOptions{
+		Search:       &SearchOptions{TopK: 1 << 20, HeapSize: 1 << 10},
+		MaxInFlight:  2,
+		MaxQueue:     2,
+		QueueTimeout: 5 * time.Second, // queued requests wait; only overflow sheds
+	})
+	before := runtime.NumGoroutine()
+
+	const burst = 16
+	// Each request carries its own 300ms timeout so admitted searches end
+	// quickly (as 408s) and free their slots for the queued ones.
+	path := "/search?q=" + url.QueryEscape("part orders lineitem") + "&timeout=300ms"
+	var ok, clientTimeout, shed, other atomic.Int64
+	var retryAfterSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			switch rec.Code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusRequestTimeout:
+				clientTimeout.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+				if rec.Header().Get("Retry-After") != "" {
+					retryAfterSeen.Add(1)
+				}
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ok.Load() + clientTimeout.Load() + shed.Load() + other.Load(); got != burst {
+		t.Fatalf("outcomes = %d, want %d", got, burst)
+	}
+	if other.Load() != 0 {
+		t.Errorf("%d requests got unexpected statuses", other.Load())
+	}
+	// 2 run + 2 queue = at most 4 admitted; the other 12 must shed.
+	if shed.Load() < burst-4 {
+		t.Errorf("shed = %d, want >= %d", shed.Load(), burst-4)
+	}
+	if retryAfterSeen.Load() != shed.Load() {
+		t.Errorf("Retry-After on %d of %d sheds", retryAfterSeen.Load(), shed.Load())
+	}
+
+	counters, gauges := waitGateDrained(t, handler)
+	if gauges["gate_shed_total"] != shed.Load() {
+		t.Errorf("gate_shed_total = %d, client saw %d", gauges["gate_shed_total"], shed.Load())
+	}
+	admitted := gauges["gate_admitted_total"]
+	if got := admitted + gauges["gate_shed_total"] + gauges["gate_queue_timeout_total"] + gauges["gate_canceled_total"]; got != burst {
+		t.Errorf("gate outcome counters sum to %d, want %d", got, burst)
+	}
+	// Every admitted request ran one observed query.
+	if counters["queries_total"] != admitted {
+		t.Errorf("queries_total = %d, admitted = %d", counters["queries_total"], admitted)
+	}
+	if counters["queries_timeout"] != clientTimeout.Load() {
+		t.Errorf("queries_timeout = %d, clients saw %d x 408", counters["queries_timeout"], clientTimeout.Load())
+	}
+
+	// No goroutine leak once the burst drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines = %d, was %d before the burst", g, before)
+	}
+}
+
+// TestServeBudgetExhaustionTPCD pins the budget-kill contract on a heavy
+// TPC-D query through the public API: a pops budget below the query's
+// full cost truncates it with BudgetExhausted/"pops", the truncation
+// point and the partial answers are deterministic across repeated runs,
+// and both execution strategies honour the budget.
+func TestServeBudgetExhaustionTPCD(t *testing.T) {
+	sys := newHeavyTPCDSystem(t) // shared; not closed here
+	ctx := context.Background()
+
+	heavy := func(strategy string, budget int) Query {
+		return Query{
+			Text:     "part orders lineitem",
+			Strategy: strategy,
+			Options: &SearchOptions{
+				TopK: 1 << 20, HeapSize: 1 << 10,
+				Budget: Budget{MaxPops: budget},
+			},
+		}
+	}
+
+	for _, strategy := range []string{StrategyBackward, StrategyBatched} {
+		const budget = 5000
+		sig := func(r *Results) []string {
+			var s []string
+			for _, a := range r.Answers {
+				s = append(s, fmt.Sprintf("%s/%d:%.6f", a.Root.Table, a.Root.RID, a.Score))
+			}
+			return s
+		}
+		first, err := sys.Query(ctx, heavy(strategy, budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first.Stats.BudgetExhausted || first.Stats.BudgetReason != "pops" {
+			t.Fatalf("%s: exhausted=%v reason=%q, want pops",
+				strategy, first.Stats.BudgetExhausted, first.Stats.BudgetReason)
+		}
+		if first.Stats.Pops > budget {
+			t.Errorf("%s: pops = %d, exceeds budget %d", strategy, first.Stats.Pops, budget)
+		}
+		// Partial answers come out ranked.
+		for i, a := range first.Answers {
+			if a.Rank != i+1 {
+				t.Errorf("%s: rank %d at position %d", strategy, a.Rank, i)
+			}
+		}
+		// The truncation point is deterministic: an identical re-run (warm
+		// caches and all) stops at the same pops/arcs with the same answers.
+		second, err := sys.Query(ctx, heavy(strategy, budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Stats.Pops != second.Stats.Pops || first.Stats.ArcsScanned != second.Stats.ArcsScanned {
+			t.Errorf("%s: truncation moved: pops %d->%d arcs %d->%d", strategy,
+				first.Stats.Pops, second.Stats.Pops, first.Stats.ArcsScanned, second.Stats.ArcsScanned)
+		}
+		s1, s2 := sig(first), sig(second)
+		if len(s1) != len(s2) {
+			t.Fatalf("%s: answer count changed: %d vs %d", strategy, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Errorf("%s: answer %d diverged: %s vs %s", strategy, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+// TestServeMetricsConsistencyUnderChurn runs the full front door while
+// the engine churns underneath it — concurrent searches through the
+// handler, live Apply batches, and Refresh swaps — then checks the books
+// balance: gate counters account for every request, the admitted count
+// equals the observed query count, and the gate is fully drained.
+func TestServeMetricsConsistencyUnderChurn(t *testing.T) {
+	db := NewDatabase()
+	if err := db.ExecScript(`
+		CREATE TABLE author (id TEXT PRIMARY KEY, name TEXT);
+		CREATE TABLE paper (id TEXT PRIMARY KEY, title TEXT);
+		CREATE TABLE writes (aid TEXT REFERENCES author, pid TEXT REFERENCES paper);
+		INSERT INTO author VALUES ('a1', 'Soumen Chakrabarti'),
+			('a2', 'Sunita Sarawagi'), ('a3', 'Byron Dom');
+		INSERT INTO paper VALUES ('p1', 'Mining Surprising Patterns');
+		INSERT INTO writes VALUES ('a1', 'p1'), ('a2', 'p1'), ('a3', 'p1');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(db, &SystemOptions{WALPath: t.TempDir() + "/churn.wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	handler := sys.ServeHandler(&ServeOptions{
+		Search:      &SearchOptions{ExcludedRootTables: []string{"writes"}},
+		MaxInFlight: 4,
+		MaxQueue:    8,
+	})
+
+	var done atomic.Bool
+	var requests atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+
+	// Query workers hammering /search through the gate.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			path := "/search?q=" + url.QueryEscape("sunita soumen")
+			for !done.Load() {
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				requests.Add(1)
+				if rec.Code != http.StatusOK && rec.Code != http.StatusServiceUnavailable {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	// Live mutations.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !done.Load(); i++ {
+			aid := fmt.Sprintf("c%d", i)
+			_, err := sys.Apply(context.Background(), []Mutation{
+				Insert("author", map[string]interface{}{"id": aid, "name": fmt.Sprintf("Churn Author %d", i)}),
+				Insert("writes", map[string]interface{}{"aid": aid, "pid": "p1"}),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Full refreshes swapping the engine under the handler.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			if err := sys.Refresh(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	done.Store(true)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Errorf("%d requests failed with unexpected statuses", failed.Load())
+	}
+	counters, gauges := waitGateDrained(t, handler)
+	admitted := gauges["gate_admitted_total"]
+	total := admitted + gauges["gate_shed_total"] + gauges["gate_queue_timeout_total"] + gauges["gate_canceled_total"]
+	if total != requests.Load() {
+		t.Errorf("gate accounted for %d requests, clients sent %d", total, requests.Load())
+	}
+	if counters["queries_total"] != admitted {
+		t.Errorf("queries_total = %d, admitted = %d", counters["queries_total"], admitted)
+	}
+	if counters["queries_total"] != counters["queries_ok"]+counters["queries_error"]+counters["queries_timeout"] {
+		t.Errorf("query outcome counters don't sum: %v", counters)
+	}
+	// The engine gauges must be live against the churned engine.
+	if gauges["graph_nodes"] == 0 || gauges["graph_arcs"] == 0 {
+		t.Errorf("engine gauges dead: nodes=%d arcs=%d", gauges["graph_nodes"], gauges["graph_arcs"])
+	}
+}

@@ -108,6 +108,7 @@ func OpenSystem(path string, db *Database, opts *SystemOptions) (*System, error)
 func (s *System) installStoreEngine(st *store.Store) {
 	eng := newEngine(st.Graph(), st.Index(), s.opts)
 	eng.st = st
+	eng.searcher.WithFaultMeter(st.FaultedBytes)
 	s.store = st
 	s.eng.Store(eng)
 	if keys, err := st.WarmKeys(); err == nil && len(keys) > 0 {
