@@ -318,6 +318,12 @@ type engine struct {
 	searcher *core.Searcher
 	st       *store.Store // non-nil when the engine serves from a disk store
 	walSeq   uint64       // last WAL sequence folded into this snapshot's views
+	// epoch is the cache invalidation epoch this snapshot reads and
+	// writes at. Fresh engines start at 0; a publish that carries the
+	// previous snapshot's cache bumps it once per batch that changed any
+	// term's match set, so readers pinned to older snapshots never see
+	// newer entries and stale refills are rejected.
+	epoch uint64
 }
 
 // concrete returns the engine's graph and index as their concrete types
@@ -361,6 +367,43 @@ func newEngine(g graph.View, ix index.View, opts SystemOptions) *engine {
 	}
 }
 
+// newEngineFrom assembles the next snapshot over prev's warm state: the
+// match cache and single-flight group carry over with only the batch's
+// touched terms invalidated (epoch-guarded — see MatchCache.Invalidate),
+// and for a non-structural batch (pure text updates: no nodes or edges
+// moved) the batched strategy's memoized frontier pool carries too.
+// Structural batches keep the pool object but bump its generation,
+// dropping the now-stale iterators. The graph and index views must share
+// prev's node numbering (delta overlays append, never renumber); a
+// rebuild or a renumbering compaction must use newEngine instead.
+func newEngineFrom(prev *engine, g graph.View, ix index.View, opts SystemOptions, touched []string, structural bool) *engine {
+	if prev == nil {
+		return newEngine(g, ix, opts)
+	}
+	epoch := prev.epoch
+	if len(touched) > 0 {
+		epoch++
+	}
+	prev.cache.Invalidate(epoch, touched)
+	poolIters := opts.FrontierPoolIters
+	if poolIters == 0 {
+		poolIters = core.DefaultFrontierPoolIters
+	}
+	return &engine{
+		g:      g,
+		ix:     ix,
+		cache:  prev.cache,
+		flight: prev.flight,
+		epoch:  epoch,
+		searcher: core.NewSearcher(g, ix).
+			WithMatchCache(prev.cache).
+			WithFlightGroup(prev.flight).
+			WithFrontierPool(poolIters).
+			WithSnapshotEpoch(epoch).
+			AdoptFrontierPool(prev.searcher, structural),
+	}
+}
+
 // System couples a database snapshot with its BANKS graph and keyword
 // index and answers keyword queries. Apply folds small row-level changes
 // in live (SystemOptions.WALPath); rebuild with Refresh after bulk data
@@ -384,6 +427,23 @@ type System struct {
 	gd         *graph.Delta // live graph delta over the last compacted base
 	id         *index.Delta // live index delta, in step with gd
 	appliedSeq uint64       // last WAL sequence folded into the serving engine
+	rebuildGen uint64       // bumped on every base swap (Refresh/Compact); guards Compact's aside build
+	tail       *tailLog     // first-touch log of batches applied while Compact builds aside; nil otherwise
+
+	// compactMu serializes Compact's build-aside phase against other
+	// Compacts, so at most one tail log is ever live. It is always taken
+	// before mu and released after; mu itself is dropped during the fold.
+	compactMu sync.Mutex
+	// compactHook, when non-nil, runs after Compact's lock-free aside
+	// build and before the fold+swap. Test-only: it lets tests apply
+	// batches deterministically inside the tail window.
+	compactHook func()
+
+	// warmPublishes counts snapshot publishes that carried the previous
+	// snapshot's cache and flight group; frontierCarries the subset that
+	// also kept the memoized frontier pool (non-structural batches).
+	warmPublishes   atomic.Int64
+	frontierCarries atomic.Int64
 }
 
 // engine returns the current snapshot. Callers pin it once per operation
@@ -404,7 +464,7 @@ func NewSystem(db *Database, opts *SystemOptions) (*System, error) {
 	if err := core.ValidateStrategy(s.opts.Strategy); err != nil {
 		return nil, fmt.Errorf("banks: %w", err)
 	}
-	if err := s.openWAL(0, false); err != nil {
+	if _, err := s.openWAL(0, false); err != nil {
 		return nil, err
 	}
 	if err := s.Refresh(); err != nil {
@@ -452,9 +512,10 @@ func (s *System) rebuildLocked() error {
 	}
 	if s.opts.StorePath != "" {
 		// Carry the current workload's hot terms into the persisted store
-		// so the next open warms the same set.
+		// so the next open warms the same set. The cache is nil when
+		// caching is disabled (MatchCacheBytes < 0) — no keys to carry.
 		var warm []string
-		if old := s.eng.Load(); old != nil {
+		if old := s.eng.Load(); old != nil && old.cache != nil {
 			warm = old.cache.HotKeys(warmKeyLimit)
 		}
 		se := store.Engine{Graph: g, Index: ix, WarmKeys: warm, WALSeq: s.appliedSeq}
@@ -479,6 +540,10 @@ func (s *System) rebuildLocked() error {
 	eng.walSeq = s.appliedSeq
 	s.eng.Store(eng)
 	s.mutErr = nil
+	// The base the serving engine reads from changed: any Compact building
+	// aside must discard its work, and its tail log is now meaningless.
+	s.rebuildGen++
+	s.tail = nil
 	return nil
 }
 
@@ -565,6 +630,22 @@ type CacheStats struct {
 	// frontier pool: expansions replayed from a memoized trail instead of
 	// re-running Dijkstra (batched strategy).
 	FrontierReuses int64
+	// Epoch is the invalidation epoch of the serving snapshot's cache.
+	// Live mutations bump it once per Apply batch that changed any term's
+	// match set; a carried cache keeps its counters across the bump.
+	Epoch uint64
+	// Invalidated counts cache entries dropped by targeted invalidation
+	// when a publish carried the cache forward (only the batch's touched
+	// terms and their covering prefixes are swept).
+	Invalidated int64
+	// WarmPublishes counts snapshot publishes (Apply, and Compact when
+	// the numbering is unchanged) that carried the previous snapshot's
+	// cache and flight group forward instead of starting cold.
+	WarmPublishes int64
+	// FrontierCarries counts warm publishes that additionally retained
+	// the batched strategy's memoized frontier pool — batches that moved
+	// no nodes or edges (pure text updates).
+	FrontierCarries int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -582,12 +663,16 @@ func (s *System) CacheStats() CacheStats {
 	eng := s.engine()
 	st := eng.cache.Stats()
 	return CacheStats{
-		Hits:           st.Hits,
-		Misses:         st.Misses,
-		Entries:        st.Entries,
-		Bytes:          st.Bytes,
-		MaxBytes:       st.MaxBytes,
-		SingleFlight:   eng.flight.Coalesced(),
-		FrontierReuses: eng.searcher.FrontierReuses(),
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Entries:         st.Entries,
+		Bytes:           st.Bytes,
+		MaxBytes:        st.MaxBytes,
+		SingleFlight:    eng.flight.Coalesced(),
+		FrontierReuses:  eng.searcher.FrontierReuses(),
+		Epoch:           st.Epoch,
+		Invalidated:     st.Invalidated,
+		WarmPublishes:   s.warmPublishes.Load(),
+		FrontierCarries: s.frontierCarries.Load(),
 	}
 }

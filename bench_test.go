@@ -594,7 +594,7 @@ func BenchmarkCachedLookup(b *testing.B) {
 		c := index.NewMatchCache(4 << 20)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = c.Lookup(f.ix, terms[i%len(terms)])
+			_ = c.Lookup(f.ix, 0, terms[i%len(terms)])
 		}
 		b.ReportMetric(c.Stats().HitRate(), "hit-rate")
 	})
@@ -610,7 +610,7 @@ func BenchmarkCachedLookup(b *testing.B) {
 		c := index.NewMatchCache(4 << 20)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if ns := c.LookupPrefix(f.ix, terms[i%len(terms)][:4]); len(ns) == 0 {
+			if ns := c.LookupPrefix(f.ix, 0, terms[i%len(terms)][:4]); len(ns) == 0 {
 				b.Fatal("no prefix matches")
 			}
 		}

@@ -42,16 +42,23 @@ type loadTestConfig struct {
 	// resident posting-block budget instead of a fully resident engine.
 	StoreBudget int64
 	// Churn enables background Apply batches and periodic Refresh while
-	// the load runs; ApplyEvery is the Apply cadence (0: 20ms). Every
-	// Apply republishes the engine snapshot — fresh match cache, flight
-	// group and searcher — so the cadence directly sets how often serving
-	// state goes cold.
+	// the load runs; ApplyEvery is the Apply cadence (0: 20ms). Each
+	// Apply republishes the engine snapshot with the warm read-side state
+	// carried over (epoch-guarded match cache and flight group, touched
+	// terms invalidated), so even an aggressive cadence must not reset
+	// serving state — that is what MinHitRate checks.
 	Churn      bool
 	ApplyEvery time.Duration
-	// CI thresholds: a non-zero MaxP99 or non-negative MaxShedRate that
-	// the run violates exits non-zero.
+	// CI thresholds: a non-zero MaxP99, non-negative MaxShedRate, or
+	// positive MinHitRate that the run violates exits non-zero.
+	// MinHitRate is checked against the steady-state match-cache hit
+	// rate (measured after the first quarter of the run, so cold-start
+	// misses don't count) — the regression signal for warm-state
+	// carryover: without it, churn Applies reset the cache every 20ms
+	// and the rate collapses.
 	MaxP99      time.Duration
 	MaxShedRate float64
+	MinHitRate  float64
 	// JSONPath, when set, writes the summary there (BENCH_serve.json).
 	JSONPath string
 }
@@ -80,7 +87,14 @@ type loadTestSummary struct {
 	MaxMs        float64 `json:"max_ms"`
 	ApplyBatches int64   `json:"apply_batches,omitempty"`
 	Refreshes    int64   `json:"refreshes,omitempty"`
-	PeakRSSBytes int64   `json:"peak_rss_bytes,omitempty"`
+	// Steady-state match-cache behaviour, measured from the end of the
+	// warmup quarter to the end of the run.
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	HitRate         float64 `json:"cache_hit_rate"`
+	WarmPublishes   int64   `json:"warm_publishes,omitempty"`
+	FrontierCarries int64   `json:"frontier_carries,omitempty"`
+	PeakRSSBytes    int64   `json:"peak_rss_bytes,omitempty"`
 }
 
 // runLoadTest drives the production front door (System.ServeHandler) in
@@ -188,6 +202,19 @@ func runLoadTest(ctx context.Context, cfg loadTestConfig) {
 		}
 	}
 
+	// Snapshot the cache counters after the warmup quarter so the
+	// steady-state hit rate excludes the inevitable cold-start misses.
+	var warmBase banks.CacheStats
+	warmBaseDone := make(chan struct{})
+	go func() {
+		defer close(warmBaseDone)
+		select {
+		case <-ctx.Done():
+		case <-time.After(cfg.Duration / 4):
+		}
+		warmBase = sys.CacheStats()
+	}()
+
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -220,41 +247,62 @@ func runLoadTest(ctx context.Context, cfg loadTestConfig) {
 	stopChurn()
 	churnWG.Wait()
 	check(ctx.Err())
+	<-warmBaseDone
+	cs := sys.CacheStats()
+	// Warm publishes carry the cache (and its counters) forward, but a
+	// mid-run Refresh rebuilds the engine around a fresh cache — node IDs
+	// renumber — which resets the counters below the warmup baseline. In
+	// that case fall back to the post-reset window: it still starts from a
+	// HotKeys-warmed cache, so it remains a steady-state measurement.
+	steadyHits, steadyMisses := cs.Hits-warmBase.Hits, cs.Misses-warmBase.Misses
+	if steadyHits < 0 || steadyMisses < 0 {
+		steadyHits, steadyMisses = cs.Hits, cs.Misses
+	}
 
 	sum := loadTestSummary{
-		Scale:        cfg.Scale,
-		Strategy:     cfg.Strategy,
-		Mode:         mode,
-		Workers:      cfg.Workers,
-		RatePerSec:   cfg.Rate,
-		DurationS:    elapsed.Seconds(),
-		MaxInFlight:  cfg.MaxInFlight,
-		MaxQueue:     cfg.MaxQueue,
-		TimeoutMs:    float64(cfg.Timeout) / 1e6,
-		StoreBudget:  cfg.StoreBudget,
-		Churn:        cfg.Churn,
-		Requests:     requests.Load(),
-		OK:           ok.Load(),
-		Shed:         shed.Load(),
-		Errors:       errs.Load(),
-		Throughput:   float64(requests.Load()) / elapsed.Seconds(),
-		P50Ms:        float64(hist.Quantile(0.50)) / 1e6,
-		P99Ms:        float64(hist.Quantile(0.99)) / 1e6,
-		MaxMs:        float64(hist.Max()) / 1e6,
-		ApplyBatches: applies.Load(),
-		Refreshes:    refreshes.Load(),
-		PeakRSSBytes: serve.PeakRSSBytes(),
+		Scale:           cfg.Scale,
+		Strategy:        cfg.Strategy,
+		Mode:            mode,
+		Workers:         cfg.Workers,
+		RatePerSec:      cfg.Rate,
+		DurationS:       elapsed.Seconds(),
+		MaxInFlight:     cfg.MaxInFlight,
+		MaxQueue:        cfg.MaxQueue,
+		TimeoutMs:       float64(cfg.Timeout) / 1e6,
+		StoreBudget:     cfg.StoreBudget,
+		Churn:           cfg.Churn,
+		Requests:        requests.Load(),
+		OK:              ok.Load(),
+		Shed:            shed.Load(),
+		Errors:          errs.Load(),
+		Throughput:      float64(requests.Load()) / elapsed.Seconds(),
+		P50Ms:           float64(hist.Quantile(0.50)) / 1e6,
+		P99Ms:           float64(hist.Quantile(0.99)) / 1e6,
+		MaxMs:           float64(hist.Max()) / 1e6,
+		ApplyBatches:    applies.Load(),
+		Refreshes:       refreshes.Load(),
+		CacheHits:       steadyHits,
+		CacheMisses:     steadyMisses,
+		WarmPublishes:   cs.WarmPublishes,
+		FrontierCarries: cs.FrontierCarries,
+		PeakRSSBytes:    serve.PeakRSSBytes(),
 	}
 	if sum.Requests > 0 {
 		sum.ShedRate = float64(sum.Shed) / float64(sum.Requests)
+	}
+	if lookups := sum.CacheHits + sum.CacheMisses; lookups > 0 {
+		sum.HitRate = float64(sum.CacheHits) / float64(lookups)
 	}
 
 	fmt.Printf("requests          %d in %v (%.0f req/s)\n", sum.Requests, elapsed.Round(time.Millisecond), sum.Throughput)
 	fmt.Printf("outcomes          %d ok, %d shed (%.1f%%), %d errors\n", sum.OK, sum.Shed, 100*sum.ShedRate, sum.Errors)
 	fmt.Printf("latency           p50 %.2fms  p99 %.2fms  max %.2fms\n", sum.P50Ms, sum.P99Ms, sum.MaxMs)
 	if cfg.Churn {
-		fmt.Printf("churn             %d Apply batches, %d Refresh\n", sum.ApplyBatches, sum.Refreshes)
+		fmt.Printf("churn             %d Apply batches, %d Refresh, %d warm publishes\n",
+			sum.ApplyBatches, sum.Refreshes, sum.WarmPublishes)
 	}
+	fmt.Printf("match cache       steady-state hit rate %.3f (%d hits, %d misses)\n",
+		sum.HitRate, sum.CacheHits, sum.CacheMisses)
 	printPeakRSS()
 
 	if cfg.JSONPath != "" {
@@ -276,6 +324,15 @@ func runLoadTest(ctx context.Context, cfg loadTestConfig) {
 	}
 	if cfg.MaxShedRate >= 0 && sum.ShedRate > cfg.MaxShedRate {
 		check(fmt.Errorf("loadtest: shed rate %.3f exceeds limit %.3f", sum.ShedRate, cfg.MaxShedRate))
+	}
+	if cfg.MinHitRate > 0 {
+		if sum.CacheHits+sum.CacheMisses == 0 {
+			check(fmt.Errorf("loadtest: -minhitrate %.3f set but no cache lookups observed", cfg.MinHitRate))
+		}
+		if sum.HitRate < cfg.MinHitRate {
+			check(fmt.Errorf("loadtest: steady-state cache hit rate %.3f below limit %.3f",
+				sum.HitRate, cfg.MinHitRate))
+		}
 	}
 }
 

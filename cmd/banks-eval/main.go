@@ -76,6 +76,7 @@ func main() {
 	ltApplyEvery := flag.Duration("ltapplyevery", 20*time.Millisecond, "loadtest churn Apply cadence (each Apply republishes the snapshot)")
 	ltMaxP99 := flag.Duration("maxp99", 0, "fail the loadtest if client p99 exceeds this (0 = no check)")
 	ltMaxShed := flag.Float64("maxshed", -1, "fail the loadtest if the shed rate exceeds this fraction (negative = no check)")
+	ltMinHit := flag.Float64("minhitrate", 0, "fail the loadtest if the steady-state match-cache hit rate falls below this fraction (0 = no check)")
 	ltJSON := flag.String("ltjson", "", "write the loadtest summary JSON to this path")
 	flag.Parse()
 	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency && !*buildbench && !*ab
@@ -116,6 +117,7 @@ func main() {
 			ApplyEvery:   *ltApplyEvery,
 			MaxP99:       *ltMaxP99,
 			MaxShedRate:  *ltMaxShed,
+			MinHitRate:   *ltMinHit,
 			JSONPath:     *ltJSON,
 		})
 		return
@@ -541,7 +543,7 @@ func runBuildBench(ctx context.Context, scale string) {
 	cache := index.NewMatchCache(4 << 20)
 	cachedStart := time.Now()
 	for _, w := range stream {
-		_ = cache.Lookup(ix, w)
+		_ = cache.Lookup(ix, 0, w)
 	}
 	cached := time.Since(cachedStart)
 	st := cache.Stats()
@@ -557,7 +559,7 @@ func runBuildBench(ctx context.Context, scale string) {
 	pfxUncached := time.Since(pfxUncachedStart)
 	pfxCachedStart := time.Now()
 	for i := 0; i < pfxDraws; i++ {
-		_ = pfxCache.LookupPrefix(ix, stream[i][:4])
+		_ = pfxCache.LookupPrefix(ix, 0, stream[i][:4])
 	}
 	pfxCached := time.Since(pfxCachedStart)
 	fmt.Printf("prefix lookups  %d draws: uncached %v (%v/op), cached %v (%v/op), hit rate %.3f\n",

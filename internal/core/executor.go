@@ -67,11 +67,11 @@ type termResolver interface {
 type cacheResolver struct{ s *Searcher }
 
 func (r cacheResolver) lookup(term string) index.Match {
-	return r.s.cache.Lookup(r.s.ix, term)
+	return r.s.cache.Lookup(r.s.ix, r.s.epoch, term)
 }
 
 func (r cacheResolver) lookupPrefix(term string) []graph.NodeID {
-	return r.s.cache.LookupPrefix(r.s.ix, term)
+	return r.s.cache.LookupPrefix(r.s.ix, r.s.epoch, term)
 }
 
 // flightResolver is the admission path: cache, then single-flight, then
@@ -79,11 +79,11 @@ func (r cacheResolver) lookupPrefix(term string) []graph.NodeID {
 type flightResolver struct{ s *Searcher }
 
 func (r flightResolver) lookup(term string) index.Match {
-	return r.s.flight.Lookup(r.s.cache, r.s.ix, term)
+	return r.s.flight.Lookup(r.s.cache, r.s.ix, r.s.epoch, term)
 }
 
 func (r flightResolver) lookupPrefix(term string) []graph.NodeID {
-	return r.s.flight.LookupPrefix(r.s.cache, r.s.ix, term)
+	return r.s.flight.LookupPrefix(r.s.cache, r.s.ix, r.s.epoch, term)
 }
 
 // exec carries one query's state from the executor's resolution stage to

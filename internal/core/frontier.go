@@ -33,9 +33,15 @@ import (
 const DefaultFrontierPoolIters = 32
 
 // frontierPool caches warm, memoized per-origin iterators across queries.
+// The pool can outlive the engine snapshot it was created for: carrying
+// it across a non-structural publish (pure text mutations — identical
+// node set, arcs and prestige) keeps the memoized expansions warm, while
+// a structural publish bumps the pool's generation, clearing it and
+// rejecting late checkins from queries still pinned to the old snapshot.
 // A nil pool is valid and disables pooling.
 type frontierPool struct {
 	mu    sync.Mutex
+	gen   uint64 // structural generation; entries are valid within one gen
 	iters map[graph.NodeID]*sspIterator
 	order []graph.NodeID // LRU order, oldest first
 	max   int
@@ -49,14 +55,44 @@ func newFrontierPool(maxIters int) *frontierPool {
 	return &frontierPool{iters: make(map[graph.NodeID]*sspIterator, maxIters), max: maxIters}
 }
 
+// bumpGen advances the pool's structural generation and empties it; the
+// cumulative reuse counter persists. Returns the new generation. Safe on
+// nil (returns 0).
+func (p *frontierPool) bumpGen() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gen++
+	p.iters = make(map[graph.NodeID]*sspIterator, p.max)
+	p.order = p.order[:0]
+	return p.gen
+}
+
+// generation returns the pool's current structural generation. Safe on
+// nil (0).
+func (p *frontierPool) generation() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen
+}
+
 // checkout removes and returns the pooled iterator for origin, or nil.
-// The caller owns the iterator until checkin.
-func (p *frontierPool) checkout(origin graph.NodeID) *sspIterator {
+// gen is the caller's snapshot generation: a mismatch (the pool moved on
+// structurally) is a miss. The caller owns the iterator until checkin.
+func (p *frontierPool) checkout(origin graph.NodeID, gen uint64) *sspIterator {
 	if p == nil {
 		return nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.gen != gen {
+		return nil
+	}
 	it, ok := p.iters[origin]
 	if !ok {
 		return nil
@@ -68,15 +104,21 @@ func (p *frontierPool) checkout(origin graph.NodeID) *sspIterator {
 }
 
 // checkin parks a memoized iterator for future queries on its origin,
-// evicting the least recently used entry when full. An incoming iterator
-// whose origin is already pooled keeps whichever trail is longer (the
-// deeper expansion serves more replays).
-func (p *frontierPool) checkin(it *sspIterator) {
+// evicting the least recently used entry when full. A checkin whose gen
+// no longer matches the pool's (a structural publish happened while the
+// query ran) is dropped — its memoized trail describes a graph that no
+// longer exists. An incoming iterator whose origin is already pooled
+// keeps whichever trail is longer (the deeper expansion serves more
+// replays).
+func (p *frontierPool) checkin(it *sspIterator, gen uint64) {
 	if p == nil || it == nil {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.gen != gen {
+		return
+	}
 	if prev, ok := p.iters[it.origin]; ok {
 		if len(prev.trail) >= len(it.trail) {
 			return
@@ -144,7 +186,7 @@ func (BatchedStrategy) run(ctx context.Context, ex *exec) ([]*Answer, error) {
 	if len(ex.sets) == 1 {
 		return searchSingleTerm(ctx, ex)
 	}
-	return runExpansion(ctx, ex, &frontierSource{ar: ex.ar, pool: ex.s.frontiers, stats: ex.stats})
+	return runExpansion(ctx, ex, &frontierSource{ar: ex.ar, pool: ex.s.frontiers, gen: ex.s.frontierGen, stats: ex.stats})
 }
 
 // frontierSource serves the expansion loop from the shared frontier pool,
@@ -153,11 +195,12 @@ func (BatchedStrategy) run(ctx context.Context, ex *exec) ([]*Answer, error) {
 type frontierSource struct {
 	ar    *searchArena
 	pool  *frontierPool
+	gen   uint64 // the query's snapshot generation
 	stats *Stats
 }
 
 func (f *frontierSource) acquire(g graph.View, origin graph.NodeID) *sspIterator {
-	if it := f.pool.checkout(origin); it != nil {
+	if it := f.pool.checkout(origin, f.gen); it != nil {
 		f.stats.FrontierReused++
 		it.rewind()
 		return it
@@ -179,7 +222,7 @@ func (f *frontierSource) releaseAll(ar *searchArena) {
 	for i := range ar.origins {
 		if it := ar.origins[i].it; it != nil && it.memo {
 			ar.origins[i].it = nil
-			f.pool.checkin(it)
+			f.pool.checkin(it, f.gen)
 		}
 	}
 }

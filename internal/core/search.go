@@ -146,6 +146,14 @@ type Searcher struct {
 	frontiers *frontierPool      // optional; nil disables frontier pooling
 	fault     func() int64       // optional; cumulative store bytes faulted
 	arenas    sync.Pool          // of *searchArena sized to g.NumNodes()
+	// epoch is the snapshot epoch this Searcher's g/ix pair belongs to,
+	// threaded through every cache and flight-group lookup so warm state
+	// carried over from a previous snapshot is consulted safely.
+	epoch uint64
+	// frontierGen is the frontier pool generation this snapshot is valid
+	// for; checkouts and checkins against a pool that has structurally
+	// moved on are rejected.
+	frontierGen uint64
 }
 
 // NewSearcher returns a Searcher over g and ix (built from the same
@@ -198,6 +206,42 @@ func (s *Searcher) FlightGroup() *index.FlightGroup { return s.flight }
 // expansion work. maxIters <= 0 disables pooling. Returns s for chaining.
 func (s *Searcher) WithFrontierPool(maxIters int) *Searcher {
 	s.frontiers = newFrontierPool(maxIters)
+	return s
+}
+
+// WithSnapshotEpoch stamps the Searcher with the snapshot epoch of its
+// graph/index pair. The epoch keys every match-cache and flight-group
+// lookup, so a cache carried over from a previous snapshot serves this
+// Searcher only entries valid for its epoch (and entries this Searcher
+// resolves are rejected once the cache moves past it). Attach before the
+// Searcher is shared. Returns s for chaining.
+func (s *Searcher) WithSnapshotEpoch(epoch uint64) *Searcher {
+	s.epoch = epoch
+	return s
+}
+
+// SnapshotEpoch returns the stamped snapshot epoch (0 when never
+// stamped — the epoch of a freshly built cache).
+func (s *Searcher) SnapshotEpoch() uint64 { return s.epoch }
+
+// AdoptFrontierPool shares prev's memoized frontier pool with s instead
+// of a fresh one. For a non-structural publish (pure text mutations: the
+// node set, arcs and prestige are unchanged) the pooled iterators remain
+// valid — their expansions are over an identical graph — so s adopts the
+// pool at its current generation and replays stay warm. For a structural
+// publish the pool's generation is bumped, which empties it and makes
+// in-flight old-snapshot queries' late checkins no-ops. No-op when prev
+// has no pool. Returns s for chaining.
+func (s *Searcher) AdoptFrontierPool(prev *Searcher, structural bool) *Searcher {
+	if prev == nil || prev.frontiers == nil {
+		return s
+	}
+	s.frontiers = prev.frontiers
+	if structural {
+		s.frontierGen = s.frontiers.bumpGen()
+	} else {
+		s.frontierGen = prev.frontierGen
+	}
 	return s
 }
 

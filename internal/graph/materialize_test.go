@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// requireIdentical compares two graphs node by node under the SAME
+// numbering — stronger than fingerprint parity, which is id-free.
+// Materialize promises rebuild-identical numbering, so every structural
+// accessor must agree at every node id.
+func requireIdentical(t *testing.T, got, want *Graph, label string) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("%s: size mismatch: %d/%d nodes, %d/%d arcs",
+			label, got.NumNodes(), want.NumNodes(), got.NumArcs(), want.NumArcs())
+	}
+	if got.MinEdgeWeight() != want.MinEdgeWeight() || got.MaxNodeWeight() != want.MaxNodeWeight() {
+		t.Fatalf("%s: normalizer mismatch: minEdge %g/%g, maxNode %g/%g",
+			label, got.MinEdgeWeight(), want.MinEdgeWeight(), got.MaxNodeWeight(), want.MaxNodeWeight())
+	}
+	for n := NodeID(0); int(n) < want.NumNodes(); n++ {
+		if got.TableOf(n) != want.TableOf(n) || got.RIDOf(n) != want.RIDOf(n) {
+			t.Fatalf("%s: node %d is %s/%d, want %s/%d", label, n,
+				got.TableNameOf(n), got.RIDOf(n), want.TableNameOf(n), want.RIDOf(n))
+		}
+		if got.Prestige(n) != want.Prestige(n) {
+			t.Fatalf("%s: node %d prestige %g, want %g", label, n, got.Prestige(n), want.Prestige(n))
+		}
+		if !reflect.DeepEqual(got.Out(n), want.Out(n)) {
+			t.Fatalf("%s: node %d out-edges %v, want %v", label, n, got.Out(n), want.Out(n))
+		}
+		if !reflect.DeepEqual(got.In(n), want.In(n)) {
+			t.Fatalf("%s: node %d in-edges %v, want %v", label, n, got.In(n), want.In(n))
+		}
+	}
+}
+
+// TestMaterializeMatchesRebuild folds overlays with inserts, rewires and
+// deletes into concrete graphs and requires them to be numbered and
+// weighted exactly like a from-scratch rebuild of the mutated database.
+func TestMaterializeMatchesRebuild(t *testing.T) {
+	for _, scale := range []bool{true, false} {
+		t.Run(fmt.Sprintf("scale=%v", scale), func(t *testing.T) {
+			db := newMutDB(t)
+			m := newMutator(t, db, scale)
+
+			check := func(label string) {
+				t.Helper()
+				view := m.d.Snapshot()
+				g1, remap := Materialize(view)
+				rebuilt, err := Build(db, &BuildOptions{ScaleBackEdges: scale})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, g1, rebuilt, label)
+				// The remap must send every live overlay node to the node
+				// with the same identity, and only tombstones to NoNode.
+				for old := NodeID(0); int(old) < view.NumNodes(); old++ {
+					n := remap[old]
+					if view.NodeOf(view.TableNameOf(old), view.RIDOf(old)) == NoNode {
+						if n != NoNode {
+							t.Fatalf("%s: tombstoned node %d remapped to %d", label, old, n)
+						}
+						continue
+					}
+					if n == NoNode {
+						t.Fatalf("%s: live node %d dropped by the remap", label, old)
+					}
+					if g1.TableOf(n) != view.TableOf(old) || g1.RIDOf(n) != view.RIDOf(old) {
+						t.Fatalf("%s: remap %d->%d changed identity", label, old, n)
+					}
+				}
+			}
+
+			// Identity overlay (no changes yet).
+			check("empty delta")
+
+			// Inserts, including a chain through a fresh author.
+			m.apply(
+				m.insert("author", sqldb.Text("a9"), sqldb.Text("Author 9")),
+				m.insert("paper", sqldb.Text("p9"), sqldb.Text("Paper 9")),
+				m.insert("writes", sqldb.Text("a9"), sqldb.Text("p9")),
+			)
+			check("after inserts")
+
+			// FK rewire and a citation flip.
+			writes := db.Table("writes")
+			var wrid sqldb.RID
+			writes.Scan(func(rid sqldb.RID, _ []sqldb.Value) bool { wrid = rid; return false })
+			m.apply(m.update("writes", wrid, map[string]sqldb.Value{"pid": sqldb.Text("p9")}))
+			check("after rewire")
+
+			// Delete a citation, tombstoning a base node.
+			cites := db.Table("cites")
+			var crid sqldb.RID
+			cites.Scan(func(rid sqldb.RID, _ []sqldb.Value) bool { crid = rid; return false })
+			m.apply(m.del("cites", crid))
+			check("after delete")
+
+			// Delete a delta node (inserted above) again.
+			var drid sqldb.RID
+			writes.Scan(func(rid sqldb.RID, row []sqldb.Value) bool {
+				if row[0].S == "a9" {
+					drid = rid
+					return false
+				}
+				return true
+			})
+			m.apply(m.del("writes", drid))
+			check("after deleting a delta node")
+		})
+	}
+}

@@ -421,18 +421,38 @@ func (d *Delta) Apply(changes []RowChange) error {
 	d.refsMemo = make(map[nodeKey][]sqldb.Reference)
 	defer func() { d.refsMemo = nil }()
 
-	// Registration pass: create delta nodes for inserts, tombstone deletes,
-	// and collect the core set plus, per target, the set of relations whose
-	// IN contribution changed (the ring seeds). Rows deleted later in the
-	// same batch are already gone from the database, so their inserts and
-	// updates skip new-target resolution — the delete's OldTargets (captured
-	// pre-delete) names those targets instead.
+	// Registration pass: create delta nodes for inserts and tombstone
+	// deletes, for the whole batch, before any target resolution. A batch
+	// may legally order an insert that (in the final database state)
+	// references another of the batch's inserts before that insert — the
+	// per-row net batches Compact's tail fold produces do this routinely —
+	// so every row must be registered before any row's targets resolve.
 	deletedInBatch := make(map[nodeKey]bool)
 	for i := range changes {
 		if changes[i].Op == RowDelete {
 			deletedInBatch[nodeKey{d.cur.base.TableID(changes[i].Table), changes[i].RID}] = true
 		}
 	}
+	nodes := make([]NodeID, len(changes))
+	for i := range changes {
+		ch := &changes[i]
+		t := d.cur.base.TableID(ch.Table)
+		switch ch.Op {
+		case RowInsert:
+			nodes[i] = d.addNode(t, ch.RID)
+		case RowUpdate, RowDelete:
+			nodes[i] = d.node(t, ch.RID)
+			if ch.Op == RowDelete {
+				d.cur.tomb[nodes[i]] = struct{}{}
+			}
+		}
+	}
+
+	// Resolution pass: collect the core set plus, per target, the set of
+	// relations whose IN contribution changed (the ring seeds). Rows
+	// deleted in the same batch are already gone from the database, so
+	// their inserts and updates skip new-target resolution — the delete's
+	// OldTargets (captured pre-delete) names those targets instead.
 	core := make(map[NodeID]struct{})
 	ringSrc := make(map[NodeID]map[int32]struct{})
 	mark := func(v NodeID, fromTable int32) {
@@ -447,16 +467,7 @@ func (d *Delta) Apply(changes []RowChange) error {
 	for i := range changes {
 		ch := &changes[i]
 		t := d.cur.base.TableID(ch.Table)
-		var n NodeID
-		switch ch.Op {
-		case RowInsert:
-			n = d.addNode(t, ch.RID)
-		case RowUpdate, RowDelete:
-			n = d.node(t, ch.RID)
-			if ch.Op == RowDelete {
-				d.cur.tomb[n] = struct{}{}
-			}
-		}
+		n := nodes[i]
 		core[n] = struct{}{}
 		for _, ref := range ch.OldTargets {
 			rt := d.cur.base.TableID(ref.Table)

@@ -2,6 +2,7 @@ package index
 
 import (
 	"container/list"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,18 +17,49 @@ import (
 // workloads repeat the same few terms constantly; the cache turns both
 // into one mutex-protected map hit.
 //
-// A MatchCache is owned by one immutable engine snapshot (graph + index
-// pair). Because the snapshot never changes, cached entries never need
-// invalidation — swapping in a new snapshot swaps in a fresh cache, so
-// invalidation is free and a stale entry can never be observed.
+// A MatchCache serves a sequence of immutable engine snapshots, each
+// stamped with an epoch. Within one epoch the snapshot never changes, so
+// entries need no invalidation; when a mutation batch publishes a new
+// snapshot, the publisher calls Invalidate with the next epoch and the
+// set of touched tokens, and only the entries those tokens could have
+// changed are dropped — everything else carries over warm. Every lookup
+// carries the reader's snapshot epoch: a reader pinned to an old
+// snapshot never consumes an entry written for a newer one (whose node
+// IDs may exceed the old snapshot's arena), and a writer resolving
+// against an old snapshot can never install a stale entry after the
+// epoch has moved on.
 //
 // The cache is safe for concurrent use. A nil *MatchCache is valid and
 // disables caching: every method falls through to the underlying index.
 type MatchCache struct {
-	shards []matchCacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards      []matchCacheShard
+	hits        atomic.Int64
+	misses      atomic.Int64
+	epoch       atomic.Uint64 // current snapshot epoch; put checks writers against it
+	invalidated atomic.Int64  // entries dropped by Invalidate, cumulative
+
+	// hist remembers the touched-token sets of recent invalidations so
+	// put can admit a writer that resolved under an older epoch when its
+	// key was not touched by any intervening publish. Without it, a
+	// sustained Apply cadence shorter than one term resolution would
+	// reject every insert and the cache could never repopulate. Entries
+	// are consecutive by epoch; the ring is bounded by epochHistory.
+	histMu sync.Mutex
+	hist   []epochTouch
 }
+
+// epochTouch is one invalidation: the epoch it installed and the swept
+// tokens (normalized; toks sorted for the covering-prefix test).
+type epochTouch struct {
+	epoch uint64
+	exact map[string]bool
+	toks  []string
+}
+
+// epochHistory bounds the invalidation ring. A writer older than the
+// ring's reach is rejected outright, so the window only needs to cover
+// the epochs a slow term resolution can realistically straddle.
+const epochHistory = 256
 
 // Sharding spreads lock contention across independent LRUs; the key's
 // FNV-1a hash picks the shard. The shard count scales with the budget
@@ -55,9 +87,10 @@ type matchCacheShard struct {
 }
 
 type matchCacheEntry struct {
-	key  string
-	m    Match
-	size int64
+	key   string
+	m     Match
+	size  int64
+	epoch uint64 // epoch the entry was resolved under
 }
 
 // NewMatchCache returns a cache bounded to roughly maxBytes of postings
@@ -96,7 +129,7 @@ func (c *MatchCache) shard(key string) *matchCacheShard {
 	return &c.shards[h%uint32(len(c.shards))]
 }
 
-func (c *MatchCache) get(key string) (Match, bool) {
+func (c *MatchCache) get(key string, epoch uint64) (Match, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -104,25 +137,44 @@ func (c *MatchCache) get(key string) (Match, bool) {
 	if !ok {
 		return Match{}, false
 	}
+	e := el.Value.(*matchCacheEntry)
+	if e.epoch > epoch {
+		// Written for a newer snapshot: its node IDs may not exist in
+		// this reader's snapshot. Treat as a miss; do not evict — newer
+		// readers still want it.
+		return Match{}, false
+	}
 	s.lru.MoveToFront(el)
-	return el.Value.(*matchCacheEntry).m, true
+	return e.m, true
 }
 
-func (c *MatchCache) put(key string, m Match) {
+func (c *MatchCache) put(key string, m Match, epoch uint64) {
 	size := int64(len(key)) + 4*int64(len(m.Nodes)) + 4*int64(len(m.Tables)) + matchEntryOverhead
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if cur := c.epoch.Load(); epoch != cur {
+		// The writer resolved against a snapshot that is no longer
+		// current; its value is stale if any intervening publish touched
+		// this key. The invalidation history proves innocence for
+		// untouched keys — essential under a sustained Apply cadence,
+		// where most resolutions finish an epoch or two late. Checked
+		// under the shard lock so a put racing the current sweep can only
+		// land before it (which then removes the entry).
+		if epoch > cur || !c.untouchedSince(key, epoch) {
+			return
+		}
+	}
 	if size > s.max {
 		return // would evict the whole shard and still not fit
 	}
 	if el, ok := s.items[key]; ok {
 		e := el.Value.(*matchCacheEntry)
 		s.bytes += size - e.size
-		e.m, e.size = m, size
+		e.m, e.size, e.epoch = m, size, epoch
 		s.lru.MoveToFront(el)
 	} else {
-		s.items[key] = s.lru.PushFront(&matchCacheEntry{key: key, m: m, size: size})
+		s.items[key] = s.lru.PushFront(&matchCacheEntry{key: key, m: m, size: size, epoch: epoch})
 		s.bytes += size
 	}
 	for s.bytes > s.max {
@@ -150,13 +202,13 @@ func normalizeTerm(s string) string { return strings.ToLower(strings.TrimSpace(s
 
 // peekExact probes the cache for an already-normalized token, counting a
 // hit. It is the single place the exact-lookup key scheme lives; Lookup
-// and the FlightGroup both go through it. Safe on nil (always a miss,
-// uncounted).
-func (c *MatchCache) peekExact(tok string) (Match, bool) {
+// and the FlightGroup both go through it. epoch is the reader's snapshot
+// epoch. Safe on nil (always a miss, uncounted).
+func (c *MatchCache) peekExact(tok string, epoch uint64) (Match, bool) {
 	if c == nil {
 		return Match{}, false
 	}
-	m, ok := c.get(exactKeyPrefix + tok)
+	m, ok := c.get(exactKeyPrefix+tok, epoch)
 	if ok {
 		c.hits.Add(1)
 	}
@@ -164,11 +216,11 @@ func (c *MatchCache) peekExact(tok string) (Match, bool) {
 }
 
 // peekPrefix is peekExact for the prefix-lookup keys.
-func (c *MatchCache) peekPrefix(tok string) (Match, bool) {
+func (c *MatchCache) peekPrefix(tok string, epoch uint64) (Match, bool) {
 	if c == nil {
 		return Match{}, false
 	}
-	m, ok := c.get(prefixKeyPrefix + tok)
+	m, ok := c.get(prefixKeyPrefix+tok, epoch)
 	if ok {
 		c.hits.Add(1)
 	}
@@ -176,20 +228,21 @@ func (c *MatchCache) peekPrefix(tok string) (Match, bool) {
 }
 
 // Lookup is Index.Lookup through the cache: the match set for one search
-// term, cached under its normalized token. Empty matches are cached too —
+// term, cached under its normalized token. epoch is the snapshot epoch of
+// the ix the caller resolves against. Empty matches are cached too —
 // skewed workloads repeat misses as much as hits. Callers must not mutate
 // the returned slices (they are shared with the index and other callers).
-func (c *MatchCache) Lookup(ix View, term string) Match {
+func (c *MatchCache) Lookup(ix View, epoch uint64, term string) Match {
 	if c == nil {
 		return ix.Lookup(term)
 	}
 	tok := normalizeTerm(term)
-	if m, ok := c.peekExact(tok); ok {
+	if m, ok := c.peekExact(tok, epoch); ok {
 		return m
 	}
 	c.misses.Add(1)
 	m := ix.Lookup(tok)
-	c.put(exactKeyPrefix+tok, m)
+	c.put(exactKeyPrefix+tok, m, epoch)
 	return m
 }
 
@@ -197,18 +250,139 @@ func (c *MatchCache) Lookup(ix View, term string) Match {
 // expensive lookup — the index walks every token for a prefix match — so
 // caching it converts O(vocabulary) scans into O(1) repeats. Callers must
 // not mutate the returned slice.
-func (c *MatchCache) LookupPrefix(ix View, prefix string) []graph.NodeID {
+func (c *MatchCache) LookupPrefix(ix View, epoch uint64, prefix string) []graph.NodeID {
 	if c == nil {
 		return ix.LookupPrefix(prefix)
 	}
 	tok := normalizeTerm(prefix)
-	if m, ok := c.peekPrefix(tok); ok {
+	if m, ok := c.peekPrefix(tok, epoch); ok {
 		return m.Nodes
 	}
 	c.misses.Add(1)
 	ns := ix.LookupPrefix(tok)
-	c.put(prefixKeyPrefix+tok, Match{Nodes: ns})
+	c.put(prefixKeyPrefix+tok, Match{Nodes: ns}, epoch)
 	return ns
+}
+
+// Epoch returns the snapshot epoch the cache currently serves. Safe on a
+// nil cache (0).
+func (c *MatchCache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch.Load()
+}
+
+// Invalidate advances the cache to epoch and drops every entry the
+// touched tokens could have changed: the exact entry of each touched
+// token, and any prefix entry whose prefix covers a touched token (its
+// match set gains or loses that token's postings). Entries for untouched
+// terms survive — a mutation batch appends node IDs and never renumbers,
+// so an untouched term's match set is byte-identical in the new
+// snapshot. The epoch is stored before the sweep: combined with put's
+// under-lock epoch check, an in-flight resolver racing the publish
+// either lands before the sweep (and is removed) or is rejected.
+// Safe on a nil cache (no-op).
+func (c *MatchCache) Invalidate(epoch uint64, touched []string) {
+	if c == nil {
+		return
+	}
+	if len(touched) == 0 {
+		c.epoch.Store(epoch)
+		return
+	}
+	toks := make([]string, 0, len(touched))
+	for _, t := range touched {
+		toks = append(toks, normalizeTerm(t))
+	}
+	sort.Strings(toks)
+	exact := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		exact[t] = true
+	}
+	// Record the touched set before the epoch flips: a put that observes
+	// the new epoch must also observe this history entry when it checks
+	// whether its key survived the intervening publishes.
+	c.histMu.Lock()
+	c.hist = append(c.hist, epochTouch{epoch: epoch, exact: exact, toks: toks})
+	if len(c.hist) > epochHistory {
+		c.hist = append(c.hist[:0], c.hist[len(c.hist)-epochHistory:]...)
+	}
+	c.histMu.Unlock()
+	c.epoch.Store(epoch)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var dead []*list.Element
+		for key, el := range s.items {
+			kind, tok := key[:1], key[1:]
+			stale := false
+			switch kind {
+			case exactKeyPrefix:
+				stale = exact[tok]
+			case prefixKeyPrefix:
+				// Stale iff some touched token starts with this prefix:
+				// the first sorted token >= the prefix is the candidate.
+				j := sort.SearchStrings(toks, tok)
+				stale = j < len(toks) && strings.HasPrefix(toks[j], tok)
+			}
+			if stale {
+				dead = append(dead, el)
+			}
+		}
+		for _, el := range dead {
+			e := s.lru.Remove(el).(*matchCacheEntry)
+			delete(s.items, e.key)
+			s.bytes -= e.size
+		}
+		c.invalidated.Add(int64(len(dead)))
+		s.mu.Unlock()
+	}
+}
+
+// untouchedSince reports whether the invalidation history proves that no
+// publish after epoch since touched key — the admission rule for writers
+// that resolved under an older snapshot. Epochs advance by one per
+// touching publish, so the ring holds consecutive epochs and covers
+// (since, now] iff its oldest entry is at most since+1; a writer older
+// than the ring's reach is rejected. Entries newer than the epoch the
+// caller loaded are checked too — that is conservative (an unrelated
+// concurrent invalidation can only cause a spurious reject, never a
+// wrong admit).
+func (c *MatchCache) untouchedSince(key string, since uint64) bool {
+	kind, tok := key[:1], key[1:]
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
+	if len(c.hist) == 0 || c.hist[0].epoch > since+1 {
+		return false
+	}
+	for i := len(c.hist) - 1; i >= 0; i-- {
+		h := &c.hist[i]
+		if h.epoch <= since {
+			break
+		}
+		switch kind {
+		case exactKeyPrefix:
+			if h.exact[tok] {
+				return false
+			}
+		case prefixKeyPrefix:
+			j := sort.SearchStrings(h.toks, tok)
+			if j < len(h.toks) && strings.HasPrefix(h.toks[j], tok) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Invalidated returns the cumulative number of entries dropped by
+// Invalidate. Safe on a nil cache (0).
+func (c *MatchCache) Invalidated() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.invalidated.Load()
 }
 
 // HotKeys returns up to max resident cache keys in roughly most-recently-
@@ -249,10 +423,12 @@ func (c *MatchCache) HotKeys(max int) []string {
 }
 
 // Warm replays recorded cache keys (from HotKeys) against ix, populating
-// the cache with the match sets a previous process ran hot on. Unknown key
-// kinds are skipped, so warm segments from newer formats degrade
-// gracefully. Safe on a nil cache (no-op).
-func (c *MatchCache) Warm(ix View, keys []string) {
+// the cache with the match sets a previous process ran hot on. epoch is
+// the snapshot epoch ix belongs to; if the cache has moved past it the
+// replayed entries are silently rejected. Unknown key kinds are skipped,
+// so warm segments from newer formats degrade gracefully. Safe on a nil
+// cache (no-op).
+func (c *MatchCache) Warm(ix View, epoch uint64, keys []string) {
 	if c == nil {
 		return
 	}
@@ -262,20 +438,22 @@ func (c *MatchCache) Warm(ix View, keys []string) {
 		}
 		switch k[:1] {
 		case exactKeyPrefix:
-			c.Lookup(ix, k[1:])
+			c.Lookup(ix, epoch, k[1:])
 		case prefixKeyPrefix:
-			c.LookupPrefix(ix, k[1:])
+			c.LookupPrefix(ix, epoch, k[1:])
 		}
 	}
 }
 
 // CacheStats is a point-in-time summary of a MatchCache.
 type CacheStats struct {
-	Hits     int64 // lookups served from the cache
-	Misses   int64 // lookups that fell through to the index
-	Entries  int   // resident match sets
-	Bytes    int64 // charged bytes (keys + postings + overhead)
-	MaxBytes int64 // configured byte budget
+	Hits        int64  // lookups served from the cache
+	Misses      int64  // lookups that fell through to the index
+	Entries     int    // resident match sets
+	Bytes       int64  // charged bytes (keys + postings + overhead)
+	MaxBytes    int64  // configured byte budget
+	Epoch       uint64 // current snapshot epoch
+	Invalidated int64  // entries dropped by Invalidate, cumulative
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -292,7 +470,12 @@ func (c *MatchCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Epoch:       c.epoch.Load(),
+		Invalidated: c.invalidated.Load(),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

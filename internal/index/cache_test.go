@@ -38,7 +38,7 @@ func TestMatchCacheBoundUnderZipf(t *testing.T) {
 	zipf := rand.NewZipf(rand.New(rand.NewSource(7)), 1.2, 1, uint64(len(names)-1))
 	for i := 0; i < 20000; i++ {
 		term := names[zipf.Uint64()]
-		m := c.Lookup(ix, term)
+		m := c.Lookup(ix, 0, term)
 		if len(m.Nodes) != 32 {
 			t.Fatalf("term %s: %d nodes", term, len(m.Nodes))
 		}
@@ -68,7 +68,7 @@ func TestMatchCacheEviction(t *testing.T) {
 	// One entry is ~ 96 + 9 + 256 bytes; budget a handful per shard.
 	c := NewMatchCache(16 << 10)
 	for _, name := range names {
-		c.Lookup(ix, name)
+		c.Lookup(ix, 0, name)
 	}
 	st := c.Stats()
 	if st.Bytes > st.MaxBytes {
@@ -79,7 +79,7 @@ func TestMatchCacheEviction(t *testing.T) {
 	}
 	// The most recently inserted term must still hit.
 	before := c.Stats().Hits
-	c.Lookup(ix, names[len(names)-1])
+	c.Lookup(ix, 0, names[len(names)-1])
 	if c.Stats().Hits != before+1 {
 		t.Error("most recent entry was evicted")
 	}
@@ -95,7 +95,7 @@ func TestMatchCacheOversizeEntryRejected(t *testing.T) {
 	}
 	ix := NewFromPostings(len(huge), map[string][]graph.NodeID{"big": huge}, nil)
 	c := NewMatchCache(1 << 10) // shard budget ~64 bytes < 16 KiB entry
-	m := c.Lookup(ix, "big")
+	m := c.Lookup(ix, 0, "big")
 	if len(m.Nodes) != len(huge) {
 		t.Fatalf("lookup through cache returned %d nodes", len(m.Nodes))
 	}
@@ -109,10 +109,10 @@ func TestMatchCacheOversizeEntryRejected(t *testing.T) {
 func TestMatchCacheNil(t *testing.T) {
 	var c *MatchCache
 	ix, names := zipfTermIndex(8, 4)
-	if m := c.Lookup(ix, names[0]); len(m.Nodes) != 4 {
+	if m := c.Lookup(ix, 0, names[0]); len(m.Nodes) != 4 {
 		t.Errorf("nil cache Lookup = %v", m.Nodes)
 	}
-	if ns := c.LookupPrefix(ix, "term"); len(ns) != 8*4 {
+	if ns := c.LookupPrefix(ix, 0, "term"); len(ns) != 8*4 {
 		t.Errorf("nil cache LookupPrefix = %d nodes", len(ns))
 	}
 	if st := c.Stats(); st != (CacheStats{}) {
@@ -128,8 +128,8 @@ func TestMatchCacheNil(t *testing.T) {
 func TestMatchCachePrefixDistinctFromExact(t *testing.T) {
 	ix, _ := zipfTermIndex(16, 2)
 	c := NewMatchCache(1 << 20)
-	exact := c.Lookup(ix, "term0001")
-	pfx := c.LookupPrefix(ix, "term")
+	exact := c.Lookup(ix, 0, "term0001")
+	pfx := c.LookupPrefix(ix, 0, "term")
 	if len(exact.Nodes) != 2 {
 		t.Errorf("exact = %d nodes", len(exact.Nodes))
 	}
@@ -138,8 +138,8 @@ func TestMatchCachePrefixDistinctFromExact(t *testing.T) {
 	}
 	// Repeat both: both must now hit.
 	h := c.Stats().Hits
-	c.Lookup(ix, "term0001")
-	c.LookupPrefix(ix, "term")
+	c.Lookup(ix, 0, "term0001")
+	c.LookupPrefix(ix, 0, "term")
 	if got := c.Stats().Hits - h; got != 2 {
 		t.Errorf("repeat lookups produced %d hits, want 2", got)
 	}
@@ -150,9 +150,9 @@ func TestMatchCachePrefixDistinctFromExact(t *testing.T) {
 func TestMatchCacheNormalization(t *testing.T) {
 	ix, _ := zipfTermIndex(4, 2)
 	c := NewMatchCache(1 << 20)
-	c.Lookup(ix, "term0002")
+	c.Lookup(ix, 0, "term0002")
 	h := c.Stats().Hits
-	if m := c.Lookup(ix, "  TERM0002 "); len(m.Nodes) != 2 {
+	if m := c.Lookup(ix, 0, "  TERM0002 "); len(m.Nodes) != 2 {
 		t.Errorf("normalized lookup = %v", m.Nodes)
 	}
 	if c.Stats().Hits != h+1 {
@@ -173,12 +173,12 @@ func TestMatchCacheConcurrent(t *testing.T) {
 			zipf := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.3, 1, uint64(len(names)-1))
 			for i := 0; i < 1200; i++ {
 				term := names[zipf.Uint64()]
-				if m := c.Lookup(ix, term); len(m.Nodes) != 16 {
+				if m := c.Lookup(ix, 0, term); len(m.Nodes) != 16 {
 					t.Errorf("term %s: %d nodes", term, len(m.Nodes))
 					return
 				}
 				if i%7 == 0 {
-					c.LookupPrefix(ix, term[:5])
+					c.LookupPrefix(ix, 0, term[:5])
 				}
 			}
 		}(int64(w))

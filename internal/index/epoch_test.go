@@ -1,0 +1,181 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// TestInvalidateSweepsTouchedAndCoveringPrefixes pins the invalidation
+// rule warm carryover depends on: a touched token drops its exact entry
+// and every prefix entry that covers it, while unrelated entries stay
+// resident across the epoch bump.
+func TestInvalidateSweepsTouchedAndCoveringPrefixes(t *testing.T) {
+	ix := NewFromPostings(100, map[string][]graph.NodeID{
+		"glacier":  {1, 2},
+		"glade":    {3},
+		"quasar":   {4},
+		"zeppelin": {5, 6},
+	}, nil)
+	c := NewMatchCache(1 << 20)
+
+	c.Lookup(ix, 0, "glacier")
+	c.Lookup(ix, 0, "quasar")
+	c.Lookup(ix, 0, "zeppelin")
+	c.LookupPrefix(ix, 0, "gla") // covers glacier and glade
+	c.LookupPrefix(ix, 0, "zep") // covers zeppelin only
+	if got := c.Stats().Entries; got != 5 {
+		t.Fatalf("seeded %d entries, want 5", got)
+	}
+
+	c.Invalidate(1, []string{"Glacier"}) // normalization applies to touched too
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch %d, want 1", c.Epoch())
+	}
+	if c.Invalidated() != 2 {
+		t.Fatalf("invalidated %d entries, want 2 (exact glacier + prefix gla)", c.Invalidated())
+	}
+	// Survivors hit at the new epoch without touching the index.
+	if _, ok := c.peekExact("quasar", 1); !ok {
+		t.Fatal("untouched exact entry swept")
+	}
+	if _, ok := c.peekPrefix("zep", 1); !ok {
+		t.Fatal("uncovered prefix entry swept")
+	}
+	// Swept keys miss.
+	if _, ok := c.peekExact("glacier", 1); ok {
+		t.Fatal("touched exact entry survived")
+	}
+	if _, ok := c.peekPrefix("gla", 1); ok {
+		t.Fatal("covering prefix entry survived")
+	}
+}
+
+// TestInvalidateEmptyTouchedKeepsEverything: an FK-only batch publishes
+// with no touched tokens; the epoch must not move and nothing sweeps, so
+// every cached match keeps serving.
+func TestInvalidateEmptyTouchedKeepsEverything(t *testing.T) {
+	ix := NewFromPostings(10, map[string][]graph.NodeID{"quasar": {4}}, nil)
+	c := NewMatchCache(1 << 20)
+	c.Lookup(ix, 0, "quasar")
+
+	c.Invalidate(0, nil)
+	if c.Epoch() != 0 || c.Invalidated() != 0 {
+		t.Fatalf("epoch %d invalidated %d after empty-touched publish, want 0/0",
+			c.Epoch(), c.Invalidated())
+	}
+	if _, ok := c.peekExact("quasar", 0); !ok {
+		t.Fatal("entry lost across an FK-only publish")
+	}
+}
+
+// TestStalePutRejectedAndOldReaderMisses pins the two epoch guards that
+// make invalidation race-free: a resolver that finished against an
+// already-superseded snapshot cannot repopulate the cache, and a reader
+// still pinned to an old snapshot never sees an entry written for a newer
+// one (whose node IDs it could not resolve) — without evicting it.
+func TestStalePutRejectedAndOldReaderMisses(t *testing.T) {
+	c := NewMatchCache(1 << 20)
+
+	c.Invalidate(3, []string{"glacier"})
+	// Stale writer: resolved at epoch 2, current is 3 — put must be a no-op.
+	c.put(exactKeyPrefix+"glacier", Match{Nodes: []graph.NodeID{99}}, 2)
+	if _, ok := c.get(exactKeyPrefix+"glacier", 3); ok {
+		t.Fatal("stale put landed after invalidation")
+	}
+
+	// Current writer at epoch 3; a reader pinned to epoch 2 must miss.
+	c.put(exactKeyPrefix+"glacier", Match{Nodes: []graph.NodeID{1}}, 3)
+	if _, ok := c.get(exactKeyPrefix+"glacier", 2); ok {
+		t.Fatal("old reader served an entry from a newer snapshot")
+	}
+	// ... and the miss must not evict: the epoch-3 reader still hits.
+	if m, ok := c.get(exactKeyPrefix+"glacier", 3); !ok || len(m.Nodes) != 1 {
+		t.Fatal("old reader's miss evicted a current entry")
+	}
+}
+
+// TestLatePutAdmittedWhenKeyUntouched pins the admission rule that keeps
+// the cache fillable under a sustained Apply cadence: a writer that
+// resolved an epoch or two ago may still insert, as long as no
+// intervening publish touched its key. Matched sets of untouched terms
+// are identical across appending publishes, so the late value is exact.
+func TestLatePutAdmittedWhenKeyUntouched(t *testing.T) {
+	c := NewMatchCache(1 << 20)
+
+	// Three touching publishes move the epoch 0 -> 3 while our writer is
+	// still resolving at epoch 0.
+	c.Invalidate(1, []string{"alpha"})
+	c.Invalidate(2, []string{"beta"})
+	c.Invalidate(3, []string{"gamma"})
+
+	// Untouched key resolved at epoch 0: admitted, visible to readers at
+	// every epoch from 0 on.
+	c.put(exactKeyPrefix+"quasar", Match{Nodes: []graph.NodeID{7}}, 0)
+	if _, ok := c.get(exactKeyPrefix+"quasar", 3); !ok {
+		t.Fatal("late put of an untouched key rejected")
+	}
+	if _, ok := c.get(exactKeyPrefix+"quasar", 0); !ok {
+		t.Fatal("old reader missed an entry resolved under its own epoch")
+	}
+
+	// Touched key resolved at epoch 1 (beta swept at epoch 2): rejected.
+	c.put(exactKeyPrefix+"beta", Match{Nodes: []graph.NodeID{8}}, 1)
+	if _, ok := c.get(exactKeyPrefix+"beta", 3); ok {
+		t.Fatal("late put of a touched key admitted")
+	}
+	// Prefix key covering a touched token: rejected too.
+	c.put(prefixKeyPrefix+"gam", Match{Nodes: []graph.NodeID{9}}, 2)
+	if _, ok := c.get(prefixKeyPrefix+"gam", 3); ok {
+		t.Fatal("late put of a covering prefix key admitted")
+	}
+	// Prefix key covering nothing touched: admitted.
+	c.put(prefixKeyPrefix+"qua", Match{Nodes: []graph.NodeID{7}}, 1)
+	if _, ok := c.get(prefixKeyPrefix+"qua", 3); !ok {
+		t.Fatal("late put of an uncovered prefix key rejected")
+	}
+}
+
+// TestIndexMaterializeRemapsAndDrops exercises the index fold directly: a
+// non-monotonic remap with a tombstone must renumber and re-sort every
+// posting list, drop tombstoned postings (and now-empty terms entirely),
+// and deep-copy metadata.
+func TestIndexMaterializeRemapsAndDrops(t *testing.T) {
+	src := NewFromPostings(5, map[string][]graph.NodeID{
+		"glacier": {0, 2, 4}, // 4 is tombstoned
+		"quasar":  {1, 3},
+		"doomed":  {4}, // every posting tombstoned: term disappears
+	}, map[string][]int32{"paper": {1}})
+	// Non-monotonic: 0->3, 1->0, 2->1, 3->2, 4->NoNode.
+	remap := []graph.NodeID{3, 0, 1, 2, graph.NoNode}
+
+	out, err := Materialize(src, remap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumNodes() != 4 {
+		t.Fatalf("numNodes %d, want 4", out.NumNodes())
+	}
+	if got := out.Lookup("glacier").Nodes; !reflect.DeepEqual(got, []graph.NodeID{1, 3}) {
+		t.Fatalf("glacier postings %v, want [1 3]", got)
+	}
+	if got := out.Lookup("quasar").Nodes; !reflect.DeepEqual(got, []graph.NodeID{0, 2}) {
+		t.Fatalf("quasar postings %v, want [0 2]", got)
+	}
+	if got := out.Lookup("doomed").Nodes; len(got) != 0 {
+		t.Fatalf("fully-tombstoned term still has postings %v", got)
+	}
+	if out.NumTerms() != 2 {
+		t.Fatalf("numTerms %d, want 2", out.NumTerms())
+	}
+	meta := out.MetaTables()
+	if !reflect.DeepEqual(meta["paper"], []int32{1}) {
+		t.Fatalf("meta %v, want paper->[1]", meta)
+	}
+	// Deep copy: mutating the output's meta must not reach the source.
+	meta["paper"][0] = 9
+	if src.MetaTables()["paper"][0] != 1 {
+		t.Fatal("materialized meta aliases the source")
+	}
+}

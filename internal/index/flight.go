@@ -16,15 +16,24 @@ import (
 // bursts: a popular term that is not yet cached is resolved once per
 // burst, not once per query.
 //
-// Like the MatchCache, a FlightGroup belongs to one immutable engine
-// snapshot (swap the snapshot, swap the group), so entries never need
-// invalidation. A nil *FlightGroup is valid and disables coalescing:
-// every lookup falls through to the cache/index pair.
+// Like the MatchCache, a FlightGroup carries over across snapshot
+// publishes; in-flight calls are keyed by (epoch, term) so two queries
+// pinned to different snapshots never share a resolution — the same term
+// can legitimately resolve to different match sets across an epoch
+// boundary. A nil *FlightGroup is valid and disables coalescing: every
+// lookup falls through to the cache/index pair.
 type FlightGroup struct {
 	mu        sync.Mutex
-	calls     map[string]*flightCall
+	calls     map[flightKey]*flightCall
 	coalesced atomic.Int64
 	resolved  atomic.Int64
+}
+
+// flightKey identifies one coalescible resolution: the reader's snapshot
+// epoch plus the kind-prefixed normalized term.
+type flightKey struct {
+	epoch uint64
+	key   string
 }
 
 // flightCall is one in-flight resolution; done closes once m is set.
@@ -35,12 +44,12 @@ type flightCall struct {
 
 // NewFlightGroup returns an empty admission group.
 func NewFlightGroup() *FlightGroup {
-	return &FlightGroup{calls: make(map[string]*flightCall)}
+	return &FlightGroup{calls: make(map[flightKey]*flightCall)}
 }
 
 // do runs fn under key unless an identical call is already in flight, in
 // which case it waits for and shares that call's result.
-func (g *FlightGroup) do(key string, fn func() Match) Match {
+func (g *FlightGroup) do(key flightKey, fn func() Match) Match {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
@@ -66,32 +75,32 @@ func (g *FlightGroup) do(key string, fn func() Match) Match {
 // cache hit returns immediately; a miss joins (or leads) the single
 // in-flight resolution for that term, which fills the cache for everyone
 // arriving later. Callers must not mutate the returned slices.
-func (g *FlightGroup) Lookup(c *MatchCache, ix View, term string) Match {
+func (g *FlightGroup) Lookup(c *MatchCache, ix View, epoch uint64, term string) Match {
 	if g == nil {
-		return c.Lookup(ix, term)
+		return c.Lookup(ix, epoch, term)
 	}
 	tok := normalizeTerm(term)
-	if m, ok := c.peekExact(tok); ok {
+	if m, ok := c.peekExact(tok, epoch); ok {
 		return m
 	}
-	return g.do(exactKeyPrefix+tok, func() Match {
-		return c.Lookup(ix, tok)
+	return g.do(flightKey{epoch, exactKeyPrefix + tok}, func() Match {
+		return c.Lookup(ix, epoch, tok)
 	})
 }
 
 // LookupPrefix is Lookup for prefix resolution — the lookup most worth
 // admitting once per burst, since an uncached prefix expansion walks the
 // whole vocabulary. Callers must not mutate the returned slice.
-func (g *FlightGroup) LookupPrefix(c *MatchCache, ix View, prefix string) []graph.NodeID {
+func (g *FlightGroup) LookupPrefix(c *MatchCache, ix View, epoch uint64, prefix string) []graph.NodeID {
 	if g == nil {
-		return c.LookupPrefix(ix, prefix)
+		return c.LookupPrefix(ix, epoch, prefix)
 	}
 	tok := normalizeTerm(prefix)
-	if m, ok := c.peekPrefix(tok); ok {
+	if m, ok := c.peekPrefix(tok, epoch); ok {
 		return m.Nodes
 	}
-	m := g.do(prefixKeyPrefix+tok, func() Match {
-		return Match{Nodes: c.LookupPrefix(ix, tok)}
+	m := g.do(flightKey{epoch, prefixKeyPrefix + tok}, func() Match {
+		return Match{Nodes: c.LookupPrefix(ix, epoch, tok)}
 	})
 	return m.Nodes
 }

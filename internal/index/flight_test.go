@@ -36,7 +36,7 @@ func TestFlightGroupCoalescesConcurrentMisses(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			joined <- struct{}{}
-			results[i] = g.do("=term", func() Match {
+			results[i] = g.do(flightKey{epoch: 0, key: "=term"}, func() Match {
 				mu.Lock()
 				resolves++
 				mu.Unlock()
@@ -81,14 +81,14 @@ func TestFlightGroupLookupFillsCache(t *testing.T) {
 	ix, cache := flightFixture(t)
 	g := NewFlightGroup()
 
-	m1 := g.Lookup(cache, ix, "mohan")
+	m1 := g.Lookup(cache, ix, 0, "mohan")
 	if len(m1.Nodes) == 0 {
 		t.Fatal("no matches through the flight group")
 	}
 	if g.Resolved() != 1 {
 		t.Fatalf("Resolved = %d after first lookup", g.Resolved())
 	}
-	m2 := g.Lookup(cache, ix, "mohan")
+	m2 := g.Lookup(cache, ix, 0, "mohan")
 	if g.Resolved() != 1 {
 		t.Errorf("second lookup resolved again (Resolved = %d), cache not consulted", g.Resolved())
 	}
@@ -97,12 +97,12 @@ func TestFlightGroupLookupFillsCache(t *testing.T) {
 	}
 
 	// Prefix path, same layering.
-	p1 := g.LookupPrefix(cache, ix, "moh")
+	p1 := g.LookupPrefix(cache, ix, 0, "moh")
 	if len(p1) == 0 {
 		t.Fatal("no prefix matches through the flight group")
 	}
 	resolved := g.Resolved()
-	if g.LookupPrefix(cache, ix, "moh"); g.Resolved() != resolved {
+	if g.LookupPrefix(cache, ix, 0, "moh"); g.Resolved() != resolved {
 		t.Error("cached prefix lookup resolved again")
 	}
 }
@@ -111,10 +111,10 @@ func TestFlightGroupLookupFillsCache(t *testing.T) {
 func TestFlightGroupNilSafe(t *testing.T) {
 	ix, cache := flightFixture(t)
 	var g *FlightGroup
-	if m := g.Lookup(cache, ix, "mohan"); len(m.Nodes) == 0 {
+	if m := g.Lookup(cache, ix, 0, "mohan"); len(m.Nodes) == 0 {
 		t.Error("nil group lost the match set")
 	}
-	if ns := g.LookupPrefix(cache, ix, "moh"); len(ns) == 0 {
+	if ns := g.LookupPrefix(cache, ix, 0, "moh"); len(ns) == 0 {
 		t.Error("nil group lost the prefix matches")
 	}
 	if g.Coalesced() != 0 || g.Resolved() != 0 {
@@ -127,7 +127,7 @@ func TestFlightGroupNilSafe(t *testing.T) {
 func TestFlightGroupNoCache(t *testing.T) {
 	ix, _ := flightFixture(t)
 	g := NewFlightGroup()
-	if m := g.Lookup(nil, ix, "mohan"); len(m.Nodes) == 0 {
+	if m := g.Lookup(nil, ix, 0, "mohan"); len(m.Nodes) == 0 {
 		t.Error("cacheless lookup lost the match set")
 	}
 	if g.Resolved() != 1 {

@@ -133,9 +133,9 @@ func TestLazySourceErrorsAreStickyAndSoft(t *testing.T) {
 func TestMatchCacheHotKeysAndWarm(t *testing.T) {
 	_, _, eager := newIndexedDB(t)
 	c := NewMatchCache(1 << 20)
-	c.Lookup(eager, "transaction")
-	c.Lookup(eager, "gray")
-	c.LookupPrefix(eager, "tr")
+	c.Lookup(eager, 0, "transaction")
+	c.Lookup(eager, 0, "gray")
+	c.LookupPrefix(eager, 0, "tr")
 
 	keys := c.HotKeys(16)
 	if len(keys) != 3 {
@@ -156,21 +156,21 @@ func TestMatchCacheHotKeysAndWarm(t *testing.T) {
 
 	// Warming a fresh cache with those keys makes them hits.
 	fresh := NewMatchCache(1 << 20)
-	fresh.Warm(eager, keys)
+	fresh.Warm(eager, 0, keys)
 	st := fresh.Stats()
 	if st.Misses != 3 || st.Entries != 3 {
 		t.Fatalf("after Warm: %+v, want 3 misses / 3 entries", st)
 	}
-	fresh.Lookup(eager, "transaction")
-	fresh.LookupPrefix(eager, "tr")
+	fresh.Lookup(eager, 0, "transaction")
+	fresh.LookupPrefix(eager, 0, "tr")
 	if st := fresh.Stats(); st.Hits != 2 {
 		t.Fatalf("warmed lookups missed: %+v", st)
 	}
 
 	// Unknown key kinds and nil caches are ignored.
-	fresh.Warm(eager, []string{"?junk", ""})
+	fresh.Warm(eager, 0, []string{"?junk", ""})
 	var nilCache *MatchCache
-	nilCache.Warm(eager, keys)
+	nilCache.Warm(eager, 0, keys)
 	if nilCache.HotKeys(5) != nil {
 		t.Error("nil cache HotKeys != nil")
 	}

@@ -1,0 +1,48 @@
+package index
+
+import (
+	"sort"
+
+	"github.com/banksdb/banks/internal/graph"
+)
+
+// Materialize folds any index view — typically a base+delta Overlay —
+// into a concrete eager Index over a renumbered graph: remap maps the
+// view's node IDs to the materialized graph's (graph.NoNode for
+// tombstoned nodes, which drop out of every posting list), and numNodes
+// is the new graph's node count. The view is an immutable snapshot, so
+// the fold runs without any lock — it is Compact's index-side
+// counterpart to graph.Materialize.
+//
+// The remap is not monotonic in general (delta nodes renumber into their
+// tables' ranges), so each posting list is re-sorted; the result is
+// byte-identical to an index built from scratch over the materialized
+// graph.
+func Materialize(v View, remap []graph.NodeID, numNodes int) (*Index, error) {
+	ix := &Index{
+		terms: make(map[string][]graph.NodeID, v.NumTerms()),
+		meta:  make(map[string][]int32),
+		nodes: numNodes,
+	}
+	err := v.ForEachTermSorted(func(tok string, ns []graph.NodeID) {
+		out := make([]graph.NodeID, 0, len(ns))
+		for _, n := range ns {
+			if m := remap[n]; m != graph.NoNode {
+				out = append(out, m)
+			}
+		}
+		if len(out) == 0 {
+			return
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		ix.terms[tok] = out
+		ix.posts += len(out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for tok, ts := range v.MetaTables() {
+		ix.meta[tok] = append([]int32(nil), ts...)
+	}
+	return ix, nil
+}

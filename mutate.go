@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -135,28 +136,173 @@ func (s *System) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, erro
 	if err := s.validateResolved(wmuts); err != nil {
 		return nil, err
 	}
-	seq, rids, err := s.applyResolved(wmuts, 0)
+	seq, rids, eff, err := s.applyResolved(wmuts, 0)
 	if err != nil {
 		return nil, err
 	}
 	s.appliedSeq = seq
-	s.publishLocked(seq)
+	s.publishLocked(seq, eff.touched, eff.structural)
 	return &ApplyResult{Seq: seq, RIDs: rids}, nil
 }
 
 // Compact folds the accumulated live mutations back into concrete graph
-// and index structures: it rebuilds from the current database contents
-// (which already include every applied mutation), persists the compacted
-// engine when StorePath is set — recording the applied WAL sequence and
-// truncating the journal — and swaps the concrete snapshot in. Queries
-// before, during and after compaction see identical results; what changes
-// is that the per-query overlay indirection and the journal tail are
-// gone. Compact also clears a sticky Apply failure, resynchronizing the
-// engine with the database.
+// and index structures, persists the compacted engine when StorePath is
+// set — recording the folded WAL sequence and truncating the journal —
+// and swaps the concrete snapshot in. Queries before, during and after
+// compaction see identical results; what changes is that the per-query
+// overlay indirection and the journal tail are gone. Compact also clears
+// a sticky Apply failure, resynchronizing the engine with the database.
+//
+// Compact does not block Apply for the duration of the fold: it
+// snapshots the overlay, materializes and persists the compacted base
+// off to the side, and takes the writer lock only to fold the batches
+// that arrived during the build onto the fresh base and swap — so a
+// concurrent Apply stalls for the final fold+swap, not the rebuild.
+// Concurrent Compacts serialize; a Refresh that lands mid-build wins
+// (its engine already contains everything) and the aside work is
+// discarded.
 func (s *System) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Phase 1 (brief lock): snapshot the overlay at a fixed sequence and
+	// start logging the first-touch state of every row Apply touches from
+	// here on, so the tail can be folded as net per-row changes later.
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.wal == nil || s.gd == nil || s.mutErr != nil {
+		// No live overlay to fold aside (plain systems), or a mid-batch
+		// failure left the database ahead of the deltas — the blocking
+		// rebuild from the database is the only correct path.
+		defer s.mu.Unlock()
+		return s.rebuildLocked()
+	}
+	gView := s.gd.Snapshot()
+	ixView := s.id.Snapshot(gView.NumNodes())
+	s0 := s.appliedSeq
+	gen := s.rebuildGen
+	var warm []string
+	if old := s.eng.Load(); old != nil && old.cache != nil {
+		warm = old.cache.HotKeys(warmKeyLimit)
+	}
+	s.tail = newTailLog()
+	s.mu.Unlock()
+
+	dropTail := func() {
+		s.mu.Lock()
+		if s.tail != nil {
+			s.tail = nil
+		}
+		s.mu.Unlock()
+	}
+
+	// Phase 2 (no lock): fold the immutable overlay snapshot into
+	// concrete structures and persist them beside the live store. Apply
+	// keeps publishing against the old base meanwhile.
+	g1, remap := graph.Materialize(gView)
+	ix1, err := index.Materialize(ixView, remap, g1.NumNodes())
+	if err != nil {
+		dropTail()
+		return err
+	}
+	tmpStore := ""
+	if s.opts.StorePath != "" {
+		tmpStore = s.opts.StorePath + ".compact"
+		se := store.Engine{Graph: g1, Index: ix1, WarmKeys: warm, WALSeq: s0}
+		if err := store.WriteFile(tmpStore, se); err != nil {
+			dropTail()
+			return fmt.Errorf("banks: persisting compacted engine: %w", err)
+		}
+	}
+
+	if s.compactHook != nil {
+		s.compactHook()
+	}
+
+	// Phase 3 (lock): replay the tail onto the fresh base and swap.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.rebuildLocked()
+	tail := s.tail
+	s.tail = nil
+	discard := func() {
+		if tmpStore != "" {
+			os.Remove(tmpStore)
+		}
+	}
+	if s.closed.Load() {
+		discard()
+		return ErrClosed
+	}
+	if s.rebuildGen != gen {
+		// A Refresh (or recovery rebuild) replaced the base mid-build; its
+		// engine and store already contain everything we folded.
+		discard()
+		return nil
+	}
+	if s.mutErr != nil {
+		// A batch failed mid-flight during the build: the database is
+		// ahead of both the old deltas and our tail log.
+		discard()
+		return s.rebuildLocked()
+	}
+	gd1 := graph.NewDelta(g1, s.db.inner, !s.opts.DisableBackEdgeScaling)
+	id1 := index.NewDelta(ix1)
+	if err := s.foldTail(tail, g1, gd1, id1); err != nil {
+		discard()
+		return s.rebuildLocked()
+	}
+	if tmpStore != "" {
+		if err := os.Rename(tmpStore, s.opts.StorePath); err != nil {
+			discard()
+			return fmt.Errorf("banks: installing compacted store: %w", err)
+		}
+	}
+	s.gd, s.id = gd1, id1
+
+	prev := s.eng.Load()
+	var eng *engine
+	tailEmpty := tail == nil || len(tail.rows) == 0
+	carry := tailEmpty && prev != nil &&
+		gView.DeltaNodes() == 0 && gView.Tombstones() == 0
+	switch {
+	case carry:
+		// The compacted base keeps the exact node numbering the serving
+		// snapshot reads (identity remap, no tail), so the warm state
+		// carries over whole. The frontier pool is still reset
+		// (structural=true): its memoized iterators reference the
+		// pre-compaction view.
+		eng = newEngineFrom(prev, g1, ix1, s.opts, nil, true)
+		s.warmPublishes.Add(1)
+	case tailEmpty:
+		eng = newEngine(g1, ix1, s.opts)
+	default:
+		gSnap := gd1.Snapshot()
+		eng = newEngine(gSnap, id1.Snapshot(gSnap.NumNodes()), s.opts)
+	}
+	if !carry && eng.cache != nil && len(warm) > 0 {
+		// Fresh cache (numbering changed): rewarm the old snapshot's hot
+		// terms asynchronously against the new index view.
+		go eng.cache.Warm(eng.ix, eng.epoch, warm)
+	}
+	eng.walSeq = s.appliedSeq
+	s.eng.Store(eng)
+
+	if s.opts.StorePath != "" && tailEmpty {
+		// The persisted store records the folded sequence, so the journal
+		// is redundant. With a non-empty tail the records beyond s0 are
+		// still the only durable copy of those batches — the WAL keeps
+		// them (Truncate drops the whole journal, not a prefix), and
+		// recovery replays only past the store's sequence.
+		if err := s.wal.Truncate(); err != nil {
+			return fmt.Errorf("banks: truncating WAL after compaction: %w", err)
+		}
+	}
+	s.rebuildGen++
+	s.mutErr = nil
+	return nil
 }
 
 // PendingMutations reports how many row mutations have been folded into
@@ -174,19 +320,25 @@ func (s *System) PendingMutations() int {
 // openWAL opens (creating if absent) the configured WAL and replays its
 // tail beyond afterSeq: into the database only (bootstrap before the
 // initial build) or additionally into the live deltas (withDeltas, the
-// store-backed recovery path). No-op without WALPath.
-func (s *System) openWAL(afterSeq uint64, withDeltas bool) error {
+// store-backed recovery path). It returns the accumulated effects of the
+// replayed batches, for the caller's single publish. No-op without
+// WALPath.
+func (s *System) openWAL(afterSeq uint64, withDeltas bool) (batchEffects, error) {
+	var eff batchEffects
 	if s.opts.WALPath == "" {
-		return nil
+		return eff, nil
 	}
 	if s.opts.PrestigeDamping != 0 {
-		return errors.New("banks: live mutations (WALPath) cannot maintain PageRank-style prestige (PrestigeDamping) incrementally; choose one")
+		return eff, errors.New("banks: live mutations (WALPath) cannot maintain PageRank-style prestige (PrestigeDamping) incrementally; choose one")
 	}
 	l, err := wal.Open(s.opts.WALPath, afterSeq, func(b wal.Batch) error {
 		if withDeltas {
-			if _, _, err := s.applyResolved(b.Muts, b.Seq); err != nil {
+			_, _, be, err := s.applyResolved(b.Muts, b.Seq)
+			if err != nil {
 				return err
 			}
+			eff.touched = append(eff.touched, be.touched...)
+			eff.structural = eff.structural || be.structural
 		} else if err := s.replayToDB(b); err != nil {
 			return err
 		}
@@ -194,10 +346,10 @@ func (s *System) openWAL(afterSeq uint64, withDeltas bool) error {
 		return nil
 	})
 	if err != nil {
-		return fmt.Errorf("banks: opening WAL: %w", err)
+		return eff, fmt.Errorf("banks: opening WAL: %w", err)
 	}
 	s.wal = l
-	return nil
+	return eff, nil
 }
 
 // attachLiveMutations wires the WAL onto a store-opened system: the live
@@ -216,17 +368,16 @@ func (s *System) attachLiveMutations(st *store.Store) error {
 	s.gd = graph.NewDelta(st.Graph(), s.db.inner, !s.opts.DisableBackEdgeScaling)
 	s.id = index.NewDelta(st.Index())
 	s.appliedSeq = after
-	if err := s.openWAL(after, true); err != nil {
+	eff, err := s.openWAL(after, true)
+	if err != nil {
 		return err
 	}
 	if s.appliedSeq > after {
-		s.publishLocked(s.appliedSeq)
-	} else {
-		// Nothing replayed: the store engine installed by the caller is
-		// current; it just needs the sequence stamp. The System has not
-		// been returned yet, so the engine is not shared.
-		s.eng.Load().walSeq = after
+		s.publishLocked(s.appliedSeq, eff.touched, eff.structural)
 	}
+	// Nothing replayed: the store engine installed by the caller already
+	// carries the store's sequence stamp (installStoreEngine sets walSeq
+	// before publishing the engine — it is never mutated afterwards).
 	return nil
 }
 
@@ -264,20 +415,32 @@ func (s *System) replayToDB(b wal.Batch) error {
 	return nil
 }
 
-// publishLocked snapshots the live deltas and swaps in a fresh engine
-// over them. Each snapshot gets its own match cache, flight group and
-// searcher — the same isolation Refresh provides, so warm state never
-// leaks stale matches across mutations.
-func (s *System) publishLocked(seq uint64) {
+// publishLocked snapshots the live deltas and swaps in the next engine
+// over them, carrying the previous snapshot's warm state forward:
+// touched lists the terms whose match sets the batch changed (they and
+// their covering prefix entries are invalidated under a new epoch;
+// everything else stays hot), and structural reports whether the batch
+// moved any node or edge (a structural publish bumps the frontier pool
+// generation; a pure text update keeps the memoized frontiers too).
+// Overlay publishes only ever append node ids, so the carried entries
+// always name valid nodes of the new snapshot.
+func (s *System) publishLocked(seq uint64, touched []string, structural bool) {
 	gSnap := s.gd.Snapshot()
 	ixSnap := s.id.Snapshot(gSnap.NumNodes())
-	eng := newEngine(gSnap, ixSnap, s.opts)
+	prev := s.eng.Load()
+	eng := newEngineFrom(prev, gSnap, ixSnap, s.opts, touched, structural)
 	eng.st = s.store
 	if s.store != nil {
 		eng.searcher.WithFaultMeter(s.store.FaultedBytes)
 	}
 	eng.walSeq = seq
 	s.eng.Store(eng)
+	if prev != nil {
+		s.warmPublishes.Add(1)
+		if !structural {
+			s.frontierCarries.Add(1)
+		}
+	}
 }
 
 // resolveMutations converts the public batch into journal form: ops
@@ -537,14 +700,25 @@ func checkFKs(sch *sqldb.TableSchema, vals map[string]sqldb.Value,
 	return nil
 }
 
+// batchEffects reports what one applied batch changed, for the warm
+// publish: the terms whose match sets moved, and whether any node or
+// edge did.
+type batchEffects struct {
+	touched    []string // tokens added to or removed from any node
+	structural bool     // the batch inserted/deleted rows or rewired edges
+}
+
 // applyResolved runs one validated batch through the database, the
 // journal and the live deltas. replaySeq is 0 on the Apply path (the
 // batch is appended to the WAL) and the journaled sequence during replay
 // (insert rids are asserted against the journal instead). Callers hold
-// s.mu (or own the System exclusively, during open).
-func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, []int64, error) {
+// s.mu (or own the System exclusively, during open). While a Compact is
+// building aside (s.tail non-nil), the pre-batch state of every
+// first-touched row is additionally recorded for the tail fold.
+func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, []int64, batchEffects, error) {
 	db := s.db.inner
 	preView := s.gd.Snapshot()
+	var eff batchEffects
 
 	// First-touch capture per row: the token set and node before the
 	// batch, so one diff per row covers chains like update-then-delete.
@@ -568,6 +742,9 @@ func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, 
 		}
 		touchIdx[k] = len(touched)
 		touched = append(touched, rt)
+		if s.tail != nil {
+			s.tail.note(k, table, rid, exists, rt.oldToks)
+		}
 	}
 
 	// fail distinguishes a clean first-mutation failure (nothing written,
@@ -593,11 +770,11 @@ func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, 
 		case wal.OpInsert:
 			rid, err := db.InsertMap(m.Table, colMap(m))
 			if err != nil {
-				return 0, nil, fail(i, err)
+				return 0, nil, eff, fail(i, err)
 			}
 			if replaySeq > 0 {
 				if int64(rid) != m.RID {
-					return 0, nil, fmt.Errorf("banks: WAL replay diverged at seq %d: insert into %s assigned rid %d, journal recorded %d — the database does not match the journal's base state",
+					return 0, nil, eff, fmt.Errorf("banks: WAL replay diverged at seq %d: insert into %s assigned rid %d, journal recorded %d — the database does not match the journal's base state",
 						replaySeq, m.Table, rid, m.RID)
 				}
 			} else {
@@ -615,11 +792,14 @@ func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, 
 			if relevant {
 				var err error
 				if oldT, err = s.gd.Targets(m.Table, rid); err != nil {
-					return 0, nil, fail(i, err)
+					return 0, nil, eff, fail(i, err)
+				}
+				if s.tail != nil {
+					s.tail.noteTargets(simKey{strings.ToLower(m.Table), rid}, oldT)
 				}
 			}
 			if err := db.Update(m.Table, rid, colMap(m)); err != nil {
-				return 0, nil, fail(i, err)
+				return 0, nil, eff, fail(i, err)
 			}
 			// A change to non-key, non-FK columns cannot move edges or
 			// prestige; only the index diff below applies.
@@ -633,16 +813,19 @@ func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, 
 			touch(m.Table, rid, true)
 			oldT, err := s.gd.Targets(m.Table, rid)
 			if err != nil {
-				return 0, nil, fail(i, err)
+				return 0, nil, eff, fail(i, err)
+			}
+			if s.tail != nil {
+				s.tail.noteTargets(simKey{strings.ToLower(m.Table), rid}, oldT)
 			}
 			if err := db.Delete(m.Table, rid); err != nil {
-				return 0, nil, fail(i, err)
+				return 0, nil, eff, fail(i, err)
 			}
 			changes = append(changes, graph.RowChange{Op: graph.RowDelete, Table: m.Table, RID: rid, OldTargets: oldT})
 			rids[i] = m.RID
 
 		default:
-			return 0, nil, fail(i, fmt.Errorf("unknown op %d", m.Op))
+			return 0, nil, eff, fail(i, fmt.Errorf("unknown op %d", m.Op))
 		}
 	}
 
@@ -651,20 +834,22 @@ func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, 
 		var err error
 		if seq, err = s.wal.Append(wmuts); err != nil {
 			s.mutErr = fmt.Errorf("banks: batch reached the database but journaling failed (%v); Refresh or Compact to resynchronize", err)
-			return 0, nil, s.mutErr
+			return 0, nil, eff, s.mutErr
 		}
 	}
 
 	if len(changes) > 0 {
 		if err := s.gd.Apply(changes); err != nil {
 			if replaySeq > 0 {
-				return 0, nil, fmt.Errorf("banks: WAL replay (seq %d): folding into graph delta: %w", replaySeq, err)
+				return 0, nil, eff, fmt.Errorf("banks: WAL replay (seq %d): folding into graph delta: %w", replaySeq, err)
 			}
 			s.mutErr = fmt.Errorf("banks: batch reached the database but the graph delta rejected it (%v); Refresh or Compact to resynchronize", err)
-			return 0, nil, s.mutErr
+			return 0, nil, eff, s.mutErr
 		}
+		eff.structural = true
 	}
 	gSnap := s.gd.Snapshot()
+	tokSet := map[string]bool{}
 	for _, rt := range touched {
 		newToks := s.rowTokens(rt.table, rt.rid)
 		node := rt.oldNode
@@ -677,15 +862,140 @@ func (s *System) applyResolved(wmuts []wal.Mutation, replaySeq uint64) (uint64, 
 		for tok := range rt.oldToks {
 			if !newToks[tok] {
 				s.id.Remove(tok, node)
+				tokSet[tok] = true
 			}
 		}
 		for tok := range newToks {
 			if !rt.oldToks[tok] {
 				s.id.Add(tok, node)
+				tokSet[tok] = true
 			}
 		}
 	}
-	return seq, rids, nil
+	if len(tokSet) > 0 {
+		eff.touched = make([]string, 0, len(tokSet))
+		for tok := range tokSet {
+			eff.touched = append(eff.touched, tok)
+		}
+	}
+	return seq, rids, eff, nil
+}
+
+// tailLog records the batches Apply folds while a Compact builds its
+// base aside: for every row, the state it had when the tail window
+// opened (which is the state the aside base was materialized from, since
+// rows untouched since the snapshot are unchanged). The fold then
+// replays the window as one net per-row change set — a row touched five
+// times folds once.
+type tailLog struct {
+	idx  map[simKey]int
+	rows []tailRow
+}
+
+// tailRow is one row's first-touch capture within the tail window.
+type tailRow struct {
+	table   string
+	rid     sqldb.RID
+	existed bool            // live when the window opened
+	oldToks map[string]bool // token set at window open (nil unless existed)
+	// targets holds the row's FK target set at window open; captured
+	// lazily at the first structural touch (text updates cannot move
+	// targets, so the first capture still sees the window-open state).
+	targets      []graph.RowRef
+	targetsKnown bool
+}
+
+func newTailLog() *tailLog { return &tailLog{idx: map[simKey]int{}} }
+
+// note records the row's pre-mutation state the first time the window
+// sees it; later touches are ignored (their "old" state is mid-window).
+func (t *tailLog) note(k simKey, table string, rid sqldb.RID, existed bool, oldToks map[string]bool) {
+	if _, ok := t.idx[k]; ok {
+		return
+	}
+	t.idx[k] = len(t.rows)
+	t.rows = append(t.rows, tailRow{table: table, rid: rid, existed: existed, oldToks: oldToks})
+}
+
+// noteTargets records the row's pre-mutation FK targets on the first
+// structural touch.
+func (t *tailLog) noteTargets(k simKey, targets []graph.RowRef) {
+	i, ok := t.idx[k]
+	if !ok || t.rows[i].targetsKnown {
+		return
+	}
+	t.rows[i].targets = append([]graph.RowRef(nil), targets...)
+	t.rows[i].targetsKnown = true
+}
+
+// foldTail replays a tail window onto the freshly compacted base as net
+// per-row changes: each row's window-open state (captured first-touch)
+// against its current database state decides one insert, update, delete
+// or nothing. Callers hold s.mu; the database already contains every
+// tail mutation.
+func (s *System) foldTail(tail *tailLog, g1 *graph.Graph, gd1 *graph.Delta, id1 *index.Delta) error {
+	if tail == nil || len(tail.rows) == 0 {
+		return nil
+	}
+	db := s.db.inner
+	live := func(rt *tailRow) bool {
+		tbl := db.Table(rt.table)
+		return tbl != nil && tbl.Live(rt.rid)
+	}
+	var changes []graph.RowChange
+	for i := range tail.rows {
+		rt := &tail.rows[i]
+		switch {
+		case rt.existed && live(rt):
+			// Still present: a graph change only if some touch was
+			// structural (targetsKnown); pure text churn is index-only.
+			if rt.targetsKnown {
+				changes = append(changes, graph.RowChange{Op: graph.RowUpdate, Table: rt.table, RID: rt.rid, OldTargets: rt.targets})
+			}
+		case rt.existed:
+			changes = append(changes, graph.RowChange{Op: graph.RowDelete, Table: rt.table, RID: rt.rid, OldTargets: rt.targets})
+		case live(rt):
+			changes = append(changes, graph.RowChange{Op: graph.RowInsert, Table: rt.table, RID: rt.rid})
+		default:
+			// Inserted and deleted within the window: no net change.
+		}
+	}
+	if len(changes) > 0 {
+		if err := gd1.Apply(changes); err != nil {
+			return fmt.Errorf("banks: folding compaction tail: %w", err)
+		}
+	}
+	snap := gd1.Snapshot()
+	for i := range tail.rows {
+		rt := &tail.rows[i]
+		var node graph.NodeID
+		switch {
+		case rt.existed:
+			node = g1.NodeOf(rt.table, rt.rid) // in the base even if since deleted
+		case live(rt):
+			node = snap.NodeOf(rt.table, rt.rid) // delta node from the insert above
+		default:
+			continue
+		}
+		if node == graph.NoNode {
+			continue
+		}
+		var newToks map[string]bool
+		if live(rt) {
+			newToks = s.rowTokens(rt.table, rt.rid)
+		}
+		for tok := range rt.oldToks {
+			if !newToks[tok] {
+				id1.Remove(tok, node)
+			}
+		}
+		for tok := range newToks {
+			if !rt.oldToks[tok] {
+				id1.Add(tok, node)
+			}
+		}
+	}
+	return nil
 }
 
 // rowTokens returns the token set of the row's text columns — the same

@@ -92,6 +92,10 @@ func (s *System) bindEngineGauges(m *serve.Metrics) {
 	reg.Gauge("cache_bytes", func() int64 { return s.CacheStats().Bytes })
 	reg.Gauge("cache_single_flight", func() int64 { return s.CacheStats().SingleFlight })
 	reg.Gauge("frontier_reuses", func() int64 { return s.CacheStats().FrontierReuses })
+	reg.Gauge("cache_epoch", func() int64 { return int64(s.CacheStats().Epoch) })
+	reg.Gauge("cache_invalidated", func() int64 { return s.CacheStats().Invalidated })
+	reg.Gauge("warm_publishes", func() int64 { return s.CacheStats().WarmPublishes })
+	reg.Gauge("frontier_carries", func() int64 { return s.CacheStats().FrontierCarries })
 	reg.Gauge("graph_nodes", func() int64 { return int64(s.GraphStats().Nodes) })
 	reg.Gauge("graph_arcs", func() int64 { return int64(s.GraphStats().Arcs) })
 	reg.Gauge("pending_mutations", func() int64 { return int64(s.PendingMutations()) })

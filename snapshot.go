@@ -95,7 +95,10 @@ func OpenSystem(path string, db *Database, opts *SystemOptions) (*System, error)
 	if err != nil {
 		return nil, fmt.Errorf("banks: %w", err)
 	}
-	s.installStoreEngine(st)
+	if err := s.installStoreEngine(st); err != nil {
+		st.Close()
+		return nil, err
+	}
 	if err := s.attachLiveMutations(st); err != nil {
 		st.Close()
 		return nil, err
@@ -104,16 +107,24 @@ func OpenSystem(path string, db *Database, opts *SystemOptions) (*System, error)
 }
 
 // installStoreEngine wires an opened store into s and kicks off the
-// asynchronous match-cache warmup.
-func (s *System) installStoreEngine(st *store.Store) {
+// asynchronous match-cache warmup. The engine is fully stamped —
+// including the store's recorded WAL sequence — before it is published,
+// so no field is ever written after another goroutine can load it.
+func (s *System) installStoreEngine(st *store.Store) error {
+	seq, err := st.WALSeq()
+	if err != nil {
+		return fmt.Errorf("banks: reading store WAL sequence: %w", err)
+	}
 	eng := newEngine(st.Graph(), st.Index(), s.opts)
 	eng.st = st
+	eng.walSeq = seq
 	eng.searcher.WithFaultMeter(st.FaultedBytes)
 	s.store = st
 	s.eng.Store(eng)
 	if keys, err := st.WarmKeys(); err == nil && len(keys) > 0 {
-		go eng.cache.Warm(eng.ix, keys)
+		go eng.cache.Warm(eng.ix, eng.epoch, keys)
 	}
+	return nil
 }
 
 // SaveSnapshot writes the engine in the segmented store format to an
@@ -161,7 +172,10 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 		if err != nil {
 			return nil, fmt.Errorf("banks: %w", err)
 		}
-		s.installStoreEngine(st)
+		if err := s.installStoreEngine(st); err != nil {
+			st.Close()
+			return nil, err
+		}
 		if err := s.attachLiveMutations(st); err != nil {
 			st.Close()
 			return nil, err
