@@ -22,6 +22,7 @@ package banks
 
 import (
 	"context"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -33,6 +34,7 @@ import (
 	"github.com/banksdb/banks/internal/index"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/steiner"
+	"github.com/banksdb/banks/internal/store"
 )
 
 type benchFixture struct {
@@ -763,5 +765,48 @@ func BenchmarkConcurrentBurstCold(b *testing.B) {
 			b.ReportMetric(float64(resolutions)/float64(b.N), "resolutions/burst")
 			b.ReportMetric(float64(coalesced)/float64(b.N), "coalesced/burst")
 		})
+	}
+}
+
+// BenchmarkSteadyStateQuery is the allocation-discipline gate of the
+// serving path: a warm Session over a memory-mapped store-opened engine
+// (match cache attached, the production configuration) must answer
+// repeated queries with zero heap allocations per operation — every
+// per-query structure comes from the session's arena, and every byte of
+// graph and index state is served as a view over the mapping. CI asserts
+// allocs/op == 0.
+func BenchmarkSteadyStateQuery(b *testing.B) {
+	f := smallFixture(b)
+	path := filepath.Join(b.TempDir(), "steady.bstore")
+	if err := store.WriteFile(path, store.Engine{Graph: f.g, Index: f.ix}); err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	s := core.NewSearcher(st.Graph(), st.Index()).WithMatchCache(index.NewMatchCache(8 << 20))
+	sess := s.NewSession()
+	defer sess.Close()
+	opts := dblpOpts()
+	req := core.Request{Terms: []string{"soumen", "sunita"}}
+	// Warm: fault the segments, populate the match cache, grow the arena
+	// to its steady-state high-water mark.
+	for i := 0; i < 3; i++ {
+		answers, _, err := sess.Query(context.Background(), req, opts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sess.Query(context.Background(), req, opts, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,6 +66,9 @@ func main() {
 	savePath := flag.String("save", "", "persist the built DBLP engine to this store path and exit")
 	loadPath := flag.String("load", "", "open a saved store: report cold-open vs rebuild time and parity")
 	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget for -load/-loadtest (bytes; 0 = unbounded)")
+	prefault := flag.Bool("prefault", false, "with -load: touch every mapped store page up front (trade open latency for no first-query faults)")
+	mlock := flag.Bool("mlock", false, "with -load: pin the mapped store in RAM (needs RLIMIT_MEMLOCK headroom)")
+	layout := flag.String("layout", "", "graph node-id layout for -save/-load builds: \"\"/rid (insertion order) or degree (hubs first)")
 	loadtest := flag.Bool("loadtest", false, "drive the production front door under load (the BENCH_serve.json data)")
 	ltDuration := flag.Duration("ltduration", 10*time.Second, "loadtest length")
 	ltWorkers := flag.Int("ltworkers", 16, "loadtest closed-loop concurrency")
@@ -90,11 +94,11 @@ func main() {
 	defer stop()
 
 	if *savePath != "" {
-		runSave(*scale, *shards, *savePath)
+		runSave(*scale, *shards, *layout, *savePath)
 		return
 	}
 	if *loadPath != "" {
-		runLoad(ctx, *scale, *shards, *loadPath, *storeBudget)
+		runLoad(ctx, *scale, *shards, *layout, *loadPath, *storeBudget, *prefault, *mlock)
 		return
 	}
 	if *mutate > 0 {
@@ -183,9 +187,10 @@ func buildDataset(scale string) *sqldb.Database {
 }
 
 // buildEngine derives graph + index from db, timed.
-func buildEngine(db *sqldb.Database, shards int) (*graph.Graph, *index.Index, time.Duration) {
+func buildEngine(db *sqldb.Database, shards int, layout string) (*graph.Graph, *index.Index, time.Duration) {
 	bo := graph.DefaultBuildOptions()
 	bo.Shards = shards
+	bo.LayoutOrder = layout
 	start := time.Now()
 	g, err := graph.Build(db, bo)
 	check(err)
@@ -195,10 +200,10 @@ func buildEngine(db *sqldb.Database, shards int) (*graph.Graph, *index.Index, ti
 }
 
 // runSave builds the DBLP engine and persists it as a segmented store.
-func runSave(scale string, shards int, path string) {
-	fmt.Printf("== build + save DBLP engine (%s scale) ==\n", scale)
+func runSave(scale string, shards int, layout, path string) {
+	fmt.Printf("== build + save DBLP engine (%s scale, layout %q) ==\n", scale, layout)
 	db := buildDataset(scale)
-	g, ix, buildTime := buildEngine(db, shards)
+	g, ix, buildTime := buildEngine(db, shards, layout)
 	start := time.Now()
 	check(store.WriteFile(path, store.Engine{Graph: g, Index: ix}))
 	saveTime := time.Since(start)
@@ -213,17 +218,24 @@ func runSave(scale string, shards int, path string) {
 // BENCH_store.json: cold-open time vs a fresh rebuild from SQL, query
 // parity between both engines, and the resident footprint of the lazy
 // segments (with -storebudget, the EMBANKS memory-bounded mode).
-func runLoad(ctx context.Context, scale string, shards int, path string, budget int64) {
-	fmt.Printf("== cold open vs rebuild (%s scale, budget %d bytes) ==\n", scale, budget)
+func runLoad(ctx context.Context, scale string, shards int, layout, path string, budget int64, prefault, mlock bool) {
+	fmt.Printf("== cold open vs rebuild (%s scale, budget %d bytes, layout %q) ==\n", scale, budget, layout)
 	db := buildDataset(scale)
 
 	openStart := time.Now()
 	st, err := store.Open(path, store.Options{BudgetBytes: budget})
 	check(err)
 	defer st.Close()
+	if prefault {
+		check(st.Prefault())
+	}
+	if mlock {
+		check(st.Mlock())
+	}
 	openTime := time.Since(openStart)
+	fmt.Printf("byte source       mapped=%v prefault=%v mlock=%v\n", st.Mapped(), prefault, mlock)
 
-	g, ix, rebuildTime := buildEngine(db, shards)
+	g, ix, rebuildTime := buildEngine(db, shards, layout)
 	fmt.Printf("cold open         %v\n", openTime)
 	fmt.Printf("rebuild from SQL  %v  (%.1fx slower than open)\n",
 		rebuildTime, float64(rebuildTime)/float64(openTime))
@@ -233,11 +245,18 @@ func runLoad(ctx context.Context, scale string, shards int, path string, budget 
 	stored := newStackedSearcher(st.Graph(), st.Index())
 	fresh := newStackedSearcher(g, ix)
 	opts := eval.DefaultDBLPOptions()
+	minfltBefore, majfltBefore := pageFaults()
 	firstStart := time.Now()
 	_, _, err = stored.Query(ctx, core.Request{Terms: latencyClasses[0].terms}, opts, nil)
 	check(err)
 	check(st.Err()) // a lazy-load fault degrades to empty results; fail on it here
-	fmt.Printf("first query       %v (lazy segment faults included)\n", time.Since(firstStart))
+	firstQuery := time.Since(firstStart)
+	minfltAfter, majfltAfter := pageFaults()
+	fmt.Printf("first query       %v (lazy segment faults included)\n", firstQuery)
+	if minfltBefore >= 0 {
+		fmt.Printf("page faults       %d minor + %d major during the first query\n",
+			minfltAfter-minfltBefore, majfltAfter-majfltBefore)
+	}
 	for _, c := range latencyClasses {
 		a1, _, err := stored.Query(ctx, core.Request{Terms: c.terms}, opts, nil)
 		check(err)
@@ -255,9 +274,42 @@ func runLoad(ctx context.Context, scale string, shards int, path string, budget 
 	}
 	fmt.Printf("query parity      ok (%d classes, scores and roots identical)\n", len(latencyClasses))
 	stats := st.Stats()
-	fmt.Printf("resident          %.2f MB structural + %.2f MB posting blocks (%d entries, budget %d)\n",
-		float64(stats.StructuralBytes)/1e6, float64(stats.BlockBytes)/1e6, stats.BlockEntries, stats.BudgetBytes)
+	fmt.Printf("resident          %.2f MB heap structural + %.2f MB mapped + %.2f MB posting blocks (%d entries, budget %d)\n",
+		float64(stats.StructuralBytes)/1e6, float64(stats.MappedBytes)/1e6,
+		float64(stats.BlockBytes)/1e6, stats.BlockEntries, stats.BudgetBytes)
 	printPeakRSS()
+}
+
+// pageFaults reads the process's cumulative minor and major page-fault
+// counts from /proc/self/stat (fields 10 and 12), or (-1, -1) where /proc
+// is unavailable. Major faults are the ones that hit the disk — the cost
+// -prefault exists to move out of the first query.
+func pageFaults() (minflt, majflt int64) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return -1, -1
+	}
+	// The comm field (2) is an arbitrary string in parens; fields count
+	// from the closing paren to survive spaces in it.
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return -1, -1
+	}
+	fields := strings.Fields(s[i+1:])
+	// fields[0] is stat field 3 (state); minflt is field 10, majflt 12.
+	if len(fields) < 10 {
+		return -1, -1
+	}
+	minflt, err = strconv.ParseInt(fields[7], 10, 64)
+	if err != nil {
+		return -1, -1
+	}
+	majflt, err = strconv.ParseInt(fields[9], 10, 64)
+	if err != nil {
+		return -1, -1
+	}
+	return minflt, majflt
 }
 
 // printPeakRSS reports the process high-water resident set size.

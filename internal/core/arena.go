@@ -62,6 +62,169 @@ type searchArena struct {
 	ih           iterHeap
 	comboBuf     []graph.NodeID
 	scratchEdges []TreeEdge
+
+	// Per-query pipeline state, reused so a steady-state query performs no
+	// heap allocation: the defaults-applied options copy, the stats block,
+	// the executor/emitter/cross-product frames and the normalization and
+	// match-set buffers all live here. termSets holds one reusable node
+	// buffer per query term (inner capacity retained across queries).
+	optsBuf     Options
+	statsBuf    Stats
+	exBuf       exec
+	emBuf       emitter
+	gsBuf       genState
+	cleanBuf    []string
+	activeBuf   []string
+	setsBuf     [][]graph.NodeID
+	termSets    [][]graph.NodeID
+	matchedBuf  []int
+	edgeBuf     []TreeEdge
+	excludedBuf map[int32]bool
+
+	// Emitter backing: the output heap, the emitted list and the slab the
+	// heap's items come from. resultItems never outlive the query, so the
+	// slab serves sessions and pooled queries alike.
+	rhBuf      resultHeap
+	emittedBuf []*Answer
+	itemSlab   []resultItem
+
+	// matchFrame + matchFn: reusable EachTableNode visitor for matchTerm.
+	// The closure is built once per arena and reads its per-call state from
+	// matchBuf, so the metadata expansion walk captures nothing — a fresh
+	// closure per call would heap-allocate itself and every captured local.
+	matchBuf matchFrame
+	matchFn  func(graph.NodeID) bool
+
+	// borrow enables the answer slabs: Answers, their edge lists and their
+	// term-node lists are carved out of arena-owned storage instead of the
+	// heap, and returned results are only valid until the next query on the
+	// owning Session. Pooled (non-session) queries leave this false and
+	// allocate answers normally — they escape to arbitrary callers.
+	borrow     bool
+	answerSlab []Answer
+	edgeSlab   []TreeEdge
+	nodeSlab   []graph.NodeID
+}
+
+// beginQuery resets the per-query pipeline buffers (capacities retained).
+// It starts with the release-style recycle: a pooled arena already ran it
+// in releaseArena (idempotent), but a Session arena skips releaseArena
+// between queries — its borrowed results must survive until this call.
+func (a *searchArena) beginQuery() {
+	a.release()
+	a.cleanBuf = a.cleanBuf[:0]
+	a.activeBuf = a.activeBuf[:0]
+	a.setsBuf = a.setsBuf[:0]
+	a.matchedBuf = a.matchedBuf[:0]
+	a.edgeBuf = a.edgeBuf[:0]
+	a.rhBuf = a.rhBuf[:0]
+	a.emittedBuf = a.emittedBuf[:0]
+	a.itemSlab = a.itemSlab[:0]
+	if a.borrow {
+		a.answerSlab = a.answerSlab[:0]
+		a.edgeSlab = a.edgeSlab[:0]
+		a.nodeSlab = a.nodeSlab[:0]
+	}
+}
+
+// termSet returns the reusable match-set buffer for term slot k, empty.
+func (a *searchArena) termSet(k int) []graph.NodeID {
+	for len(a.termSets) <= k {
+		a.termSets = append(a.termSets, nil)
+	}
+	return a.termSets[k][:0]
+}
+
+// newResultItem carves an output-heap item from the arena slab. Slab
+// growth moves the backing array, but previously handed-out pointers keep
+// the old backing alive and are never re-derived by index, so they stay
+// valid; steady state reaches a fixed capacity and stops allocating.
+func (a *searchArena) newResultItem(ans *Answer, sig uint64, seq int) *resultItem {
+	n := len(a.itemSlab)
+	if n < cap(a.itemSlab) {
+		a.itemSlab = a.itemSlab[:n+1]
+		a.itemSlab[n] = resultItem{ans: ans, sig: sig, seq: seq}
+	} else {
+		a.itemSlab = append(a.itemSlab, resultItem{ans: ans, sig: sig, seq: seq})
+	}
+	return &a.itemSlab[n]
+}
+
+// newAnswer returns a zeroed Answer: from the arena slab in borrow mode
+// (valid until the next query on the owning Session), from the heap
+// otherwise.
+func (a *searchArena) newAnswer() *Answer {
+	if !a.borrow {
+		return &Answer{}
+	}
+	n := len(a.answerSlab)
+	if n < cap(a.answerSlab) {
+		a.answerSlab = a.answerSlab[:n+1]
+		a.answerSlab[n] = Answer{}
+	} else {
+		a.answerSlab = append(a.answerSlab, Answer{})
+	}
+	return &a.answerSlab[n]
+}
+
+// copyEdges copies src into answer-owned storage (slab in borrow mode).
+func (a *searchArena) copyEdges(src []TreeEdge) []TreeEdge {
+	if len(src) == 0 {
+		return nil
+	}
+	if !a.borrow {
+		return append([]TreeEdge(nil), src...)
+	}
+	n := len(a.edgeSlab)
+	a.edgeSlab = append(a.edgeSlab, src...)
+	return a.edgeSlab[n:len(a.edgeSlab):len(a.edgeSlab)]
+}
+
+// copyNodes copies src into answer-owned storage (slab in borrow mode).
+func (a *searchArena) copyNodes(src []graph.NodeID) []graph.NodeID {
+	if len(src) == 0 {
+		return nil
+	}
+	if !a.borrow {
+		return append([]graph.NodeID(nil), src...)
+	}
+	n := len(a.nodeSlab)
+	a.nodeSlab = append(a.nodeSlab, src...)
+	return a.nodeSlab[n:len(a.nodeSlab):len(a.nodeSlab)]
+}
+
+// matchFrame is the mutable state of one metadata-expansion walk (the
+// EachTableNode loop in matchTerm), held in the arena so the shared
+// visitor closure can reach it without per-call captures.
+type matchFrame struct {
+	gen          uint32
+	limit        int
+	metaAdmitted int
+	truncated    bool
+	set          []graph.NodeID
+}
+
+// matchVisitor returns the arena's cached EachTableNode callback,
+// building it on first use. It operates on matchBuf, which the caller
+// must prime (and drain set from) around each walk.
+func (a *searchArena) matchVisitor() func(graph.NodeID) bool {
+	if a.matchFn == nil {
+		a.matchFn = func(n graph.NodeID) bool {
+			f := &a.matchBuf
+			if a.mark[n] == f.gen {
+				return true
+			}
+			if f.limit > 0 && f.metaAdmitted >= f.limit {
+				f.truncated = true
+				return false
+			}
+			a.mark[n] = f.gen
+			f.set = append(f.set, n)
+			f.metaAdmitted++
+			return true
+		}
+	}
+	return a.matchFn
 }
 
 // originRec is one keyword node of the current query.

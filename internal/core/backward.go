@@ -10,7 +10,7 @@ package core
 import (
 	"context"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"github.com/banksdb/banks/internal/graph"
 )
@@ -76,7 +76,10 @@ func searchSingleTerm(ctx context.Context, ex *exec) ([]*Answer, error) {
 			stats.ExcludedRoots++
 			continue
 		}
-		a := &Answer{Root: n, TermNodes: []graph.NodeID{n}}
+		a := ex.ar.newAnswer()
+		a.Root = n
+		ex.ar.comboBuf = append(ex.ar.comboBuf[:0], n)
+		a.TermNodes = ex.ar.copyNodes(ex.ar.comboBuf)
 		scoreAnswer(a, s.g, o.Score)
 		stats.Generated++
 		em.offer(a)
@@ -122,7 +125,7 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 		it := src.acquire(s.g, ar.origins[i].node)
 		ar.origins[i].it = it
 		if _, d, ok := it.Peek(); ok {
-			ih = append(ih, iterEntry{it: it, next: d})
+			ih = append(ih, iterEntry{it: it, next: d, key: nodeKey(s.g, ar.origins[i].node)})
 		}
 	}
 	ih.init()
@@ -138,49 +141,13 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 	}
 	combo := ar.comboBuf[:n]
 
-	// generate builds all new connection trees rooted at v that use origin
-	// as the term-ti leaf (CrossProduct in the pseudocode).
-	generate := func(v graph.NodeID, origin graph.NodeID, ti int) {
-		l := ar.nodeLists(v, n)
-		rootExcluded := ex.excluded[s.g.TableOf(v)]
-		// Cross product of {origin} with the other term lists.
-		combo[ti] = origin
-		produced := 0
-		var rec func(term int) bool
-		rec = func(term int) bool {
-			if term == n {
-				if produced >= o.MaxCombosPerVisit {
-					stats.CombosTruncated = true
-					return false
-				}
-				produced++
-				stats.Generated++
-				if rootExcluded {
-					stats.ExcludedRoots++
-					return true
-				}
-				if a := s.buildAnswer(ar, v, combo, o, stats); a != nil {
-					em.offer(a)
-				}
-				return true
-			}
-			if term == ti {
-				return rec(term + 1)
-			}
-			if len(l[term]) == 0 {
-				return false
-			}
-			for _, other := range l[term] {
-				combo[term] = other
-				if !rec(term + 1) {
-					return false
-				}
-			}
-			return true
-		}
-		rec(0)
-		l[ti] = append(l[ti], origin)
-	}
+	// The cross-product generator lives in the arena (genState) rather
+	// than in closures: the recursive `rec` closure this used to build was
+	// one heap allocation per generate call — per pop per matched term —
+	// and is the difference between a steady state that allocates and one
+	// that does not.
+	gs := &ar.gsBuf
+	*gs = genState{ex: ex, em: em, n: n, combo: combo}
 
 	budget := o.Budget
 	for len(ih) > 0 && len(em.emitted) < o.TopK && !em.stopped {
@@ -230,13 +197,76 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 			for word != 0 {
 				ti := wi*64 + bits.TrailingZeros64(word)
 				word &= word - 1
-				generate(v, originNode, ti)
+				gs.generate(v, originNode, ti)
 			}
 		}
 	}
 	em.drain()
 	ar.ih = ih
 	return em.finish(), nil
+}
+
+// genState is the arena-resident frame of the cross-product generator
+// (CrossProduct in the Figure 3 pseudocode): all new connection trees
+// rooted at v that use origin as the term-ti leaf.
+type genState struct {
+	ex    *exec
+	em    *emitter
+	n     int
+	combo []graph.NodeID
+
+	// per-generate-call state
+	v            graph.NodeID
+	ti           int
+	l            [][]graph.NodeID
+	rootExcluded bool
+	produced     int
+}
+
+func (gs *genState) generate(v graph.NodeID, origin graph.NodeID, ti int) {
+	ex := gs.ex
+	gs.v = v
+	gs.ti = ti
+	gs.l = ex.ar.nodeLists(v, gs.n)
+	gs.rootExcluded = ex.excluded[ex.s.g.TableOf(v)]
+	gs.produced = 0
+	gs.combo[ti] = origin
+	gs.rec(0)
+	gs.l[ti] = append(gs.l[ti], origin)
+}
+
+// rec walks the cross product of {origin} with the other term lists.
+func (gs *genState) rec(term int) bool {
+	ex := gs.ex
+	if term == gs.n {
+		if gs.produced >= ex.o.MaxCombosPerVisit {
+			ex.stats.CombosTruncated = true
+			return false
+		}
+		gs.produced++
+		ex.stats.Generated++
+		if gs.rootExcluded {
+			ex.stats.ExcludedRoots++
+			return true
+		}
+		if a := ex.s.buildAnswer(ex.ar, gs.v, gs.combo, ex.o, ex.stats); a != nil {
+			gs.em.offer(a)
+		}
+		return true
+	}
+	if term == gs.ti {
+		return gs.rec(term + 1)
+	}
+	if len(gs.l[term]) == 0 {
+		return false
+	}
+	for _, other := range gs.l[term] {
+		gs.combo[term] = other
+		if !gs.rec(term + 1) {
+			return false
+		}
+	}
+	return true
 }
 
 // buildAnswer materializes the connection tree rooted at v whose term-i
@@ -250,12 +280,13 @@ func runExpansion(ctx context.Context, ex *exec, src iterSource) ([]*Answer, err
 func (s *Searcher) buildAnswer(ar *searchArena, v graph.NodeID, combo []graph.NodeID, o *Options, stats *Stats) *Answer {
 	gen := ar.bumpMark()
 	ar.mark[v] = gen
-	var edges []TreeEdge
+	edges := ar.edgeBuf[:0]
 	scratch := ar.scratchEdges
 	for _, origin := range combo {
 		oi := ar.originIndex(origin)
 		if oi < 0 || ar.origins[oi].it == nil {
 			ar.scratchEdges = scratch[:0]
+			ar.edgeBuf = edges[:0]
 			return nil
 		}
 		scratch = ar.origins[oi].it.PathEdges(v, scratch[:0])
@@ -268,24 +299,55 @@ func (s *Searcher) buildAnswer(ar *searchArena, v graph.NodeID, combo []graph.No
 		}
 	}
 	ar.scratchEdges = scratch[:0]
-	a := &Answer{
-		Root:      v,
-		Edges:     edges,
-		TermNodes: append([]graph.NodeID(nil), combo...),
-	}
-	if len(edges) > 0 && a.rootChildren() == 1 {
+	ar.edgeBuf = edges
+	if len(edges) > 0 && rootChildren(ar, v, edges) == 1 {
 		stats.SingleChildRoots++
 		return nil
 	}
+	// Canonical (table, rid) edge order: sibling order in rendered trees
+	// and the FP summation order of the weight — hence the exact score —
+	// come out identical under any node numbering.
+	slices.SortFunc(edges, func(x, y TreeEdge) int {
+		kxf, kyf := nodeKey(s.g, x.From), nodeKey(s.g, y.From)
+		if kxf != kyf {
+			if kxf < kyf {
+				return -1
+			}
+			return 1
+		}
+		kxt, kyt := nodeKey(s.g, x.To), nodeKey(s.g, y.To)
+		switch {
+		case kxt < kyt:
+			return -1
+		case kxt > kyt:
+			return 1
+		}
+		return 0
+	})
+	a := ar.newAnswer()
+	a.Root = v
+	a.Edges = ar.copyEdges(edges)
+	a.TermNodes = ar.copyNodes(combo)
 	for _, e := range edges {
 		a.Weight += e.W
 	}
-	sort.Slice(a.Edges, func(i, j int) bool {
-		if a.Edges[i].From != a.Edges[j].From {
-			return a.Edges[i].From < a.Edges[j].From
-		}
-		return a.Edges[i].To < a.Edges[j].To
-	})
 	scoreAnswer(a, s.g, o.Score)
 	return a
+}
+
+// rootChildren counts the distinct direct children of the root over the
+// arena's mark set; the §3 rule discards trees whose root has exactly one
+// child, since the smaller tree obtained by removing the root is also
+// generated. (Answer.rootChildren does the same with a map; this is the
+// allocation-free hot-path form.)
+func rootChildren(ar *searchArena, root graph.NodeID, edges []TreeEdge) int {
+	gen := ar.bumpMark()
+	c := 0
+	for _, e := range edges {
+		if e.From == root && ar.mark[e.To] != gen {
+			ar.mark[e.To] = gen
+			c++
+		}
+	}
+	return c
 }

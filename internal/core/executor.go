@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -189,57 +190,93 @@ func (s *Searcher) SearchStats(terms []string, opts *Options) ([]*Answer, *Stats
 // deadline passes, the expansion loop stops within a few hundred iterator
 // pops and Query returns ctx's error.
 func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb func(*Answer) bool) ([]*Answer, *Stats, error) {
+	ar := s.acquireArena()
+	defer s.releaseArena(ar)
+	answers, stats, err := s.queryInArena(ctx, req, opts, cb, ar)
+	// The arena goes back to the pool on return, so everything the caller
+	// keeps must be copied off it. The answers themselves are heap-built
+	// here (the arena slabs only back Session queries).
+	st := new(Stats)
+	*st = *stats
+	st.Terms = append([]string(nil), stats.Terms...)
+	st.MatchedNodes = append([]int(nil), stats.MatchedNodes...)
+	var out []*Answer
+	if len(answers) > 0 {
+		out = append(out, answers...)
+	}
+	return out, st, err
+}
+
+// queryInArena runs the full pipeline with every per-query structure drawn
+// from ar. The returned answers and stats are arena-resident in borrow
+// mode and must be consumed before the arena serves another query.
+func (s *Searcher) queryInArena(ctx context.Context, req Request, opts *Options, cb func(*Answer) bool, ar *searchArena) ([]*Answer, *Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	o := opts.withDefaults()
-	stats := &Stats{}
-
-	strat, err := strategyFor(o.Strategy)
-	if err != nil {
-		return nil, stats, err
-	}
+	ar.beginQuery()
+	o := opts.withDefaultsInto(&ar.optsBuf)
+	stats := &ar.statsBuf
+	*stats = Stats{}
 
 	var faultBase int64
 	if s.fault != nil {
 		faultBase = s.fault()
-		defer func() { stats.BytesFaulted = s.fault() - faultBase }()
+	}
+	answers, err := s.runStages(ctx, req, o, cb, ar, stats, faultBase)
+	if s.fault != nil {
+		stats.BytesFaulted = s.fault() - faultBase
+	}
+	return answers, stats, err
+}
+
+func (s *Searcher) runStages(ctx context.Context, req Request, o *Options, cb func(*Answer) bool, ar *searchArena, stats *Stats, faultBase int64) ([]*Answer, error) {
+	strat, err := strategyFor(o.Strategy)
+	if err != nil {
+		return nil, err
 	}
 
 	// Stage 1: normalize terms.
-	var clean []string
+	clean := ar.cleanBuf
 	for _, t := range req.Terms {
 		t = strings.TrimSpace(strings.ToLower(t))
 		if t != "" {
 			clean = append(clean, t)
 		}
 	}
+	ar.cleanBuf = clean
 	if len(clean) == 0 {
-		return nil, stats, errors.New("core: empty query")
+		return nil, errors.New("core: empty query")
 	}
-
-	ar := s.acquireArena()
-	defer s.releaseArena(ar)
 
 	// Stage 2: locate S_i for each term (§3 step 1) through the
 	// strategy's resolution path.
 	res := strat.resolver(s)
-	var sets [][]graph.NodeID
-	var active []string
+	sets := ar.setsBuf
+	active := ar.activeBuf
 	for _, term := range clean {
 		var set []graph.NodeID
 		if qual, bare, ok := parseQualifiedTerm(term); req.Qualified && ok {
 			set = s.matchQualified(ar, res, req.DB, qual, bare, o, stats)
+			canonicalizeSet(s.g, set)
 		} else {
-			set = s.matchTerm(ar, res, term, o, stats)
+			buf := ar.termSet(len(sets))
+			buf = s.matchTerm(ar, res, term, o, stats, buf)
+			canonicalizeSet(s.g, buf)
+			ar.termSets[len(sets)] = buf // retain any growth
+			set = buf
 			if len(set) == 0 && req.Prefix {
+				// Owned by the prefix cache — must not be reordered in
+				// place (node-id order, which is already canonical for
+				// every view that serves prefix lookups).
 				set = res.lookupPrefix(term)
 			}
 		}
 		if len(set) == 0 {
 			if o.RequireAllTerms {
+				ar.setsBuf, ar.activeBuf = sets, active
 				stats.Terms = active
-				return nil, stats, nil
+				return nil, nil
 			}
 			stats.TermsDropped++
 			continue
@@ -247,25 +284,30 @@ func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb fun
 		sets = append(sets, set)
 		active = append(active, term)
 	}
+	ar.setsBuf, ar.activeBuf = sets, active
 	stats.Terms = active
+	matched := ar.matchedBuf
 	for _, set := range sets {
-		stats.MatchedNodes = append(stats.MatchedNodes, len(set))
+		matched = append(matched, len(set))
 	}
+	ar.matchedBuf = matched
+	stats.MatchedNodes = matched
 	if len(sets) == 0 {
-		return nil, stats, nil
+		return nil, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 
 	// Stages 3-5: seed origins, expand, emit — the strategy's province.
-	ex := &exec{
+	ex := &ar.exBuf
+	*ex = exec{
 		s:         s,
 		ar:        ar,
 		o:         o,
 		stats:     stats,
 		sets:      sets,
-		excluded:  s.excludedTables(o),
+		excluded:  s.excludedTables(ar, o),
 		cb:        cb,
 		faultBase: faultBase,
 	}
@@ -274,13 +316,9 @@ func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb fun
 	if o.Budget.MaxBytesFaulted > 0 && ex.bytesFaulted() >= o.Budget.MaxBytesFaulted {
 		stats.BudgetExhausted = true
 		stats.BudgetReason = "bytes"
-		return nil, stats, nil
+		return nil, nil
 	}
-	answers, err := strat.run(ctx, ex)
-	if err != nil {
-		return nil, stats, err
-	}
-	return answers, stats, nil
+	return strat.run(ctx, ex)
 }
 
 // emitter drives the fixed-size output heap of §3 shared by the single-
@@ -288,6 +326,7 @@ func (s *Searcher) Query(ctx context.Context, req Request, opts *Options, cb fun
 // hashed tree signature, buffered up to HeapSize, and emitted best-first
 // on overflow and during the final drain.
 type emitter struct {
+	ar      *searchArena
 	o       *Options
 	stats   *Stats
 	cb      func(*Answer) bool
@@ -299,8 +338,22 @@ type emitter struct {
 	stopped bool
 }
 
+// newEmitter readies the arena-resident emitter: heap, emitted list and
+// item slab all come from ar (reset by beginQuery), so steady-state
+// emission allocates nothing.
 func newEmitter(ar *searchArena, o *Options, stats *Stats, cb func(*Answer) bool) *emitter {
-	return &emitter{o: o, stats: stats, cb: cb, inHeap: ar.inHeap, outSig: ar.outSig}
+	em := &ar.emBuf
+	*em = emitter{
+		ar:      ar,
+		o:       o,
+		stats:   stats,
+		cb:      cb,
+		rh:      ar.rhBuf,
+		inHeap:  ar.inHeap,
+		outSig:  ar.outSig,
+		emitted: ar.emittedBuf,
+	}
+	return em
 }
 
 func (em *emitter) emitBest() {
@@ -339,7 +392,7 @@ func (em *emitter) offer(a *Answer) {
 		}
 		return
 	}
-	item := &resultItem{ans: a, sig: sig, seq: em.seq}
+	item := em.ar.newResultItem(a, sig, em.seq)
 	em.seq++
 	if len(em.rh) >= em.o.HeapSize {
 		em.emitBest()
@@ -357,7 +410,8 @@ func (em *emitter) drain() {
 }
 
 // finish trims the overshoot (heap overflow during a single node visit can
-// emit a result or two beyond TopK) and fixes ranks.
+// emit a result or two beyond TopK), fixes ranks, and hands the grown
+// heap/emitted backing back to the arena for the next query.
 func (em *emitter) finish() []*Answer {
 	if len(em.emitted) > em.o.TopK {
 		em.emitted = em.emitted[:em.o.TopK]
@@ -365,14 +419,49 @@ func (em *emitter) finish() []*Answer {
 	for i, a := range em.emitted {
 		a.Rank = i + 1
 	}
+	em.ar.rhBuf = em.rh[:0]
+	em.ar.emittedBuf = em.emitted
 	return em.emitted
 }
 
 // iterEntry is one shortest-path iterator in the iterator heap, keyed by
 // the distance of the next node it will output.
+// canonicalizeSet orders a term's match set by stable (table, rid)
+// identity. Posting lists arrive in node-id order, which coincides with
+// canonical order under the default layout but not under a build-time
+// renumber (graph.LayoutDegree) or an overlay's appended nodes. Origin
+// slot numbering, iterator scheduling and the emission sequence all
+// inherit this order, so pinning it here is what makes answers — and
+// which of several equal-scored answers survive the output heap —
+// independent of node numbering. The sortedness pre-check keeps the
+// common already-canonical case at a linear scan.
+func canonicalizeSet(g graph.View, set []graph.NodeID) {
+	cmp := func(a, b graph.NodeID) int {
+		ka, kb := nodeKey(g, a), nodeKey(g, b)
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		}
+		return 0
+	}
+	if !slices.IsSortedFunc(set, cmp) {
+		slices.SortFunc(set, cmp)
+	}
+}
+
 type iterEntry struct {
 	it   *sspIterator
 	next float64
+	key  uint64 // stable (table, rid) identity of the origin; see nodeKey
+}
+
+// before orders entries by (next distance, stable origin identity): with
+// match sets canonicalized the whole iterator schedule — and therefore
+// emission sequence — is independent of node numbering.
+func (e iterEntry) before(o iterEntry) bool {
+	return e.next < o.next || (e.next == o.next && e.key < o.key)
 }
 
 // iterHeap is a hand-rolled binary min-heap of iterator entries, stored by
@@ -393,10 +482,10 @@ func (h iterHeap) siftDown(i int) {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && h[r].next < h[l].next {
+		if r := l + 1; r < n && h[r].before(h[l]) {
 			m = r
 		}
-		if h[i].next <= h[m].next {
+		if !h[m].before(h[i]) {
 			return
 		}
 		h[i], h[m] = h[m], h[i]

@@ -172,7 +172,7 @@ func TestStopsAfterTopKEmitted(t *testing.T) {
 
 func TestWithDefaultsDoesNotMutateCaller(t *testing.T) {
 	o := &Options{TopK: 5}
-	_ = o.withDefaults()
+	_ = o.withDefaultsInto(new(Options))
 	if o.HeapSize != 0 || o.MaxPops != 0 {
 		t.Errorf("caller options mutated: %+v", o)
 	}

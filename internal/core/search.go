@@ -74,42 +74,50 @@ type Budget struct {
 	MaxBytesFaulted int64
 }
 
+// defaultOpts is the value the exported DefaultOptions copies from; the
+// hot path reads its fields directly so applying defaults never allocates.
+var defaultOpts = Options{
+	TopK:              10,
+	HeapSize:          20,
+	Score:             DefaultScoreOptions(),
+	MetadataNodeLimit: 1000,
+	MaxPops:           2_000_000,
+	MaxCombosPerVisit: 10_000,
+	RequireAllTerms:   true,
+}
+
 // DefaultOptions returns the configuration used throughout the paper's
 // evaluation: 10 answers, heap of 20, λ=0.2 with edge log scaling.
 func DefaultOptions() *Options {
-	return &Options{
-		TopK:              10,
-		HeapSize:          20,
-		Score:             DefaultScoreOptions(),
-		MetadataNodeLimit: 1000,
-		MaxPops:           2_000_000,
-		MaxCombosPerVisit: 10_000,
-		RequireAllTerms:   true,
-	}
+	d := defaultOpts
+	return &d
 }
 
-func (o *Options) withDefaults() *Options {
-	d := DefaultOptions()
+// withDefaultsInto writes the defaults-applied copy of o into dst (the
+// query arena's resident options block) and returns dst.
+func (o *Options) withDefaultsInto(dst *Options) *Options {
 	if o == nil {
-		return d
+		*dst = defaultOpts
+		dst.Budget.MaxPops = dst.MaxPops
+		return dst
 	}
-	c := *o
-	if c.TopK <= 0 {
-		c.TopK = d.TopK
+	*dst = *o
+	if dst.TopK <= 0 {
+		dst.TopK = defaultOpts.TopK
 	}
-	if c.HeapSize <= 0 {
-		c.HeapSize = d.HeapSize
+	if dst.HeapSize <= 0 {
+		dst.HeapSize = defaultOpts.HeapSize
 	}
-	if c.MaxPops <= 0 {
-		c.MaxPops = d.MaxPops
+	if dst.MaxPops <= 0 {
+		dst.MaxPops = defaultOpts.MaxPops
 	}
-	if c.Budget.MaxPops <= 0 {
-		c.Budget.MaxPops = c.MaxPops
+	if dst.Budget.MaxPops <= 0 {
+		dst.Budget.MaxPops = dst.MaxPops
 	}
-	if c.MaxCombosPerVisit <= 0 {
-		c.MaxCombosPerVisit = d.MaxCombosPerVisit
+	if dst.MaxCombosPerVisit <= 0 {
+		dst.MaxCombosPerVisit = defaultOpts.MaxCombosPerVisit
 	}
-	return &c
+	return dst
 }
 
 // Stats reports what one search did; useful for the evaluation harness and
@@ -287,12 +295,20 @@ type Request struct {
 	DB *sqldb.Database
 }
 
-// excludedTables resolves ExcludedRootTables to a table-id set.
-func (s *Searcher) excludedTables(o *Options) map[int32]bool {
+// excludedTables resolves ExcludedRootTables to a table-id set, reusing
+// the arena's map (cleared, buckets retained) so repeat queries with
+// exclusions do not allocate.
+func (s *Searcher) excludedTables(ar *searchArena, o *Options) map[int32]bool {
 	if len(o.ExcludedRootTables) == 0 {
 		return nil
 	}
-	excluded := make(map[int32]bool, len(o.ExcludedRootTables))
+	excluded := ar.excludedBuf
+	if excluded == nil {
+		excluded = make(map[int32]bool, len(o.ExcludedRootTables))
+		ar.excludedBuf = excluded
+	} else {
+		clear(excluded)
+	}
 	for _, name := range o.ExcludedRootTables {
 		if id := s.g.TableID(name); id >= 0 {
 			excluded[id] = true
@@ -305,37 +321,33 @@ func (s *Searcher) excludedTables(o *Options) map[int32]bool {
 // resolver, expanding metadata matches to whole tables subject to
 // MetadataNodeLimit. The limit budgets actually admitted metadata nodes,
 // so duplicate index postings and data/metadata overlap cannot inflate it.
-func (s *Searcher) matchTerm(ar *searchArena, res termResolver, term string, o *Options, stats *Stats) []graph.NodeID {
+// The set is accumulated onto dst (typically one of the arena's reusable
+// per-term buffers) and the extended slice returned.
+func (s *Searcher) matchTerm(ar *searchArena, res termResolver, term string, o *Options, stats *Stats, dst []graph.NodeID) []graph.NodeID {
 	m := res.lookup(term)
 	gen := ar.bumpMark()
-	set := make([]graph.NodeID, 0, len(m.Nodes))
+	set := dst[:0]
 	for _, n := range m.Nodes {
 		if ar.mark[n] != gen {
 			ar.mark[n] = gen
 			set = append(set, n)
 		}
 	}
-	metaAdmitted := 0
+	f := &ar.matchBuf
+	f.gen = gen
+	f.limit = o.MetadataNodeLimit
+	f.metaAdmitted = 0
+	f.set = set
+	visit := ar.matchVisitor()
 	for _, tid := range m.Tables {
-		truncated := false
-		s.g.EachTableNode(tid, func(n graph.NodeID) bool {
-			if ar.mark[n] == gen {
-				return true
-			}
-			if o.MetadataNodeLimit > 0 && metaAdmitted >= o.MetadataNodeLimit {
-				truncated = true
-				return false
-			}
-			ar.mark[n] = gen
-			set = append(set, n)
-			metaAdmitted++
-			return true
-		})
-		if truncated {
+		f.truncated = false
+		s.g.EachTableNode(tid, visit)
+		if f.truncated {
 			stats.MetadataTruncated = true
-			return set
+			break
 		}
 	}
+	set, f.set = f.set, nil
 	return set
 }
 

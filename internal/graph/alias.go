@@ -1,0 +1,66 @@
+package graph
+
+// In-place segment views. Store format v2 lays the CSR offset/arc arrays
+// and the node-metadata RID/prestige arrays out as fixed-width
+// little-endian records whose widths and field offsets match the Go
+// in-memory types, 8-aligned within the segment. When the host is
+// little-endian and the segment bytes land on an 8-byte boundary (mmap'd
+// segments always do — the base is page-aligned and the store writer
+// aligns segment offsets), the decoder aliases the arrays straight out of
+// the segment instead of copying: the engine's structural data then lives
+// in the kernel page cache, shared across processes, and is invisible to
+// the Go GC. decodeArcs/decodeNodeMeta fall back to copy-decoding when
+// any precondition fails, so the views are a pure optimization.
+
+import (
+	"unsafe"
+
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// hostLittleEndian reports whether multi-byte loads read v2 segment bytes
+// in on-disk order.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// edgeLayoutMatches reports whether the in-memory Edge layout equals the
+// on-disk 16-byte arc record {u32 target, u32 pad, f64 weight}.
+const edgeLayoutMatches = unsafe.Sizeof(Edge{}) == 16 &&
+	unsafe.Offsetof(Edge{}.To) == 0 && unsafe.Offsetof(Edge{}.W) == 8
+
+// canAlias reports whether segment bytes p may be served in place as typed
+// slices.
+func canAlias(p []byte) bool {
+	return hostLittleEndian && edgeLayoutMatches &&
+		(len(p) == 0 || uintptr(unsafe.Pointer(&p[0]))%8 == 0)
+}
+
+func aliasInt32(p []byte, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&p[0])), n)
+}
+
+func aliasEdges(p []byte, n int) []Edge {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Edge)(unsafe.Pointer(&p[0])), n)
+}
+
+func aliasRIDs(p []byte, n int) []sqldb.RID {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*sqldb.RID)(unsafe.Pointer(&p[0])), n)
+}
+
+func aliasFloat64(p []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), n)
+}

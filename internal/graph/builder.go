@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 
 	"github.com/banksdb/banks/internal/par"
@@ -31,7 +32,23 @@ type BuildOptions struct {
 	// deterministic per-range prefix sum, per-shard link lists are merged
 	// in (table, row-range) order, and the arc sort is order-insensitive.
 	Shards int
+
+	// LayoutOrder selects the node-numbering pass applied before arcs are
+	// materialized. "" or LayoutRID keeps per-table RID order (the
+	// default). LayoutDegree renumbers each table by descending structural
+	// degree (ties broken by ascending RID), packing hub rows — the nodes
+	// a backward expanding search touches most — into adjacent CSR rows so
+	// their adjacency lists share cache lines and mapped pages. Answers
+	// are layout-independent: result identity and every tie-break key off
+	// (table, RID), never node id.
+	LayoutOrder string
 }
+
+// Layout orders accepted by BuildOptions.LayoutOrder.
+const (
+	LayoutRID    = "rid"
+	LayoutDegree = "degree"
+)
 
 // DefaultBuildOptions returns the paper's configuration.
 func DefaultBuildOptions() *BuildOptions {
@@ -289,6 +306,10 @@ func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 		g.prestige[l.to]++
 	}
 
+	if err := g.applyLayout(opts.LayoutOrder, links, inByTable); err != nil {
+		return nil, err
+	}
+
 	// Materialize arcs: each FK link (u->v) contributes the forward arc
 	// u->v with weight s, and the backward arc v->u with weight
 	// s * IN_{R(u)}(v) (§2.2); parallel arcs are merged to the minimum
@@ -312,6 +333,79 @@ func Build(db *sqldb.Database, opts *BuildOptions) (*Graph, error) {
 		g.applyPageRankPrestige(opts.PrestigeDamping, opts.PrestigeIters, pairs)
 	}
 	return g, nil
+}
+
+// applyLayout renumbers nodes within each table according to
+// BuildOptions.LayoutOrder, rewriting every old-id-keyed structure the
+// build has produced so far (node maps, RID/prestige arrays, the link list
+// and the per-table indegree counts) before arcs are materialized. The
+// permutation never crosses table boundaries, so tableStart and tableOf
+// are untouched. Sorting by (degree desc, RID asc) is a total order — RIDs
+// are unique within a table — so the result is deterministic at any shard
+// count.
+func (g *Graph) applyLayout(order string, links []link, inByTable []map[NodeID]int32) error {
+	switch order {
+	case "", LayoutRID:
+		return nil
+	case LayoutDegree:
+	default:
+		return fmt.Errorf("graph: unknown layout order %q", order)
+	}
+	n := g.NumNodes()
+	deg := make([]int32, n)
+	for _, l := range links {
+		deg[l.from]++
+		deg[l.to]++
+	}
+	perm := make([]NodeID, n) // old id -> new id
+	var idx []NodeID
+	for t := 0; t+1 < len(g.tableStart); t++ {
+		lo, hi := g.tableStart[t], g.tableStart[t+1]
+		idx = idx[:0]
+		for v := lo; v < hi; v++ {
+			idx = append(idx, v)
+		}
+		sort.Slice(idx, func(i, j int) bool {
+			a, b := idx[i], idx[j]
+			if deg[a] != deg[b] {
+				return deg[a] > deg[b]
+			}
+			return g.ridOf[a] < g.ridOf[b]
+		})
+		for i, old := range idx {
+			perm[old] = lo + NodeID(i)
+		}
+	}
+	rid := make([]sqldb.RID, n)
+	prestige := make([]float64, n)
+	for old := 0; old < n; old++ {
+		nw := perm[old]
+		rid[nw] = g.ridOf[old]
+		prestige[nw] = g.prestige[old]
+	}
+	g.ridOf, g.prestige = rid, prestige
+	for _, m := range g.nodeOf {
+		for r, v := range m {
+			if v != NoNode {
+				m[r] = perm[v]
+			}
+		}
+	}
+	for i := range links {
+		links[i].from = perm[links[i].from]
+		links[i].to = perm[links[i].to]
+	}
+	for t, m := range inByTable {
+		if m == nil {
+			continue
+		}
+		nm := make(map[NodeID]int32, len(m))
+		for v, c := range m {
+			nm[perm[v]] = c
+		}
+		inByTable[t] = nm
+	}
+	return nil
 }
 
 type pair struct{ from, to NodeID }

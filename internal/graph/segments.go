@@ -129,23 +129,50 @@ func (g *Graph) EncodeMeta() []byte {
 	return buf
 }
 
+// Segment layout constants (store format v2). Both fixed-width segments
+// are laid out so that, when the segment itself starts at an 8-byte file
+// offset (the store writer guarantees it) every embedded array is
+// naturally aligned — which is what lets an mmap-opened store alias the
+// arrays in place instead of decoding them (see alias.go).
+const (
+	arcsHeaderSize     = 16 // u32 node count · u32 reserved · u64 arc count
+	arcRecordSize      = 16 // u32 target · u32 reserved · f64 weight bits
+	nodeMetaHeaderSize = 8  // u32 node count · u32 reserved
+)
+
+// csrBytes is the encoded size of one direction's CSR: u32 offsets padded
+// to an 8-byte boundary, then fixed 16-byte arc records.
+func csrBytes(nn int, narcs int) int {
+	ob := 4 * (nn + 1)
+	return (ob+7)&^7 + arcRecordSize*narcs
+}
+
 // EncodeArcs serializes the CSR adjacency segment of a fully-materialized
-// graph (a lazily-opened one is materialized first).
+// graph (a lazily-opened one is materialized first): the 16-byte header,
+// then per direction the u32 offsets, zero padding to an 8-byte boundary,
+// and 16-byte arc records {u32 target, u32 reserved, f64 weight bits} —
+// the in-memory layout of []Edge on little-endian hosts, so an aligned
+// view of the segment serves Out/In with no decode step at all.
 func (g *Graph) EncodeArcs() ([]byte, error) {
 	g.ensureArcs()
 	if err := g.LazyErr(); err != nil {
 		return nil, err
 	}
 	nn := g.NumNodes()
-	buf := make([]byte, 0, 12+8*(nn+1)+24*g.numArcs)
+	buf := make([]byte, 0, arcsHeaderSize+2*csrBytes(nn, g.numArcs))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(nn))
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.numArcs))
 	appendCSR := func(buf []byte, off []int32, edges []Edge) []byte {
 		for _, o := range off {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(o))
 		}
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
 		for _, e := range edges {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+			buf = binary.LittleEndian.AppendUint32(buf, 0)
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.W))
 		}
 		return buf
@@ -155,15 +182,18 @@ func (g *Graph) EncodeArcs() ([]byte, error) {
 	return buf, nil
 }
 
-// EncodeNodeMeta serializes the node metadata segment (RIDs + prestige).
+// EncodeNodeMeta serializes the node metadata segment (RIDs + prestige):
+// an 8-byte header, u64 RIDs, then f64 prestige bits — both arrays
+// 8-aligned within the segment for in-place aliasing.
 func (g *Graph) EncodeNodeMeta() ([]byte, error) {
 	g.ensureNodeMeta()
 	if err := g.LazyErr(); err != nil {
 		return nil, err
 	}
 	nn := g.NumNodes()
-	buf := make([]byte, 0, 4+16*nn)
+	buf := make([]byte, 0, nodeMetaHeaderSize+16*nn)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(nn))
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
 	for _, rid := range g.ridOf {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(rid))
 	}
@@ -247,92 +277,125 @@ const maxRIDFactor = 256
 
 // decodeArcs fills the CSR arrays from an arcs segment, validating every
 // offset and target so corrupt bytes cannot produce a graph that panics
-// under search.
+// under search. When the segment bytes are 8-aligned and the host layout
+// matches (alias.go), the offset and edge arrays are served as views over
+// the segment — zero copy, zero decode; otherwise they are decoded into
+// fresh heap arrays. Either way the caller's bytes are never mutated.
 func (g *Graph) decodeArcs(data []byte) error {
 	nn := g.NumNodes()
-	if len(data) < 12 {
+	if len(data) < arcsHeaderSize {
 		return errors.New("arcs segment truncated")
 	}
 	if int(binary.LittleEndian.Uint32(data)) != nn {
 		return fmt.Errorf("arcs segment built for %d nodes, graph has %d",
 			binary.LittleEndian.Uint32(data), nn)
 	}
-	narcs := binary.LittleEndian.Uint64(data[4:])
-	if narcs != uint64(g.numArcs) {
+	narcs := int(binary.LittleEndian.Uint64(data[8:]))
+	if narcs != g.numArcs {
 		return fmt.Errorf("arcs segment holds %d arcs, meta claims %d", narcs, g.numArcs)
 	}
-	want := 12 + 2*(4*(nn+1)+12*int(narcs))
+	want := arcsHeaderSize + 2*csrBytes(nn, narcs)
 	if len(data) != want {
 		return fmt.Errorf("arcs segment is %d bytes, want %d", len(data), want)
 	}
-	p := data[12:]
-	decodeCSR := func() ([]int32, []Edge, error) {
-		off := make([]int32, nn+1)
-		for i := range off {
-			off[i] = int32(binary.LittleEndian.Uint32(p[4*i:]))
-		}
-		p = p[4*(nn+1):]
-		if off[0] != 0 || off[nn] != int32(narcs) {
-			return nil, nil, fmt.Errorf("CSR offsets span [%d, %d), want [0, %d)", off[0], off[nn], narcs)
-		}
-		edges := make([]Edge, narcs)
-		for i := range edges {
-			to := binary.LittleEndian.Uint32(p[12*i:])
-			if int(to) >= nn {
-				return nil, nil, fmt.Errorf("arc %d targets node %d of %d", i, to, nn)
+	alias := canAlias(data)
+	p := data[arcsHeaderSize:]
+	takeCSR := func() ([]int32, []Edge) {
+		ob := 4 * (nn + 1)
+		obPad := (ob + 7) &^ 7
+		var off []int32
+		var edges []Edge
+		if alias {
+			off = aliasInt32(p, nn+1)
+			edges = aliasEdges(p[obPad:], narcs)
+		} else {
+			off = make([]int32, nn+1)
+			for i := range off {
+				off[i] = int32(binary.LittleEndian.Uint32(p[4*i:]))
 			}
-			edges[i] = Edge{To: NodeID(to), W: math.Float64frombits(binary.LittleEndian.Uint64(p[12*i+4:]))}
+			edges = make([]Edge, narcs)
+			q := p[obPad:]
+			for i := range edges {
+				edges[i] = Edge{
+					To: NodeID(binary.LittleEndian.Uint32(q[arcRecordSize*i:])),
+					W:  math.Float64frombits(binary.LittleEndian.Uint64(q[arcRecordSize*i+8:])),
+				}
+			}
 		}
-		p = p[12*int(narcs):]
+		p = p[obPad+arcRecordSize*narcs:]
+		return off, edges
+	}
+	validateCSR := func(off []int32, edges []Edge) error {
+		if off[0] != 0 || off[nn] != int32(narcs) {
+			return fmt.Errorf("CSR offsets span [%d, %d), want [0, %d)", off[0], off[nn], narcs)
+		}
 		for i := 0; i < nn; i++ {
 			if off[i] > off[i+1] {
-				return nil, nil, fmt.Errorf("CSR offsets decrease at node %d", i)
+				return fmt.Errorf("CSR offsets decrease at node %d", i)
 			}
 		}
-		return off, edges, nil
+		for i, e := range edges {
+			if uint32(e.To) >= uint32(nn) {
+				return fmt.Errorf("arc %d targets node %d of %d", i, e.To, nn)
+			}
+		}
+		return nil
 	}
-	var err error
-	if g.fwdOff, g.fwdEdges, err = decodeCSR(); err != nil {
+	fwdOff, fwdEdges := takeCSR()
+	revOff, revEdges := takeCSR()
+	if err := validateCSR(fwdOff, fwdEdges); err != nil {
 		return err
 	}
-	if g.revOff, g.revEdges, err = decodeCSR(); err != nil {
+	if err := validateCSR(revOff, revEdges); err != nil {
 		return err
 	}
+	g.fwdOff, g.fwdEdges = fwdOff, fwdEdges
+	g.revOff, g.revEdges = revOff, revEdges
 	return nil
 }
 
 // decodeNodeMeta fills ridOf and prestige from a node-metadata segment and
-// rebuilds the rid->node maps.
+// rebuilds the rid->node maps. Like decodeArcs, the flat arrays are
+// aliased in place when alignment and host layout allow; the derived
+// rid->node maps are always heap-built.
 func (g *Graph) decodeNodeMeta(data []byte) error {
 	nn := g.NumNodes()
-	if len(data) < 4 {
+	if len(data) < nodeMetaHeaderSize {
 		return errors.New("node metadata segment truncated")
 	}
 	if int(binary.LittleEndian.Uint32(data)) != nn {
 		return fmt.Errorf("node metadata segment built for %d nodes, graph has %d",
 			binary.LittleEndian.Uint32(data), nn)
 	}
-	if len(data) != 4+16*nn {
-		return fmt.Errorf("node metadata segment is %d bytes, want %d", len(data), 4+16*nn)
+	if len(data) != nodeMetaHeaderSize+16*nn {
+		return fmt.Errorf("node metadata segment is %d bytes, want %d", len(data), nodeMetaHeaderSize+16*nn)
 	}
-	p := data[4:]
+	p := data[nodeMetaHeaderSize:]
+	var ridOf []sqldb.RID
+	var prestige []float64
+	if canAlias(data) {
+		ridOf = aliasRIDs(p, nn)
+		prestige = aliasFloat64(p[8*nn:], nn)
+	} else {
+		ridOf = make([]sqldb.RID, nn)
+		for n := 0; n < nn; n++ {
+			ridOf[n] = sqldb.RID(binary.LittleEndian.Uint64(p[8*n:]))
+		}
+		prestige = make([]float64, nn)
+		q := p[8*nn:]
+		for n := 0; n < nn; n++ {
+			prestige[n] = math.Float64frombits(binary.LittleEndian.Uint64(q[8*n:]))
+		}
+	}
 	ridLimit := uint64(maxRIDFactor)*uint64(nn) + 1<<16
-	ridOf := make([]sqldb.RID, nn)
 	maxRID := make([]int64, len(g.tableNames))
-	for n := 0; n < nn; n++ {
-		v := binary.LittleEndian.Uint64(p[8*n:])
-		if v >= ridLimit {
-			return fmt.Errorf("node %d claims rid %d (limit %d)", n, v, ridLimit)
+	for n, rid := range ridOf {
+		if uint64(rid) >= ridLimit {
+			return fmt.Errorf("node %d claims rid %d (limit %d)", n, uint64(rid), ridLimit)
 		}
-		ridOf[n] = sqldb.RID(v)
-		if t := g.tableOf[n]; int64(v) >= maxRID[t] {
-			maxRID[t] = int64(v) + 1
+		if t := g.tableOf[n]; int64(rid) >= maxRID[t] {
+			maxRID[t] = int64(rid) + 1
 		}
-	}
-	p = p[8*nn:]
-	prestige := make([]float64, nn)
-	for n := 0; n < nn; n++ {
-		prestige[n] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*n:]))
 	}
 	nodeOf := make([][]NodeID, len(g.tableNames))
 	for t := range nodeOf {

@@ -193,16 +193,21 @@ func BuildWithOptions(db *sqldb.Database, g *graph.Graph, opts *BuildOptions) (*
 	})
 
 	// Merge in plan order: tables appear in creation order and ranges in
-	// ascending RID order, and node ids grow in exactly that order, so the
-	// concatenated postings per term are globally sorted — duplicates
-	// (one token twice in a row) are adjacent and removed below. The
-	// result is identical to sorting and deduplicating a serial scan.
+	// ascending RID order. When node ids are assigned in RID order per
+	// table (the default graph layout) the concatenated postings per term
+	// are already globally sorted; a graph built with a renumbering layout
+	// pass (BuildOptions.LayoutOrder) breaks that correspondence, so any
+	// out-of-order list is sorted before deduplication. Either way the
+	// result is canonical — identical for every shard count and layout.
 	for i := range plan {
 		for tok, ns := range plan[i].terms {
 			ix.terms[tok] = append(ix.terms[tok], ns...)
 		}
 	}
 	for tok, ns := range ix.terms {
+		if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] < ns[j] }) {
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		}
 		out := ns[:0]
 		for i, n := range ns {
 			if i == 0 || n != ns[i-1] {
@@ -349,7 +354,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // ForEachTermSorted visits every indexed token in ascending order with
 // its posting list — the iteration order WriteTo and the store”s postings
 // segment share. Lazy indexes fetch each list through their source and
-// return the first fetch error. Visited slices must not be mutated.
+// return the first fetch error. Visited slices must not be mutated and
+// are only valid for the duration of the callback (a lazy sweep decodes
+// every term into one reused buffer).
 func (ix *Index) ForEachTermSorted(fn func(tok string, ns []graph.NodeID)) error {
 	if ix.lazy != nil {
 		d := ix.ensureDict()
@@ -359,7 +366,20 @@ func (ix *Index) ForEachTermSorted(fn func(tok string, ns []graph.NodeID)) error
 		// Prefer the source's sequential path when it has one: a full
 		// sweep must stream blocks through, not admit every decoded
 		// block into the source's cache (which would pin the whole
-		// postings set resident on an unbounded budget).
+		// postings set resident on an unbounded budget). With an
+		// append-capable source the whole sweep shares one buffer.
+		if seq, ok := ix.lazy.src.(sequentialAppendSource); ok {
+			var buf []graph.NodeID
+			for i, tok := range d.Toks {
+				ns, err := seq.PostingsSequentialAppend(i, tok, buf[:0])
+				if err != nil {
+					return fmt.Errorf("index: loading postings for %q: %w", tok, err)
+				}
+				buf = ns
+				fn(tok, ns)
+			}
+			return nil
+		}
 		fetch := ix.lazy.src.Postings
 		if seq, ok := ix.lazy.src.(sequentialSource); ok {
 			fetch = seq.PostingsSequential

@@ -46,6 +46,21 @@ type sequentialSource interface {
 	PostingsSequential(i int, tok string) ([]graph.NodeID, error)
 }
 
+// appendSource is the optional buffer-reuse read path: decode dictionary
+// entry i's postings appending onto dst and return the extended slice.
+// Prefix lookups use it to fill one output buffer across a term range
+// instead of allocating a slice per term.
+type appendSource interface {
+	PostingsAppend(i int, tok string, dst []graph.NodeID) ([]graph.NodeID, error)
+}
+
+// sequentialAppendSource combines both: cache-bypassing decode into a
+// reused buffer, so a full sweep (WriteTo, re-save) touches one buffer
+// instead of allocating per term.
+type sequentialAppendSource interface {
+	PostingsSequentialAppend(i int, tok string, dst []graph.NodeID) ([]graph.NodeID, error)
+}
+
 // lazyIndex is the deferred state of a store-opened Index.
 type lazyIndex struct {
 	src      LazySource
@@ -129,10 +144,22 @@ func (ix *Index) lazyLookup(tok string) Match {
 // lazyLookupPrefix is LookupPrefix for a store-opened index: the sorted
 // dictionary makes the prefix range contiguous, so only matching terms'
 // postings are fetched (the eager index must walk its whole vocabulary).
+// With an append-capable source the whole range decodes into one output
+// buffer.
 func (ix *Index) lazyLookupPrefix(prefix string) []graph.NodeID {
 	d := ix.ensureDict()
 	var out []graph.NodeID
+	app, canAppend := ix.lazy.src.(appendSource)
 	for i := sort.SearchStrings(d.Toks, prefix); i < len(d.Toks) && strings.HasPrefix(d.Toks[i], prefix); i++ {
+		if canAppend {
+			ns, err := app.PostingsAppend(i, d.Toks[i], out)
+			if err != nil {
+				ix.lazy.setErr(fmt.Errorf("index: loading postings for %q: %w", d.Toks[i], err))
+				continue
+			}
+			out = ns
+			continue
+		}
 		out = append(out, ix.lazyPostings(i, d.Toks[i])...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -11,7 +11,7 @@
 //	+--------------------------------------------------------------+
 //	| header   magic "BANKSST1" · version u32 · flags u32          |
 //	+--------------------------------------------------------------+
-//	| segments (independent payloads, any gaps ignored)            |
+//	| segments (8-byte-aligned payloads, any gaps ignored)         |
 //	|   graph meta   tables, node ranges, counts, normalizers      |
 //	|   node meta    per-node RIDs + prestige                      |
 //	|   graph arcs   CSR adjacency, forward + reverse              |
@@ -49,12 +49,21 @@ const (
 	Magic       = "BANKSST1"
 	footerMagic = "BANKSEND"
 
-	// Version gates format changes.
-	Version = 1
+	// Version gates format changes. Version 2 aligns every segment to an
+	// 8-byte file offset and widens arc records to 16 bytes (see
+	// graph.EncodeArcs) so an mmap-opened store can serve the CSR arrays
+	// and node metadata as zero-copy views over the mapping.
+	Version = 2
 
 	headerSize = 16 // magic + version + flags
 	footerSize = 28 // dirOff + dirLen + dirCRC + magic
 	entrySize  = 24 // kind + offset + length + crc
+
+	// segAlign is the file-offset alignment of every segment: the widest
+	// field aliased directly out of the mapping is 8 bytes (float64
+	// weights, u64 rids), and mmap bases are page-aligned, so an 8-byte
+	// segment offset makes every in-segment array naturally aligned.
+	segAlign = 8
 )
 
 // Segment kinds. Unknown kinds in the directory are ignored on open, so

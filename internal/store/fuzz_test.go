@@ -87,31 +87,44 @@ func FuzzStoreOpen(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		st, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)), Options{BudgetBytes: 1 << 16})
-		if err != nil {
-			return // rejected cleanly
+		// Both byte-source implementations must reject/serve identical
+		// inputs identically: the copy path (plain io.ReaderAt) and the
+		// zero-copy view path (Mem, the in-memory stand-in for the mmap
+		// fast path — same viewer interface, same aliasing decode).
+		copyErr := fuzzProbe(OpenReaderAt(bytes.NewReader(data), int64(len(data)), Options{BudgetBytes: 1 << 16}))
+		viewErr := fuzzProbe(OpenReaderAt(Mem(data), int64(len(data)), Options{BudgetBytes: 1 << 16}))
+		if (copyErr == nil) != (viewErr == nil) {
+			t.Fatalf("byte sources disagree on acceptance: copy=%v view=%v", copyErr, viewErr)
 		}
-		// Force every lazy path: full graph + index materialization,
-		// lookups (exact, prefix, metadata), warm keys and the eager
-		// verification pass. None of it may panic; errors are fine.
-		g, ix := st.Graph(), st.Index()
-		_, _ = g.WriteTo(io.Discard)
-		_, _ = ix.WriteTo(io.Discard)
-		for _, term := range []string{"sunita", "mining", "paper", "zzz"} {
-			ix.Lookup(term)
-			ix.LookupPrefix(term[:1])
-		}
-		if g.NumNodes() > 0 {
-			g.Out(0)
-			g.In(0)
-			g.Prestige(0)
-			g.RIDOf(0)
-		}
-		_, _ = st.WarmKeys()
-		_ = st.Verify()
-		_ = st.Err()
-		_ = st.Stats()
 	})
+}
+
+// fuzzProbe forces every lazy path of an opened store: full graph + index
+// materialization, lookups (exact, prefix, metadata), warm keys and the
+// eager verification pass. None of it may panic; errors are fine.
+func fuzzProbe(st *Store, err error) error {
+	if err != nil {
+		return err // rejected cleanly
+	}
+	defer st.Close()
+	g, ix := st.Graph(), st.Index()
+	_, _ = g.WriteTo(io.Discard)
+	_, _ = ix.WriteTo(io.Discard)
+	for _, term := range []string{"sunita", "mining", "paper", "zzz"} {
+		ix.Lookup(term)
+		ix.LookupPrefix(term[:1])
+	}
+	if g.NumNodes() > 0 {
+		g.Out(0)
+		g.In(0)
+		g.Prestige(0)
+		g.RIDOf(0)
+	}
+	_, _ = st.WarmKeys()
+	_ = st.Verify()
+	_ = st.Err()
+	_ = st.Stats()
+	return nil
 }
 
 // FuzzStoreRoundTrip mutates warm-key lists and re-serializes: for any

@@ -1,0 +1,88 @@
+//go:build linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSource serves a store file as a read-only memory mapping: ViewAt
+// returns sub-slices of the mapping, so segments are never copied onto the
+// Go heap — residency is kernel-managed and N processes opening the same
+// store share one page-cache copy. The fd is closed right after mapping
+// (the mapping keeps the pages); Close unmaps.
+type mmapSource struct {
+	data []byte
+}
+
+// mapFile maps f read-only. Callers may close f once this returns.
+func mapFile(f *os.File, size int64) (*mmapSource, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("store: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap: %w", err)
+	}
+	return &mmapSource{data: data}, nil
+}
+
+func (m *mmapSource) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return 0, fmt.Errorf("store: read at %d outside mapping of %d bytes", off, len(m.data))
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("store: read [%d, %d) overruns mapping of %d bytes", off, off+int64(len(p)), len(m.data))
+	}
+	return n, nil
+}
+
+func (m *mmapSource) ViewAt(off, n int64) ([]byte, bool) {
+	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
+		return nil, false
+	}
+	return m.data[off : off+n : off+n], true
+}
+
+func (m *mmapSource) Close() error {
+	data := m.data
+	m.data = nil
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// Prefault asks the kernel to read the whole mapping ahead
+// (madvise(WILLNEED)) and then touches every page so the cost of demand
+// paging is paid up front rather than inside the first queries.
+func (m *mmapSource) Prefault() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	if err := syscall.Madvise(m.data, syscall.MADV_WILLNEED); err != nil {
+		return fmt.Errorf("store: madvise: %w", err)
+	}
+	var sink byte
+	for i := 0; i < len(m.data); i += pageSize {
+		sink += m.data[i]
+	}
+	_ = sink
+	return nil
+}
+
+// Mlock pins the mapping in physical memory (no major faults ever after).
+func (m *mmapSource) Mlock() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	if err := syscall.Mlock(m.data); err != nil {
+		return fmt.Errorf("store: mlock: %w", err)
+	}
+	return nil
+}
+
+const pageSize = 4096

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/banksdb/banks/internal/core"
@@ -58,6 +59,30 @@ func saveFixture(t *testing.T, warm []string) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// openCopy opens path through the plain file-read (copy) path, bypassing
+// the mmap fast path Open prefers. The block cache and the heap-residency
+// accounting only operate on this path — on a mapped store the mapping
+// itself is the cache.
+func openCopy(t *testing.T, path string, opts Options) *Store {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	st, err := OpenReaderAt(f, fi.Size(), opts)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	st.closer = f
+	return st
 }
 
 var parityQueries = [][]string{
@@ -153,8 +178,14 @@ func TestOpenIsLazy(t *testing.T) {
 		t.Fatalf("meta queries loaded %d bytes", got)
 	}
 	st.Index().Lookup("transaction")
-	if st.Stats().StructuralBytes == 0 {
+	if s := st.Stats(); s.StructuralBytes+s.MappedBytes == 0 {
 		t.Fatal("a lookup should have loaded the term dictionary")
+	}
+	if st.Mapped() {
+		// On a mapped store the dictionary is a view, not a heap copy.
+		if s := st.Stats(); s.StructuralBytes != 0 || s.MappedBytes == 0 {
+			t.Fatalf("mapped store made heap copies: %+v", s)
+		}
 	}
 }
 
@@ -323,10 +354,7 @@ func TestCorruptStoresRejected(t *testing.T) {
 func TestBudgetBoundsResidentBlocks(t *testing.T) {
 	path := saveFixture(t, nil)
 	const budget = 16 << 10
-	st, err := Open(path, Options{BudgetBytes: budget})
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := openCopy(t, path, Options{BudgetBytes: budget})
 	defer st.Close()
 
 	stream := datagen.ZipfTerms(20000, 99)
@@ -353,10 +381,7 @@ func TestBudgetBoundsResidentBlocks(t *testing.T) {
 	}
 
 	// Unbounded and uncached modes behave as documented.
-	stU, err := Open(path, Options{BudgetBytes: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	stU := openCopy(t, path, Options{BudgetBytes: -1})
 	defer stU.Close()
 	stU.Index().Lookup("transaction")
 	stU.Index().Lookup("transaction")
@@ -499,10 +524,7 @@ func TestConcurrentColdQueries(t *testing.T) {
 // the block cache (which would pin the whole postings set resident on an
 // unbounded budget).
 func TestFullSweepDoesNotPinBlocks(t *testing.T) {
-	st, err := Open(saveFixture(t, nil), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := openCopy(t, saveFixture(t, nil), Options{})
 	defer st.Close()
 	if _, err := st.Index().WriteTo(io.Discard); err != nil {
 		t.Fatal(err)
@@ -514,5 +536,214 @@ func TestFullSweepDoesNotPinBlocks(t *testing.T) {
 	st.Index().Lookup("transaction")
 	if stats := st.Stats(); stats.BlockEntries != 1 {
 		t.Fatalf("point lookup cached %d entries, want 1", stats.BlockEntries)
+	}
+}
+
+// TestCopyPathQueryParity is the heap-copy leg of the three-way golden
+// parity (built vs mmap vs copy): the plain-ReaderAt open, which decodes
+// every segment into heap copies, answers identically to the built engine.
+func TestCopyPathQueryParity(t *testing.T) {
+	_, g, ix := dblpEngine(t)
+	st := openCopy(t, saveFixture(t, nil), Options{})
+	defer st.Close()
+	if st.Mapped() {
+		t.Fatal("openCopy produced a view-backed store")
+	}
+	want := queryTrace(t, g, ix)
+	if got := queryTrace(t, st.Graph(), st.Index()); got != want {
+		t.Fatalf("copy-path queries diverge:\n got %q\nwant %q", got, want)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyOnMappedStore: Verify must hold on the mmap fast path too —
+// every CRC is computed over the mapping itself, no heap copies involved.
+func TestVerifyOnMappedStore(t *testing.T) {
+	path := saveFixture(t, []string{"=mohan"})
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.Mapped() {
+		t.Skip("mmap unavailable on this platform")
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify sweeps every segment; residency must be all views, no copies.
+	st.Index().Lookup("transaction")
+	stats := st.Stats()
+	if stats.StructuralBytes != 0 {
+		t.Fatalf("mapped store copied %d structural bytes to the heap", stats.StructuralBytes)
+	}
+	if stats.MappedBytes == 0 {
+		t.Fatal("mapped store reports no mapped structural bytes")
+	}
+}
+
+// TestStructuralFaultAccountingConcurrent: FaultedBytes must count each
+// structural segment at most once even when many goroutines race the
+// first touch (the sync.Once winner accounts; everyone else just waits).
+// Run under -race, and pin the expectation with a serial baseline.
+func TestStructuralFaultAccountingConcurrent(t *testing.T) {
+	path := saveFixture(t, nil)
+
+	touch := func(st *Store) {
+		g, ix := st.Graph(), st.Index()
+		for n := graph.NodeID(0); int(n) < g.NumNodes(); n += 97 {
+			g.Out(n)
+			g.In(n)
+			g.Prestige(n)
+			g.RIDOf(n)
+		}
+		ix.Lookup("transaction")
+		ix.Lookup("sunita")
+	}
+
+	serial, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touch(serial)
+	want := serial.FaultedBytes()
+	serial.Close()
+	if want == 0 {
+		t.Fatal("serial touch faulted nothing")
+	}
+
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			touch(st)
+		}()
+	}
+	wg.Wait()
+	if got := st.FaultedBytes(); got != want {
+		t.Fatalf("concurrent first touch faulted %d bytes, serial baseline %d (double counting)", got, want)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseWaitsForPinnedQueries: Close must not unmap while queries that
+// Acquired the store are still reading; once it returns, the store is
+// unreachable. Run under -race.
+func TestCloseWaitsForPinnedQueries(t *testing.T) {
+	st, err := Open(saveFixture(t, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 8
+	// Pin before Close starts so every reader is guaranteed in flight.
+	for i := 0; i < readers; i++ {
+		if !st.Acquire() {
+			t.Fatal("Acquire failed on an open store")
+		}
+	}
+	var done int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer st.Release()
+			<-start
+			s := core.NewSearcher(st.Graph(), st.Index())
+			if _, err := s.Search([]string{"soumen", "sunita"}, nil); err != nil {
+				t.Error(err)
+			}
+			atomic.AddInt32(&done, 1)
+		}()
+	}
+	closed := make(chan error, 1)
+	go func() {
+		close(start)
+		closed <- st.Close()
+	}()
+	err = <-closed
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close returning implies every pinned reader drained first.
+	if n := atomic.LoadInt32(&done); n != readers {
+		t.Fatalf("Close returned with %d/%d pinned readers still running", n, readers)
+	}
+	if st.Acquire() {
+		t.Fatal("Acquire succeeded after Close")
+	}
+	wg.Wait()
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// layoutTrace is queryTrace minus the pop fingerprint: iterator schedules
+// legitimately differ across node numberings; answers must not.
+func layoutTrace(t *testing.T, g *graph.Graph, ix *index.Index) string {
+	t.Helper()
+	s := core.NewSearcher(g, ix)
+	var b strings.Builder
+	for _, terms := range parityQueries {
+		answers, err := s.Search(terms, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(strings.Join(terms, " "))
+		for _, a := range answers {
+			b.WriteString(" |")
+			b.WriteString(a.Describe(g))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestDegreeLayoutParity: the build-time degree renumber changes node ids
+// only — every answer (roots, trees, scores, all named by table[rid]) is
+// identical to the default layout, both freshly built and through a store
+// round trip.
+func TestDegreeLayoutParity(t *testing.T) {
+	db, g0, ix0 := dblpEngine(t)
+	bo := graph.DefaultBuildOptions()
+	bo.LayoutOrder = graph.LayoutDegree
+	g1, err := graph.Build(db, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix1, err := index.Build(db, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := layoutTrace(t, g0, ix0)
+	if got := layoutTrace(t, g1, ix1); got != want {
+		t.Fatalf("degree layout diverges from rid layout:\n got %q\nwant %q", got, want)
+	}
+
+	path := filepath.Join(t.TempDir(), "degree.bstore")
+	if err := WriteFile(path, Engine{Graph: g1, Index: ix1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := layoutTrace(t, st.Graph(), st.Index()); got != want {
+		t.Fatalf("store-opened degree layout diverges:\n got %q\nwant %q", got, want)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -77,6 +77,7 @@ func Write(w io.Writer, eng Engine) error {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 	off := uint64(headerSize)
+	var pad [segAlign]byte
 	entries := make([]dirEntry, 0, len(segments))
 	for _, seg := range segments {
 		if seg.kind == kindWarmTerms && len(eng.WarmKeys) == 0 {
@@ -84,6 +85,15 @@ func Write(w io.Writer, eng Engine) error {
 		}
 		if seg.kind == kindWALSeq && eng.WALSeq == 0 {
 			continue
+		}
+		// Align the segment start so an mmap-opened store can alias the
+		// segment's fixed-width arrays in place (readers ignore the gap).
+		if rem := off % segAlign; rem != 0 {
+			n := segAlign - rem
+			if _, err := bw.Write(pad[:n]); err != nil {
+				return fmt.Errorf("store: writing padding: %w", err)
+			}
+			off += n
 		}
 		if _, err := bw.Write(seg.data); err != nil {
 			return fmt.Errorf("store: writing %s segment: %w", seg.kind, err)

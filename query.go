@@ -152,6 +152,15 @@ func (s *System) run(ctx context.Context, q Query, fn func(*Answer) bool) (*Resu
 		return nil, ErrClosed
 	}
 	eng := s.engine()
+	// Pin the byte source of a store-backed snapshot for the whole query:
+	// Close unmaps the file only after every holder drains, so a search
+	// can never fault on memory yanked out from under it.
+	if eng.st != nil {
+		if !eng.st.Acquire() {
+			return nil, ErrClosed
+		}
+		defer eng.st.Release()
+	}
 
 	var terms []string
 	if q.Qualified {

@@ -1,7 +1,6 @@
 package banks
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 
@@ -122,7 +121,15 @@ func (s *System) installStoreEngine(st *store.Store) error {
 	s.store = st
 	s.eng.Store(eng)
 	if keys, err := st.WarmKeys(); err == nil && len(keys) > 0 {
-		go eng.cache.Warm(eng.ix, eng.epoch, keys)
+		go func() {
+			// The warmer races Close: hold a store reference so the byte
+			// source (an mmap) cannot be unmapped under its lazy reads.
+			if !st.Acquire() {
+				return
+			}
+			defer st.Release()
+			eng.cache.Warm(eng.ix, eng.epoch, keys)
+		}()
 	}
 	return nil
 }
@@ -167,7 +174,9 @@ func LoadSystem(db *Database, r io.Reader, opts *SystemOptions) (*System, error)
 		if opts != nil {
 			s.opts = *opts
 		}
-		st, err := store.OpenReaderAt(bytes.NewReader(data), int64(len(data)),
+		// store.Mem serves the buffered stream zero-copy: graph and index
+		// structures alias the buffer instead of re-materializing copies.
+		st, err := store.OpenReaderAt(store.Mem(data), int64(len(data)),
 			store.Options{BudgetBytes: s.opts.StoreBudgetBytes})
 		if err != nil {
 			return nil, fmt.Errorf("banks: %w", err)
