@@ -1,0 +1,265 @@
+package banks
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"github.com/banksdb/banks/internal/cluster"
+	"github.com/banksdb/banks/internal/core"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/sqldb"
+)
+
+// StrategyDistributed is the scatter-gather execution strategy: the
+// query fans out to the partitions of a Cluster, each runs the backward
+// expanding search over its partition-local engine, and the front door
+// merges the partial results into the global top-k. It is served by
+// Cluster.Query (and the cluster's ServeHandler); a single-engine
+// System rejects it with a pointer here.
+const StrategyDistributed = core.StrategyDistributed
+
+// Cluster is the distributed serving front door: a set of partition
+// engines (in-process stores opened from banks-shard output, or remote
+// processes), a term-statistics routing broker that prunes partitions
+// which cannot match a query, and the deterministic top-k merge.
+//
+// Completeness bound: a distributed query returns every answer whose
+// connection tree lies entirely inside one partition, scored exactly as
+// the single-engine search scores it; trees crossing partition
+// boundaries are not found, so a root whose globally best tree crosses
+// the cut surfaces with its best partition-local tree (a lower bound on
+// its single-engine score) or not at all.
+// Results.Stats.PartitionLocalBound reports the bound whenever it
+// applies (more than one partition).
+//
+// The Cluster renders answers against db, which must hold the same rows
+// every partition store was built from. A Cluster is safe for
+// concurrent use.
+type Cluster struct {
+	db     *Database
+	coord  *cluster.Coordinator
+	closed atomic.Bool
+}
+
+// OpenCluster opens the partition stores at paths (the output of
+// banks-shard, conventionally base.p0 … base.pN-1; see
+// ClusterPartitionPaths) as in-process partitions over db and performs
+// the cluster handshake. opts contributes StoreBudgetBytes (the
+// per-partition resident-block budget); other system options do not
+// apply to partitioned serving.
+func OpenCluster(db *Database, paths []string, opts *SystemOptions) (*Cluster, error) {
+	if db == nil {
+		return nil, fmt.Errorf("banks: OpenCluster requires a database")
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("banks: OpenCluster requires at least one partition store")
+	}
+	var budget int64
+	if opts != nil {
+		budget = opts.StoreBudgetBytes
+	}
+	parts := make([]cluster.Partition, 0, len(paths))
+	fail := func(err error) (*Cluster, error) {
+		for _, p := range parts {
+			p.Close()
+		}
+		return nil, err
+	}
+	for i, path := range paths {
+		p, err := cluster.OpenLocal(fmt.Sprintf("p%d", i), path, budget)
+		if err != nil {
+			return fail(fmt.Errorf("banks: opening partition %d: %w", i, err))
+		}
+		parts = append(parts, p)
+	}
+	return newCluster(db, parts)
+}
+
+// OpenClusterRemotes connects to partition processes serving
+// cluster.Handler (banks-shard -serve) at urls and performs the cluster
+// handshake. The remote processes own the partition stores; Close only
+// drops the connections.
+func OpenClusterRemotes(db *Database, urls []string) (*Cluster, error) {
+	if db == nil {
+		return nil, fmt.Errorf("banks: OpenClusterRemotes requires a database")
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("banks: OpenClusterRemotes requires at least one partition URL")
+	}
+	parts := make([]cluster.Partition, 0, len(urls))
+	for i, u := range urls {
+		parts = append(parts, cluster.NewRemote(fmt.Sprintf("p%d", i), u, nil))
+	}
+	return newCluster(db, parts)
+}
+
+func newCluster(db *Database, parts []cluster.Partition) (*Cluster, error) {
+	coord, err := cluster.NewCoordinator(context.Background(), parts)
+	if err != nil {
+		for _, p := range parts {
+			p.Close()
+		}
+		return nil, fmt.Errorf("banks: %w", err)
+	}
+	return &Cluster{db: db, coord: coord}, nil
+}
+
+// ClusterPartitionPaths derives the conventional partition store paths
+// banks-shard writes for a base store path: base.p0, base.p1, …
+func ClusterPartitionPaths(base string, parts int) []string {
+	return cluster.PartitionPaths(base, parts)
+}
+
+// Partitions returns the number of partitions behind the cluster.
+func (c *Cluster) Partitions() int { return len(c.coord.Partitions()) }
+
+// ClusterStats is the cluster front door's cumulative routing telemetry.
+type ClusterStats struct {
+	// Partitions is the partition count.
+	Partitions int
+	// Queries counts distributed queries executed.
+	Queries int64
+	// PartitionsRouted counts scatter legs sent to partitions.
+	PartitionsRouted int64
+	// PartitionsPruned counts scatter legs the term-statistics broker
+	// proved unnecessary — the routing win.
+	PartitionsPruned int64
+}
+
+// Stats returns the cluster's cumulative routing counters.
+func (c *Cluster) Stats() ClusterStats {
+	r := c.coord.Routing()
+	return ClusterStats{
+		Partitions:       len(c.coord.Partitions()),
+		Queries:          r.Queries,
+		PartitionsRouted: r.PartitionsRouted,
+		PartitionsPruned: r.PartitionsPruned,
+	}
+}
+
+// Query answers a keyword query by scatter-gather over the partitions:
+// the broker routes to the partitions whose term statistics can match,
+// each routed partition runs the paper's backward expanding search
+// locally, and the results merge into the global top-k under the
+// engine's canonical (table, rid) tie-break. Accepted strategies are ""
+// and StrategyDistributed (partitions always run the backward search
+// locally); GroupByShape is not supported on a cluster.
+func (c *Cluster) Query(ctx context.Context, q Query) (*Results, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	switch q.Strategy {
+	case "", StrategyDistributed:
+	default:
+		return nil, fmt.Errorf("banks: a cluster serves only the %q strategy (got %q)",
+			StrategyDistributed, q.Strategy)
+	}
+	if q.GroupByShape {
+		return nil, fmt.Errorf("banks: GroupByShape is not supported on a cluster")
+	}
+
+	var terms []string
+	if q.Qualified {
+		terms = strings.Fields(q.Text)
+	} else {
+		terms = index.Tokenize(q.Text)
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("banks: empty query")
+	}
+
+	req := cluster.RequestFromOptions(terms, q.Qualified, q.Prefix, q.Options.toCore())
+	res, err := c.coord.Query(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := &Results{Stats: statsFromWire(res.Stats)}
+	for i := range res.Answers {
+		out.Answers = append(out.Answers, c.convertWireAnswer(&res.Answers[i]))
+	}
+	return out, nil
+}
+
+// statsFromWire converts merged cluster statistics to the public form.
+func statsFromWire(st cluster.Stats) Stats {
+	cs := st.ToCore()
+	return statsFromCore(&cs)
+}
+
+// convertWireAnswer materializes one wire answer (tuple references)
+// against the cluster's database. The read lock is held for the tree
+// walk, as in the single-engine path: row storage appends under the
+// write lock, and answers must not render half-written rows.
+func (c *Cluster) convertWireAnswer(a *cluster.Answer) *Answer {
+	c.db.inner.RLock()
+	defer c.db.inner.RUnlock()
+	matched := make(map[cluster.Ref]bool, len(a.TermNodes))
+	for _, r := range a.TermNodes {
+		matched[r] = true
+	}
+	children := make(map[cluster.Ref][]cluster.Edge)
+	for _, e := range a.Edges {
+		children[e.From] = append(children[e.From], e)
+	}
+	var build func(r cluster.Ref, w float64) *TreeNode
+	build = func(r cluster.Ref, w float64) *TreeNode {
+		node := &TreeNode{Tuple: c.tupleOfLocked(r), EdgeWeight: w, Matched: matched[r]}
+		for _, e := range children[r] {
+			node.Children = append(node.Children, build(e.To, e.W))
+		}
+		return node
+	}
+	tree := build(a.Root, 0)
+	return &Answer{
+		Rank:   a.Rank,
+		Score:  a.Score,
+		EScore: a.EScore,
+		NScore: a.NScore,
+		Weight: a.Weight,
+		Root:   tree.Tuple,
+		Tree:   tree,
+	}
+}
+
+// tupleOfLocked materializes the row behind a (table, rid) reference;
+// the caller holds the database read lock.
+func (c *Cluster) tupleOfLocked(r cluster.Ref) Tuple {
+	out := Tuple{Table: r.Table, RID: r.RID}
+	t := c.db.inner.Table(r.Table)
+	if t == nil {
+		return out
+	}
+	row := t.Row(sqldb.RID(r.RID))
+	if row == nil {
+		return out
+	}
+	for i, col := range t.Schema().Columns {
+		out.Columns = append(out.Columns, col.Name)
+		out.Values = append(out.Values, fromValue(row[i]))
+	}
+	return out
+}
+
+// PartitionHandler exposes one partition store over HTTP for a remote
+// cluster: open it in a partition process and mount the returned
+// handler, then point OpenClusterRemotes (or banks-shard's coordinator
+// mode) at it.
+func PartitionHandler(path string, budgetBytes int64) (http.Handler, func() error, error) {
+	p, err := cluster.OpenLocal("partition", path, budgetBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cluster.Handler(p), p.Close, nil
+}
+
+// Close closes every partition. In-flight queries on in-process
+// partitions finish against the store they pinned.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.coord.Close()
+}

@@ -1,0 +1,250 @@
+package banks
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/banksdb/banks/internal/cluster"
+	"github.com/banksdb/banks/internal/index"
+	"github.com/banksdb/banks/internal/serve"
+)
+
+// clusterServer is the cluster's production front door: a JSON /search
+// endpoint over Cluster.Query wrapped in the same admission-control,
+// deadline and observability machinery the single-engine ServeHandler
+// uses, plus the cluster's routing and per-partition gauges.
+type clusterServer struct {
+	c              *Cluster
+	opts           *ServeOptions
+	gate           *serve.Gate
+	heavyGate      *serve.Gate
+	metrics        *serve.Metrics
+	defaultTimeout time.Duration
+	mux            *http.ServeMux
+}
+
+// ServeHandler returns the cluster's HTTP front door: GET /search
+// answers keyword queries as JSON (answers in wire form — (table, rid)
+// references plus rendered labels — and the merged statistics including
+// the routing decision), with admission control, per-class heavy-query
+// gating, load shedding with Retry-After, server-side deadlines, and
+// the /debug + /debug/vars observability surface carrying per-partition
+// gauges and the broker's routing counters.
+//
+// Status mapping matches the single-engine front door: shed and
+// server-timeout requests get 503 + Retry-After, a client-chosen
+// timeout gets 408.
+func (c *Cluster) ServeHandler(opts *ServeOptions) http.Handler {
+	if opts == nil {
+		opts = &ServeOptions{}
+	}
+	s := &clusterServer{c: c, opts: opts, defaultTimeout: opts.DefaultTimeout}
+	if opts.MaxInFlight > 0 {
+		s.gate = serve.NewGate(serve.GateConfig{
+			Workers:      opts.MaxInFlight,
+			Queue:        opts.MaxQueue,
+			QueueTimeout: opts.QueueTimeout,
+			RetryAfter:   opts.RetryAfter,
+		})
+	}
+	if opts.HeavyMaxInFlight > 0 {
+		s.heavyGate = serve.NewGate(serve.GateConfig{
+			Workers:      opts.HeavyMaxInFlight,
+			Queue:        opts.HeavyMaxQueue,
+			QueueTimeout: opts.HeavyQueueTimeout,
+			RetryAfter:   opts.RetryAfter,
+		})
+	}
+	m := serve.NewMetrics(opts.SlowQuery, opts.SlowLogSize)
+	m.BindGate(s.gate)
+	m.BindGateNamed("gate_heavy", s.heavyGate)
+	c.bindClusterGauges(m)
+	s.metrics = m
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.Handle("/debug", serve.DebugHandler(m))
+	mux.Handle("/debug/vars", serve.DebugHandler(m))
+	s.mux = mux
+	return s
+}
+
+// bindClusterGauges registers the routing counters and one gauge set per
+// partition (size, sketch presence) on the metrics registry.
+func (c *Cluster) bindClusterGauges(m *serve.Metrics) {
+	reg := m.Registry()
+	reg.Gauge("cluster_partitions", func() int64 { return int64(c.Partitions()) })
+	reg.Gauge("cluster_queries_total", func() int64 { return c.Stats().Queries })
+	reg.Gauge("cluster_partitions_routed_total", func() int64 { return c.Stats().PartitionsRouted })
+	reg.Gauge("cluster_partitions_pruned_total", func() int64 { return c.Stats().PartitionsPruned })
+	for i, meta := range c.coord.Partitions() {
+		meta := meta
+		prefix := fmt.Sprintf("partition_%d", i)
+		reg.Gauge(prefix+"_nodes", func() int64 { return int64(meta.Nodes) })
+		reg.Gauge(prefix+"_arcs", func() int64 { return int64(meta.Arcs) })
+		reg.Gauge(prefix+"_sketch_bytes", func() int64 { return int64(len(meta.Sketch)) })
+	}
+}
+
+func (s *clusterServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// clusterSearchResponse is the JSON reply of the cluster's /search.
+type clusterSearchResponse struct {
+	Query   string              `json:"query"`
+	Answers []clusterWireAnswer `json:"answers,omitempty"`
+	Stats   cluster.Stats       `json:"stats"`
+	Error   string              `json:"error,omitempty"`
+}
+
+// clusterWireAnswer is one answer in the JSON reply: the wire answer
+// plus a human-readable label rendered from the front door's database.
+type clusterWireAnswer struct {
+	cluster.Answer
+	Label string `json:"label,omitempty"`
+}
+
+func (s *clusterServer) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *clusterServer) writeOverload(w http.ResponseWriter, gate *serve.Gate, err error) {
+	if gate == nil {
+		gate = s.gate
+	}
+	retry := time.Second
+	if gate != nil {
+		retry = gate.RetryAfter()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+	s.writeJSON(w, http.StatusServiceUnavailable, clusterSearchResponse{Error: err.Error()})
+}
+
+func (s *clusterServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	timeoutParam := r.URL.Query().Get("timeout")
+	terms := index.Tokenize(q)
+	if len(terms) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, clusterSearchResponse{Error: "empty query"})
+		return
+	}
+	// Validate before admission, as in the single-engine front door: a
+	// malformed request must not occupy a worker slot.
+	clientTimeout := timeoutParam != ""
+	var clientDeadline time.Duration
+	if clientTimeout {
+		d, err := time.ParseDuration(timeoutParam)
+		if err != nil || d <= 0 {
+			s.writeJSON(w, http.StatusBadRequest, clusterSearchResponse{
+				Error: fmt.Sprintf("bad timeout %q (want a duration like 500ms)", timeoutParam)})
+			return
+		}
+		clientDeadline = d
+	}
+	// Per-class admission: heavy classes contend for the heavy gate when
+	// one is configured, so expensive scatter queries cannot starve
+	// cheap single-term traffic.
+	class := serve.ClassOf(len(terms), false, false)
+	gate := s.gate
+	if s.heavyGate != nil && serve.IsHeavyClass(class) {
+		gate = s.heavyGate
+	}
+	release, aerr := gate.Acquire(r.Context())
+	if aerr != nil {
+		if serve.IsOverload(aerr) {
+			s.writeOverload(w, gate, aerr)
+		}
+		return
+	}
+	ctx := r.Context()
+	if clientTimeout {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, clientDeadline)
+		defer cancel()
+	} else if s.defaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.defaultTimeout)
+		defer cancel()
+	}
+
+	req := cluster.RequestFromOptions(terms, false, false, s.opts.Search.toCore())
+	start := time.Now()
+	// As in the single-engine front door, the deadline is enforced at
+	// the response layer: the scatter runs in its own goroutine and the
+	// response leaves the moment ctx expires; the abandoned scatter
+	// unwinds in the background and frees its slot when it exits.
+	type queryResult struct {
+		res *cluster.Result
+		err error
+	}
+	done := make(chan queryResult, 1)
+	go func() {
+		res, qerr := s.c.coord.Query(ctx, req)
+		var detail any
+		if res != nil {
+			detail = res.Stats
+		}
+		s.metrics.ObserveQuery(serve.QueryOutcome{
+			Query:           q,
+			Strategy:        StrategyDistributed,
+			Class:           class,
+			Elapsed:         time.Since(start),
+			Err:             qerr,
+			BudgetExhausted: res != nil && res.Stats.BudgetExhausted,
+			TimedOut:        errors.Is(qerr, context.DeadlineExceeded),
+			Detail:          detail,
+		})
+		done <- queryResult{res, qerr}
+		release()
+	}()
+	var res *cluster.Result
+	var err error
+	select {
+	case out := <-done:
+		res, err = out.res, out.err
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		if clientTimeout {
+			s.writeJSON(w, http.StatusRequestTimeout, clusterSearchResponse{
+				Error: fmt.Sprintf("search timed out after %s", timeoutParam)})
+		} else {
+			s.writeOverload(w, gate, fmt.Errorf("search exceeded the server's %s limit", s.defaultTimeout))
+		}
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		return // client disconnected; nobody is listening
+	}
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, clusterSearchResponse{Error: err.Error()})
+		return
+	}
+	resp := clusterSearchResponse{Query: q, Stats: res.Stats}
+	for i := range res.Answers {
+		a := clusterWireAnswer{Answer: res.Answers[i]}
+		a.Label = s.labelOf(res.Answers[i].Root)
+		resp.Answers = append(resp.Answers, a)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// labelOf renders a root reference compactly against the database.
+func (s *clusterServer) labelOf(ref cluster.Ref) string {
+	s.c.db.inner.RLock()
+	defer s.c.db.inner.RUnlock()
+	t := s.c.tupleOfLocked(ref)
+	if len(t.Columns) == 0 {
+		return fmt.Sprintf("%s#%d", ref.Table, ref.RID)
+	}
+	return strings.TrimSpace(t.Label())
+}

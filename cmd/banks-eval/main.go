@@ -19,6 +19,14 @@
 //	-load PATH   open a saved store and report cold-open vs rebuild
 //	             time plus query parity (the BENCH_store.json data);
 //	             -storebudget bounds resident posting blocks
+//	-clusterbench  the distributed-serving bench: §5.2 classes through
+//	             the scatter-gather cluster at N=1,2,4 partitions vs
+//	             the single engine, plus the broker's routing prune
+//	             rate (the BENCH_cluster.json data)
+//
+// -loadtest with -partitions N splits the store into N partitions and
+// drives the distributed JSON front door (Cluster.ServeHandler) instead
+// of the single-engine web UI, under the same -maxp99/-maxshed gates.
 //
 // By default it runs everything at -scale small; -scale paper uses the
 // 100K-node / 300K-edge configuration of the paper. -shards caps the
@@ -82,6 +90,9 @@ func main() {
 	ltMaxShed := flag.Float64("maxshed", -1, "fail the loadtest if the shed rate exceeds this fraction (negative = no check)")
 	ltMinHit := flag.Float64("minhitrate", 0, "fail the loadtest if the steady-state match-cache hit rate falls below this fraction (0 = no check)")
 	ltJSON := flag.String("ltjson", "", "write the loadtest summary JSON to this path")
+	partitions := flag.Int("partitions", 0, "with -loadtest: split the store into N partitions and drive the distributed front door")
+	clusterBench := flag.Bool("clusterbench", false, "run the distributed-serving bench: distributed vs single-engine latency at N=1,2,4 and routing prune rate (the BENCH_cluster.json data)")
+	cbJSON := flag.String("cbjson", "", "write the -clusterbench summary JSON to this path")
 	flag.Parse()
 	all := !*figure5 && !*full && !*anecdotes && !*space && !*latency && !*buildbench && !*ab
 
@@ -103,6 +114,25 @@ func main() {
 	}
 	if *mutate > 0 {
 		runMutate(ctx, *scale, *strategy, *mutate)
+		return
+	}
+	if *clusterBench {
+		runClusterBench(ctx, *scale, *cbJSON)
+		return
+	}
+	if *loadtest && *partitions > 0 {
+		runClusterLoadTest(ctx, loadTestConfig{
+			Scale:        *scale,
+			Duration:     *ltDuration,
+			Workers:      *ltWorkers,
+			MaxInFlight:  *ltInFlight,
+			MaxQueue:     *ltQueue,
+			QueueTimeout: 2 * time.Second,
+			Timeout:      *ltTimeout,
+			StoreBudget:  *storeBudget,
+			MaxP99:       *ltMaxP99,
+			MaxShedRate:  *ltMaxShed,
+		}, *partitions)
 		return
 	}
 	if *loadtest {

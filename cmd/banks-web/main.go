@@ -6,7 +6,7 @@
 // Usage:
 //
 //	banks-web [-data dblp|thesis|tpcd] [-scale small|paper] [-addr :8080]
-//	          [-store PATH] [-storebudget BYTES]
+//	          [-store PATH] [-storebudget BYTES] [-partitions N]
 //	          [-maxinflight N] [-maxqueue N] [-queuetimeout D]
 //	          [-timeout D] [-slowquery D]
 //
@@ -14,6 +14,13 @@
 // disk store instead of being rebuilt at startup: an existing store opens
 // lazily in milliseconds (segments fault in on first query); a missing
 // one is built once, persisted, and used — so the next start is instant.
+//
+// With -partitions N (requires -store), the store is split into N
+// partition stores along the (table, row-range) cut (written next to the
+// base store as PATH.p0 … PATH.pN-1, reused when present) and served
+// through the distributed scatter-gather front door instead: a JSON
+// /search endpoint with term-statistics routing, admission control and
+// /debug observability, in place of the HTML browsing UI.
 //
 // SIGINT/SIGTERM drain in-flight requests (bounded by -draintimeout)
 // before the engine closes.
@@ -33,6 +40,7 @@ import (
 
 	banks "github.com/banksdb/banks"
 	"github.com/banksdb/banks/internal/browse"
+	"github.com/banksdb/banks/internal/cluster"
 	"github.com/banksdb/banks/internal/datagen"
 	"github.com/banksdb/banks/internal/sqldb"
 	"github.com/banksdb/banks/internal/sqlexec"
@@ -44,6 +52,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storePath := flag.String("store", "", "serve the engine from this disk store (built+saved on first run)")
 	storeBudget := flag.Int64("storebudget", 0, "resident posting-block budget with -store (bytes; 0 = unbounded)")
+	partitions := flag.Int("partitions", 0, "with -store: split into N partitions and serve the distributed JSON front door")
 	maxInFlight := flag.Int("maxinflight", 32, "max concurrently executing searches (0 = no admission control)")
 	maxQueue := flag.Int("maxqueue", 64, "max searches waiting for a worker slot before shedding")
 	queueTimeout := flag.Duration("queuetimeout", 2*time.Second, "shed a queued search after waiting this long (0 = wait forever)")
@@ -58,24 +67,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := openSystem(db, *data, *scale, *storePath, *storeBudget, excluded)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Seed a few demo templates so /template has content.
-	if err := seedTemplates(db, *data); err != nil {
-		log.Printf("seeding templates: %v", err)
-	}
-
-	handler := sys.ServeHandler(&banks.ServeOptions{
+	serveOpts := &banks.ServeOptions{
 		Search:         &banks.SearchOptions{ExcludedRootTables: excluded},
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		QueueTimeout:   *queueTimeout,
 		DefaultTimeout: *timeout,
 		SlowQuery:      *slowQuery,
-	})
+	}
+	var handler http.Handler
+	var closeEngine func() error
+	if *partitions > 0 {
+		if *storePath == "" {
+			fmt.Fprintln(os.Stderr, "banks-web: -partitions requires -store PATH")
+			os.Exit(2)
+		}
+		cl, err := openCluster(db, *data, *scale, *storePath, *storeBudget, *partitions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = cl.ServeHandler(serveOpts)
+		closeEngine = cl.Close
+	} else {
+		sys, err := openSystem(db, *data, *scale, *storePath, *storeBudget, excluded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Seed a few demo templates so /template has content.
+		if err := seedTemplates(db, *data); err != nil {
+			log.Printf("seeding templates: %v", err)
+		}
+		handler = sys.ServeHandler(serveOpts)
+		closeEngine = sys.Close
+	}
 
 	// A production-shaped server: header reads, whole requests, responses
 	// and idle keep-alives all bounded, so one slow client cannot pin a
@@ -112,10 +136,49 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := sys.Close(); err != nil {
+	if err := closeEngine(); err != nil {
 		log.Printf("closing engine: %v", err)
 	}
 	log.Print("bye")
+}
+
+// openCluster produces the distributed serving Cluster: it ensures the
+// base store exists (building and saving it if absent), splits it into
+// n partition stores along the (table, row-range) cut when the
+// partition files are missing, and opens every partition behind one
+// scatter-gather coordinator.
+func openCluster(db *sqldb.Database, data, scale, storePath string, budget int64, n int) (*banks.Cluster, error) {
+	wdb := banks.WrapDatabase(db)
+	opts := &banks.SystemOptions{StoreBudgetBytes: budget}
+	if _, err := os.Stat(storePath); os.IsNotExist(err) {
+		start := time.Now()
+		sys, err := banks.NewSystem(wdb, opts)
+		if err != nil {
+			return nil, err
+		}
+		saveErr := sys.Save(storePath)
+		sys.Close()
+		if saveErr != nil {
+			return nil, saveErr
+		}
+		log.Printf("no store at %s: built and saved %s/%s in %v", storePath, data, scale, time.Since(start))
+	}
+	paths := banks.ClusterPartitionPaths(storePath, n)
+	if _, err := os.Stat(paths[0]); os.IsNotExist(err) {
+		start := time.Now()
+		if err := cluster.SplitStore(storePath, paths); err != nil {
+			return nil, err
+		}
+		log.Printf("split %s into %d partitions in %v", storePath, n, time.Since(start))
+	}
+	start := time.Now()
+	cl, err := banks.OpenCluster(wdb, paths, opts)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("opened %d-partition cluster from %s in %v (distributed JSON front door on /search)",
+		n, storePath, time.Since(start))
+	return cl, nil
 }
 
 // openSystem produces the serving System: a fresh in-memory build by

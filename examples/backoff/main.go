@@ -1,0 +1,87 @@
+// Shed-aware client: query a BANKS front door (single-engine or the
+// distributed /search endpoint) and honor its load-shedding protocol.
+//
+// The front door sheds excess load with 503 + a Retry-After header
+// sized from the gate's live queue depth. A well-behaved client treats
+// that as the server's own estimate of when capacity frees up: it
+// sleeps the advertised interval (plus jitter, so a shed burst does not
+// re-arrive as a synchronized retry storm), retries a bounded number of
+// times, and backs off exponentially on top of the hint. 408 means the
+// client's own deadline was too tight — retrying with the same deadline
+// would fail the same way, so it is not retried here.
+//
+// Run a server first, e.g.:
+//
+//	banks-web -data dblp -addr :8080
+//	go run ./examples/backoff -url 'http://localhost:8080/search?q=sunita+soumen'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080/search?q=sunita", "search URL to fetch")
+	retries := flag.Int("retries", 5, "max attempts before giving up")
+	flag.Parse()
+
+	body, err := fetchWithBackoff(*url, *retries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(body)
+}
+
+// fetchWithBackoff GETs url, retrying 503 responses according to the
+// server's Retry-After hint with jittered exponential backoff.
+func fetchWithBackoff(url string, retries int) ([]byte, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	backoff := time.Second // grows only when the server sends no hint
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+			}
+			return body, nil
+		}
+		if attempt >= retries {
+			return nil, fmt.Errorf("%s: still overloaded after %d attempts", url, attempt)
+		}
+		wait := retryAfter(resp, backoff)
+		// Full jitter: a uniformly random slice of the advertised wait,
+		// so clients shed in the same instant spread their retries out
+		// instead of stampeding back together.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		log.Printf("shed (%s), retry %d/%d in %v", resp.Status, attempt, retries, wait)
+		time.Sleep(wait)
+		backoff *= 2
+	}
+}
+
+// retryAfter reads the server's Retry-After hint (delta-seconds form),
+// falling back to the client's own exponential backoff when absent.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}

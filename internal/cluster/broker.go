@@ -1,0 +1,61 @@
+package cluster
+
+// The routing broker (the ZBroker idea): per-partition term statistics
+// decide which partitions a query scatters to. Pruning is conservative
+// by construction — sketch membership is exact over indexed tokens, so a
+// partition is pruned only when it provably cannot match (with
+// RequireAllTerms additionally: cannot match every term, in which case
+// it would contribute no answers anyway). Prefix and qualified queries
+// bypass pruning entirely: their match sets are not token-exact.
+
+import "strings"
+
+// Broker routes queries to partitions by their term-statistics sketches.
+type Broker struct {
+	sketches []*Sketch // by partition; nil = always route
+}
+
+// NewBroker builds a broker over per-partition sketches (nil entries
+// mean "no statistics, always route that partition").
+func NewBroker(sketches []*Sketch) *Broker {
+	return &Broker{sketches: sketches}
+}
+
+// Partitions returns the partition count.
+func (b *Broker) Partitions() int { return len(b.sketches) }
+
+// Route returns the indexes of partitions the query must scatter to.
+// scatterAll disables pruning (prefix/qualified queries, or terms the
+// sketches cannot decide); requireAll prunes partitions missing any term
+// (sound because such a partition returns no answers under the
+// all-terms-required contract).
+func (b *Broker) Route(terms []string, requireAll, scatterAll bool) []int {
+	routed := make([]int, 0, len(b.sketches))
+	for p, sk := range b.sketches {
+		if scatterAll || sk == nil || b.matches(sk, terms, requireAll) {
+			routed = append(routed, p)
+		}
+	}
+	return routed
+}
+
+func (b *Broker) matches(sk *Sketch, terms []string, requireAll bool) bool {
+	matched := 0
+	total := 0
+	for _, t := range terms {
+		t = strings.TrimSpace(strings.ToLower(t))
+		if t == "" {
+			continue
+		}
+		total++
+		if sk.Has(t) {
+			matched++
+		} else if requireAll {
+			return false
+		}
+	}
+	if total == 0 {
+		return true // nothing to decide on; never prune blind
+	}
+	return matched > 0
+}

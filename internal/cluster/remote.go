@@ -1,0 +1,141 @@
+package cluster
+
+// The HTTP/JSON partition adapter: Handler exposes any Partition over
+// two endpoints (GET /cluster/meta, POST /cluster/query) and Remote
+// implements Partition over those endpoints, so partitions can live in
+// separate processes — same wire vocabulary, same merge semantics.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxWireBody bounds request/response bodies trusted from the network.
+const maxWireBody = 64 << 20
+
+// Handler serves a partition over HTTP: GET /cluster/meta returns the
+// partition's Meta, POST /cluster/query runs one scatter-gather leg.
+func Handler(p Partition) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/meta", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		m, err := p.Meta(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, m)
+	})
+	mux.HandleFunc("/cluster/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxWireBody))
+		if err == nil {
+			err = json.Unmarshal(body, &req)
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad query request: %v", err), http.StatusBadRequest)
+			return
+		}
+		res, err := p.Query(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, res)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Remote is a Partition served by another process through Handler.
+type Remote struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewRemote returns a partition client for the Handler at base (e.g.
+// "http://host:port"). hc nil uses a client with a 30s timeout.
+func NewRemote(name, base string, hc *http.Client) *Remote {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote{name: name, base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Name implements Partition.
+func (r *Remote) Name() string { return r.name }
+
+// Meta implements Partition.
+func (r *Remote) Meta(ctx context.Context) (Meta, error) {
+	var m Meta
+	err := r.do(ctx, http.MethodGet, "/cluster/meta", nil, &m)
+	return m, err
+}
+
+// Query implements Partition.
+func (r *Remote) Query(ctx context.Context, req Request) (*Result, error) {
+	var res Result
+	if err := r.do(ctx, http.MethodPost, "/cluster/query", &req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Close implements Partition (the remote process owns the store).
+func (r *Remote) Close() error { return nil }
+
+func (r *Remote) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: partition %s: encoding request: %w", r.name, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.base+path, body)
+	if err != nil {
+		return fmt.Errorf("cluster: partition %s: %w", r.name, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: partition %s: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxWireBody))
+	if err != nil {
+		return fmt.Errorf("cluster: partition %s: reading response: %w", r.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		return fmt.Errorf("cluster: partition %s: %s: %s", r.name, resp.Status, msg)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("cluster: partition %s: decoding response: %w", r.name, err)
+	}
+	return nil
+}

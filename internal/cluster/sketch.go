@@ -1,0 +1,172 @@
+package cluster
+
+// The term-statistics sketch: what the routing broker knows about one
+// partition. Following ZBroker's per-backend term statistics, each
+// partition records, at save time, the 64-bit hash of every token its
+// keyword index can match — data tokens and metadata (table/column name)
+// tokens alike — with its document frequency. Membership is exact over
+// hashes (every indexed token is present), so pruning can never drop a
+// partition that would have matched a query term: a hash collision can
+// only route a partition unnecessarily, never skip one. The sketch is
+// persisted in the store's term-stats segment (kindTermStats) and is
+// opaque to the store itself.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/banksdb/banks/internal/graph"
+	"github.com/banksdb/banks/internal/index"
+)
+
+// Sketch is a partition's term -> document-frequency summary: sorted
+// 64-bit token hashes with per-token posting counts.
+type Sketch struct {
+	hashes []uint64
+	dfs    []uint64
+}
+
+// TermHash is the hash every sketch membership test uses: FNV-1a over the
+// normalized (trimmed, lowercased) term — the same normalization the
+// executor's resolution stage applies before an index lookup.
+func TermHash(term string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(term); i++ {
+		c := term[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// BuildSketch summarizes an index: one entry per indexed data token
+// (df = posting count) and per metadata token (df += the number of tables
+// it names — a metadata match expands to whole tables, so any non-zero
+// df marks the partition routable for that term).
+func BuildSketch(ix *index.Index) (*Sketch, error) {
+	acc := make(map[uint64]uint64)
+	err := ix.ForEachTermSorted(func(tok string, ns []graph.NodeID) {
+		acc[TermHash(tok)] += uint64(len(ns))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building sketch: %w", err)
+	}
+	for tok, tables := range ix.MetaTables() {
+		acc[TermHash(tok)] += uint64(len(tables))
+	}
+	s := &Sketch{
+		hashes: make([]uint64, 0, len(acc)),
+		dfs:    make([]uint64, 0, len(acc)),
+	}
+	for h := range acc {
+		s.hashes = append(s.hashes, h)
+	}
+	sort.Slice(s.hashes, func(i, j int) bool { return s.hashes[i] < s.hashes[j] })
+	for _, h := range s.hashes {
+		s.dfs = append(s.dfs, acc[h])
+	}
+	return s, nil
+}
+
+// Len returns the number of distinct token hashes in the sketch.
+func (s *Sketch) Len() int { return len(s.hashes) }
+
+// Has reports whether the partition indexes term (normalized the same way
+// the executor normalizes it). False only when no indexed token hashes to
+// the term's hash — so a true partition-term match is never missed.
+func (s *Sketch) Has(term string) bool { return s.DF(term) > 0 }
+
+// DF returns the partition's document frequency for term (0: absent).
+func (s *Sketch) DF(term string) uint64 {
+	h := TermHash(strings.TrimSpace(term))
+	i := sort.Search(len(s.hashes), func(i int) bool { return s.hashes[i] >= h })
+	if i < len(s.hashes) && s.hashes[i] == h {
+		return s.dfs[i]
+	}
+	return 0
+}
+
+// sketchVersion gates the sketch encoding.
+const sketchVersion = 1
+
+// maxSketchTerms bounds the entry count trusted from an encoded sketch.
+const maxSketchTerms = 1 << 26
+
+// Encode renders the sketch for the store's term-stats segment: version,
+// entry count, then delta-encoded sorted hashes each followed by its df,
+// all uvarint.
+func (s *Sketch) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, sketchVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(s.hashes)))
+	prev := uint64(0)
+	for i, h := range s.hashes {
+		buf = binary.AppendUvarint(buf, h-prev)
+		buf = binary.AppendUvarint(buf, s.dfs[i])
+		prev = h
+	}
+	return buf
+}
+
+// DecodeSketch parses an encoded sketch, validating structure so corrupt
+// bytes yield an error rather than a bogus router.
+func DecodeSketch(data []byte) (*Sketch, error) {
+	d := sketchDecoder{buf: data}
+	if v := d.uvarint(); d.err == nil && v != sketchVersion {
+		return nil, fmt.Errorf("cluster: sketch version %d not supported", v)
+	}
+	n := d.uvarint()
+	if d.err == nil && n > maxSketchTerms {
+		return nil, fmt.Errorf("cluster: sketch claims %d terms", n)
+	}
+	s := &Sketch{
+		hashes: make([]uint64, 0, n),
+		dfs:    make([]uint64, 0, n),
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		delta := d.uvarint()
+		df := d.uvarint()
+		h := prev + delta
+		if i > 0 && h <= prev {
+			return nil, fmt.Errorf("cluster: sketch hashes out of order at entry %d", i)
+		}
+		s.hashes = append(s.hashes, h)
+		s.dfs = append(s.dfs, df)
+		prev = h
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("cluster: decoding sketch: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("cluster: sketch has %d trailing bytes", len(d.buf))
+	}
+	return s, nil
+}
+
+type sketchDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *sketchDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}

@@ -1,0 +1,44 @@
+package core
+
+// DistributedStrategy: the registry entry for the scatter-gather executor
+// of internal/cluster. The real fan-out lives outside this package — a
+// cluster front door (banks.Cluster) intercepts Options.Strategy ==
+// StrategyDistributed, scatters the query to its partitions (each of
+// which runs the plain backward strategy against its partition-local
+// engine) and merges the per-partition answers with the same canonical
+// (table, rid) tie-break the emitter uses. Registering the name here
+// keeps strategy selection uniform: ValidateStrategy accepts it,
+// Strategies lists it, and a plain single-engine Searcher asked to run it
+// fails with a directed error instead of a registry miss.
+
+import (
+	"context"
+	"errors"
+)
+
+// StrategyDistributed is the scatter-gather strategy over a partitioned
+// cluster. It is only executable through a cluster front door; selecting
+// it on a single-engine System returns an error.
+const StrategyDistributed = "distributed"
+
+// DistributedStrategy is the registry placeholder for the cluster
+// scatter-gather executor.
+type DistributedStrategy struct{}
+
+// Name implements Strategy.
+func (DistributedStrategy) Name() string { return StrategyDistributed }
+
+func (DistributedStrategy) resolver(s *Searcher) termResolver { return cacheResolver{s} }
+
+func (DistributedStrategy) run(ctx context.Context, ex *exec) ([]*Answer, error) {
+	return nil, ErrNotDistributed
+}
+
+// ErrNotDistributed reports that the "distributed" strategy was selected
+// on an engine that is not a partitioned cluster front door.
+var ErrNotDistributed = errors.New(
+	`core: strategy "distributed" requires a partitioned cluster front door (banks.OpenCluster); a single engine cannot scatter-gather`)
+
+func init() {
+	RegisterStrategy(DistributedStrategy{})
+}

@@ -138,6 +138,18 @@ type Stats struct {
 	BytesFaulted      int64    // store bytes faulted during the query (fault meter attached)
 	BudgetExhausted   bool     // the query was truncated by its cost budget
 	BudgetReason      string   // which axis cut it off: "pops", "arcs" or "bytes"
+
+	// Distributed execution (the "distributed" strategy, internal/cluster).
+	// Zero on single-engine queries.
+	PartitionsTotal  int // partitions in the cluster
+	PartitionsRouted int // partitions the broker scattered the query to
+	PartitionsPruned int // partitions pruned by term-statistics routing
+	// PartitionLocalBound reports the distributed completeness bound: every
+	// answer whose connection tree lies entirely within one partition was
+	// found with its exact single-engine score, but trees crossing partition
+	// boundaries were not searched (boundary-arc stitching is deferred).
+	// Always true for distributed queries over more than one partition.
+	PartitionLocalBound bool
 }
 
 // Searcher answers keyword queries over a graph + keyword index pair —

@@ -296,3 +296,10 @@ func QueryLabel(strategy, class string) string {
 	}
 	return fmt.Sprintf("query_latency_%s_%s", strategy, class)
 }
+
+// IsHeavyClass reports whether a ClassOf class belongs on the heavy
+// admission gate: everything beyond a plain single-term query (more
+// terms multiply the iterator frontier; prefix and qualified matching
+// widen the match sets). Single-term exact queries are the cheap class
+// that must stay admissible while heavy traffic queues.
+func IsHeavyClass(class string) bool { return class != "1term" }

@@ -100,16 +100,21 @@ func (m *Metrics) ObserveQuery(o QueryOutcome) {
 
 // BindGate registers the gate's live counters as gauges so admission
 // state shows up on /debug alongside everything else.
-func (m *Metrics) BindGate(g *Gate) {
+func (m *Metrics) BindGate(g *Gate) { m.BindGateNamed("gate", g) }
+
+// BindGateNamed is BindGate under an explicit gauge-name prefix, for
+// servers running more than one admission gate (per-class admission:
+// a "gate" for cheap queries and a "gate_heavy" for expensive ones).
+func (m *Metrics) BindGateNamed(prefix string, g *Gate) {
 	if m == nil || g == nil {
 		return
 	}
-	m.reg.Gauge("gate_inflight", func() int64 { return int64(g.Stats().InFlight) })
-	m.reg.Gauge("gate_queued", func() int64 { return int64(g.Stats().Queued) })
-	m.reg.Gauge("gate_workers", func() int64 { return int64(g.Stats().Workers) })
-	m.reg.Gauge("gate_queue_cap", func() int64 { return int64(g.Stats().Queue) })
-	m.reg.Gauge("gate_admitted_total", func() int64 { return g.Stats().Admitted })
-	m.reg.Gauge("gate_shed_total", func() int64 { return g.Stats().Shed })
-	m.reg.Gauge("gate_queue_timeout_total", func() int64 { return g.Stats().TimedOut })
-	m.reg.Gauge("gate_canceled_total", func() int64 { return g.Stats().Canceled })
+	m.reg.Gauge(prefix+"_inflight", func() int64 { return int64(g.Stats().InFlight) })
+	m.reg.Gauge(prefix+"_queued", func() int64 { return int64(g.Stats().Queued) })
+	m.reg.Gauge(prefix+"_workers", func() int64 { return int64(g.Stats().Workers) })
+	m.reg.Gauge(prefix+"_queue_cap", func() int64 { return int64(g.Stats().Queue) })
+	m.reg.Gauge(prefix+"_admitted_total", func() int64 { return g.Stats().Admitted })
+	m.reg.Gauge(prefix+"_shed_total", func() int64 { return g.Stats().Shed })
+	m.reg.Gauge(prefix+"_queue_timeout_total", func() int64 { return g.Stats().TimedOut })
+	m.reg.Gauge(prefix+"_canceled_total", func() int64 { return g.Stats().Canceled })
 }

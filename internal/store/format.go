@@ -82,6 +82,12 @@ const (
 	// truncation crash-safe: replay after a crash skips batches with
 	// seq <= the stored value. Absent (old stores) means 0.
 	kindWALSeq kind = 7
+	// kindTermStats holds the partition's term-statistics sketch: the
+	// per-term document frequencies the cluster routing broker consults
+	// to prune partitions that cannot match a query. The payload is
+	// opaque to the store (internal/cluster owns the encoding); absent
+	// means "no sketch" and routing falls back to scattering everywhere.
+	kindTermStats kind = 8
 )
 
 func (k kind) String() string {
@@ -100,6 +106,8 @@ func (k kind) String() string {
 		return "warm terms"
 	case kindWALSeq:
 		return "WAL sequence"
+	case kindTermStats:
+		return "term statistics"
 	}
 	return fmt.Sprintf("segment kind %d", uint32(k))
 }

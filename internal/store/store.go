@@ -482,6 +482,17 @@ func (s *Store) WarmKeys() ([]string, error) {
 
 const maxWarmKeys = 1 << 20
 
+// TermStats returns the term-statistics sketch recorded at save time, or
+// nil when the segment is absent. The payload is opaque to the store;
+// internal/cluster owns the encoding. The returned bytes are a fresh or
+// mapped copy — callers must not mutate them.
+func (s *Store) TermStats() ([]byte, error) {
+	if _, ok := s.segs[kindTermStats]; !ok {
+		return nil, nil
+	}
+	return s.fetchSegment(kindTermStats)
+}
+
 // ArcsSegment implements graph.SegmentSource. On a zero-copy store the
 // returned bytes are a view of the mapping, which the graph aliases its
 // CSR arrays over — Dijkstra's neighbor scan then reads mapped memory

@@ -25,6 +25,10 @@ type Engine struct {
 	// this engine already contains; replay on reopen skips seq <= WALSeq.
 	// 0 (the default) means "no WAL history folded in".
 	WALSeq uint64
+	// TermStats is the partition's term-statistics sketch for the cluster
+	// routing broker, already encoded (internal/cluster owns the format;
+	// the store treats it as opaque bytes). Empty means "no sketch".
+	TermStats []byte
 }
 
 // legacySnapshotMagic is the monolithic pre-store snapshot format; see the
@@ -67,6 +71,7 @@ func Write(w io.Writer, eng Engine) error {
 		{kindPostings, postings},
 		{kindWarmTerms, encodeWarmKeys(eng.WarmKeys)},
 		{kindWALSeq, binary.BigEndian.AppendUint64(nil, eng.WALSeq)},
+		{kindTermStats, eng.TermStats},
 	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -84,6 +89,9 @@ func Write(w io.Writer, eng Engine) error {
 			continue
 		}
 		if seg.kind == kindWALSeq && eng.WALSeq == 0 {
+			continue
+		}
+		if seg.kind == kindTermStats && len(eng.TermStats) == 0 {
 			continue
 		}
 		// Align the segment start so an mmap-opened store can alias the

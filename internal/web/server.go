@@ -39,6 +39,7 @@ type Server struct {
 	// server-side search deadline. Configure before serving — these fields
 	// are read concurrently once requests flow.
 	gate           *serve.Gate
+	heavyGate      *serve.Gate // per-class admission: heavy classes gate here
 	metrics        *serve.Metrics
 	defaultTimeout time.Duration
 }
@@ -54,6 +55,14 @@ func (s *Server) SetEngineErr(fn func() error) { s.engineErr = fn }
 // worker count of searches run concurrently, a bounded queue waits, and
 // the overflow is shed with 503 + Retry-After. Call before serving.
 func (s *Server) SetGate(g *serve.Gate) { s.gate = g }
+
+// SetHeavyGate installs a second admission gate for the heavy query
+// classes (serve.IsHeavyClass: multi-term, prefix and qualified
+// queries). With it set, heavy requests contend only for the heavy
+// gate's slots while cheap single-term queries keep the main gate —
+// a burst of expensive queries can no longer starve the cheap ones.
+// Call before serving.
+func (s *Server) SetHeavyGate(g *serve.Gate) { s.heavyGate = g }
 
 // SetMetrics installs query observability (latency histograms, outcome
 // counters, the slow-query log) and mounts the /debug and /debug/vars
@@ -230,11 +239,16 @@ func (s *Server) tupleHTML(g graph.View, n graph.NodeID, matched bool) string {
 
 // renderOverload maps an admission rejection (or a server-side deadline)
 // to 503 with a Retry-After hint — the "come back later" contract that
-// tells well-behaved clients to back off instead of hammering.
-func (s *Server) renderOverload(w http.ResponseWriter, err error) {
+// tells well-behaved clients to back off instead of hammering. gate is
+// the gate the request was admitted through (its backoff hint applies);
+// nil falls back to the main gate, then one second.
+func (s *Server) renderOverload(w http.ResponseWriter, gate *serve.Gate, err error) {
+	if gate == nil {
+		gate = s.gate
+	}
 	retry := time.Second
-	if s.gate != nil {
-		retry = s.gate.RetryAfter()
+	if gate != nil {
+		retry = gate.RetryAfter()
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
 	s.renderError(w, http.StatusServiceUnavailable, err)
@@ -262,15 +276,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		clientDeadline = d
 	}
-	// Admission control: the search runs only once the gate grants a
-	// worker slot. A full queue (or a queue wait past the gate's patience)
-	// sheds the request immediately with 503 + Retry-After, before any
-	// engine work happens; a client that disconnects while queued just
-	// goes away.
-	release, aerr := s.gate.Acquire(r.Context())
+	// Admission control: the search runs only once its class's gate
+	// grants a worker slot. The class is computed before admission so a
+	// heavy query (multi-term, prefix, qualified) contends for the heavy
+	// gate when one is installed, leaving the main gate to cheap
+	// single-term traffic. A full queue (or a queue wait past the gate's
+	// patience) sheds the request immediately with 503 + Retry-After,
+	// before any engine work happens; a client that disconnects while
+	// queued just goes away.
+	class := serve.ClassOf(len(terms), false, false)
+	gate := s.gate
+	if s.heavyGate != nil && serve.IsHeavyClass(class) {
+		gate = s.heavyGate
+	}
+	release, aerr := gate.Acquire(r.Context())
 	if aerr != nil {
 		if serve.IsOverload(aerr) {
-			s.renderOverload(w, aerr)
+			s.renderOverload(w, gate, aerr)
 		}
 		return
 	}
@@ -320,7 +342,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.metrics.ObserveQuery(serve.QueryOutcome{
 			Query:           q,
 			Strategy:        opts.Strategy,
-			Class:           serve.ClassOf(len(terms), false, false),
+			Class:           class,
 			Elapsed:         time.Since(start),
 			Err:             qerr,
 			BudgetExhausted: stats != nil && stats.BudgetExhausted,
@@ -346,7 +368,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.renderError(w, http.StatusRequestTimeout,
 				fmt.Errorf("search timed out after %s", timeoutParam))
 		} else {
-			s.renderOverload(w, fmt.Errorf("search exceeded the server's %s limit", s.defaultTimeout))
+			s.renderOverload(w, gate, fmt.Errorf("search exceeded the server's %s limit", s.defaultTimeout))
 		}
 		return
 	}

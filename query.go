@@ -86,6 +86,20 @@ type Stats struct {
 	BudgetExhausted bool
 	// BudgetReason names the exhausted axis: "pops", "arcs" or "bytes".
 	BudgetReason string
+	// PartitionsTotal is the partition count of the cluster that served
+	// the query (0 for single-engine queries).
+	PartitionsTotal int
+	// PartitionsRouted counts partitions the query scattered to.
+	PartitionsRouted int
+	// PartitionsPruned counts partitions the term-statistics broker
+	// proved could not match, skipped without a scatter leg.
+	PartitionsPruned int
+	// PartitionLocalBound reports the distributed completeness bound:
+	// every returned answer is exact, and every answer whose connection
+	// tree lies inside one partition was found, but trees crossing
+	// partition boundaries were not searched. Always true for
+	// distributed queries over more than one partition.
+	PartitionLocalBound bool
 }
 
 func statsFromCore(st *core.Stats) Stats {
@@ -107,6 +121,11 @@ func statsFromCore(st *core.Stats) Stats {
 		BytesFaulted:      st.BytesFaulted,
 		BudgetExhausted:   st.BudgetExhausted,
 		BudgetReason:      st.BudgetReason,
+
+		PartitionsTotal:     st.PartitionsTotal,
+		PartitionsRouted:    st.PartitionsRouted,
+		PartitionsPruned:    st.PartitionsPruned,
+		PartitionLocalBound: st.PartitionLocalBound,
 	}
 }
 

@@ -28,6 +28,18 @@ type ServeOptions struct {
 	// QueueTimeout sheds a queued request that waited this long
 	// (0: wait as long as the client's context allows).
 	QueueTimeout time.Duration
+	// HeavyMaxInFlight, when positive, installs a second admission gate
+	// for the heavy query classes (multi-term, prefix and qualified —
+	// serve.IsHeavyClass): heavy requests contend only for these slots,
+	// so a burst of expensive queries cannot starve cheap single-term
+	// traffic out of the main gate. 0 keeps one shared gate.
+	HeavyMaxInFlight int
+	// HeavyMaxQueue caps heavy searches waiting for a heavy slot
+	// (meaningful only with HeavyMaxInFlight > 0).
+	HeavyMaxQueue int
+	// HeavyQueueTimeout sheds a queued heavy request that waited this
+	// long (0: wait as long as the client's context allows).
+	HeavyQueueTimeout time.Duration
 	// DefaultTimeout bounds searches whose request did not choose its own
 	// timeout parameter (0: unbounded). Expiry maps to 503 + Retry-After.
 	DefaultTimeout time.Duration
@@ -62,7 +74,7 @@ func (s *System) ServeHandler(opts *ServeOptions) http.Handler {
 	srv.SetEngineErr(func() error { return s.engine().storeErr() })
 	srv.SetDefaultTimeout(opts.DefaultTimeout)
 
-	var gate *serve.Gate
+	var gate, heavy *serve.Gate
 	if opts.MaxInFlight > 0 {
 		gate = serve.NewGate(serve.GateConfig{
 			Workers:      opts.MaxInFlight,
@@ -72,9 +84,19 @@ func (s *System) ServeHandler(opts *ServeOptions) http.Handler {
 		})
 		srv.SetGate(gate)
 	}
+	if opts.HeavyMaxInFlight > 0 {
+		heavy = serve.NewGate(serve.GateConfig{
+			Workers:      opts.HeavyMaxInFlight,
+			Queue:        opts.HeavyMaxQueue,
+			QueueTimeout: opts.HeavyQueueTimeout,
+			RetryAfter:   opts.RetryAfter,
+		})
+		srv.SetHeavyGate(heavy)
+	}
 
 	m := serve.NewMetrics(opts.SlowQuery, opts.SlowLogSize)
 	m.BindGate(gate)
+	m.BindGateNamed("gate_heavy", heavy)
 	s.bindEngineGauges(m)
 	srv.SetMetrics(m)
 	return srv
